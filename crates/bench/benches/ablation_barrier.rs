@@ -1,0 +1,75 @@
+//! Ablation F (paper §III-D): the cost of the Original 2PC's
+//! barrier-before-every-collective.
+//!
+//! The paper measures MPI_Bcast running 2-3× slower with the inserted
+//! barrier (the root must wait for all members), while MPI_Allreduce is
+//! roughly neutral (it synchronizes anyway). Reproduced by timing a
+//! bcast-heavy loop and an allreduce-heavy loop under both TPC modes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mana_bench::{scratch_dir, world_cfg};
+use mana_core::{ManaConfig, ManaRuntime, TpcMode};
+use mpisim::{MachineProfile, ReduceOp};
+use std::hint::black_box;
+
+fn bcast_loop(tpc: TpcMode, ranks: usize, iters: u64) {
+    let cfg = ManaConfig {
+        tpc,
+        ckpt_dir: scratch_dir("abl_barrier"),
+        ..ManaConfig::default()
+    };
+    let rt = ManaRuntime::new(ranks, cfg).with_world_cfg(world_cfg(MachineProfile::haswell()));
+    rt.run_fresh(move |m| {
+        let w = m.comm_world();
+        for i in 0..iters {
+            // Root naturally "ahead": it does no pre-work, non-roots do a
+            // little compute before joining — with a barrier the root waits.
+            if m.rank() != 0 {
+                m.compute(2_000)?;
+            }
+            let mut data = if m.rank() == 0 {
+                vec![i; 32]
+            } else {
+                Vec::new()
+            };
+            m.bcast_t(w, 0, &mut data)?;
+        }
+        Ok(())
+    })
+    .expect("bcast loop");
+}
+
+fn allreduce_loop(tpc: TpcMode, ranks: usize, iters: u64) {
+    let cfg = ManaConfig {
+        tpc,
+        ckpt_dir: scratch_dir("abl_barrier2"),
+        ..ManaConfig::default()
+    };
+    let rt = ManaRuntime::new(ranks, cfg).with_world_cfg(world_cfg(MachineProfile::haswell()));
+    rt.run_fresh(move |m| {
+        let w = m.comm_world();
+        for i in 0..iters {
+            m.allreduce_t(w, ReduceOp::Sum, &[i])?;
+        }
+        Ok(())
+    })
+    .expect("allreduce loop");
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_barrier");
+    g.sample_size(10);
+    let ranks = 4;
+    for tpc in [TpcMode::Hybrid, TpcMode::Original] {
+        g.bench_function(format!("bcast_{tpc:?}"), |b| {
+            b.iter(|| black_box(bcast_loop(tpc, ranks, 20)))
+        });
+        g.bench_function(format!("allreduce_{tpc:?}"), |b| {
+            b.iter(|| black_box(allreduce_loop(tpc, ranks, 20)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

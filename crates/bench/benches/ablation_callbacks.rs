@@ -1,0 +1,35 @@
+//! Ablation B (paper §III-H): lambda-style wrapper callbacks vs
+//! dedicated prepare/finish functions.
+//!
+//! The original MANA's C++ lambdas compiled into extra call frames in hot
+//! MPI wrappers; MANA-2.0 decomposed them into static prepare/finish.
+//! Expected shape: Lambda (boxed-closure per call) measurably slower than
+//! Prepared at wrapper call rates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mana_core::{CallbackStyle, CommitState};
+use std::hint::black_box;
+
+fn commit_loop(style: CallbackStyle, n: usize) -> u64 {
+    let cs = CommitState::new();
+    let mut acc = 0u64;
+    for i in 0..n {
+        acc = acc.wrapping_add(cs.with_commit(style, || black_box(i as u64)));
+    }
+    acc
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_callbacks");
+    g.sample_size(30);
+    g.bench_function("prepared", |b| {
+        b.iter(|| black_box(commit_loop(CallbackStyle::Prepared, 10_000)))
+    });
+    g.bench_function("lambda", |b| {
+        b.iter(|| black_box(commit_loop(CallbackStyle::Lambda, 10_000)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Ablation C (paper §III-G): FS-register context-switch cost per mode.
+//!
+//! Expected shape: KernelCall (arch_prctl per switch) » Workaround »
+//! Fsgsbase, with the ratio dominating wrapper overhead at high MPI call
+//! rates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use splitproc::{ContextSwitcher, FsMode};
+use std::hint::black_box;
+
+fn jumps(mode: FsMode, n: usize) -> u64 {
+    let cs = ContextSwitcher::new(mode);
+    let mut acc = 0u64;
+    for i in 0..n {
+        acc = acc.wrapping_add(cs.jump(|| black_box(i as u64)));
+    }
+    acc
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_fsreg");
+    g.sample_size(20);
+    for mode in [FsMode::KernelCall, FsMode::Workaround, FsMode::Fsgsbase] {
+        g.bench_function(format!("{mode:?}"), |b| {
+            b.iter(|| black_box(jumps(mode, 500)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

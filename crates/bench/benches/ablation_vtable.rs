@@ -1,0 +1,52 @@
+//! Ablation A (paper §III-I.1): virtual-ID table backend.
+//!
+//! The original MANA used `std::map` (ordered tree) plus occasional linear
+//! searches for virtual→real translation; MANA-2.0's fix is a hash table.
+//! Expected shape: FxHash < BTree « Linear for lookup-heavy request
+//! workloads at realistic table sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mana_core::{VirtualTable, VtBackend};
+use std::hint::black_box;
+
+/// Simulate the request-table workload: a rolling window of live requests
+/// (insert, several lookups, retire), as wrappers do per MPI call.
+fn request_churn(backend: VtBackend, live_window: usize, ops: usize) -> u64 {
+    let mut t: VirtualTable<u64> = VirtualTable::new(backend, 1);
+    let mut live: Vec<u64> = Vec::with_capacity(live_window);
+    let mut acc = 0u64;
+    for i in 0..ops {
+        let vid = t.insert(i as u64);
+        live.push(vid);
+        // Translation happens on every test/wait: several lookups per op.
+        for k in 0..4 {
+            let probe = live[(i * 7 + k * 13) % live.len()];
+            if let Some(v) = t.lookup(probe) {
+                acc = acc.wrapping_add(*v);
+            }
+        }
+        if live.len() >= live_window {
+            let victim = live.remove(0);
+            t.remove(victim);
+        }
+    }
+    acc
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_vtable");
+    g.sample_size(20);
+    for backend in [VtBackend::FxHash, VtBackend::BTree, VtBackend::Linear] {
+        for window in [64usize, 512] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("{backend:?}"), window),
+                &window,
+                |b, &w| b.iter(|| black_box(request_churn(backend, w, 4_000))),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

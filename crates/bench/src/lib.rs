@@ -1,0 +1,192 @@
+//! # mana-bench — experiment harness for the MANA-2.0 reproduction
+//!
+//! Shared measurement plumbing for the `experiments` binary (which
+//! regenerates every table and figure of the paper — see EXPERIMENTS.md)
+//! and the Criterion benches (per-figure microbenchmarks and per-design-
+//! choice ablations).
+//!
+//! All helpers run the *same* workload code (from the `workloads` crate)
+//! either natively on `mpisim` or under `mana-core`, under a chosen
+//! machine profile, and report wall time plus the operation counters the
+//! shape comparisons rely on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use mana_core::{ManaConfig, ManaRuntime};
+use mpisim::{MachineProfile, StatsSnapshot, World, WorldCfg};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+use workloads::{gromacs, vasp, ManaFace, NativeFace};
+
+/// A timed run's outcome.
+#[derive(Debug, Clone)]
+pub struct Timed<T> {
+    /// Wall-clock duration of the whole world run.
+    pub wall: Duration,
+    /// Rank-0 result.
+    pub result: T,
+    /// Simulator statistics.
+    pub stats: StatsSnapshot,
+}
+
+/// World configuration for a profile (generous watchdog so a wedged bench
+/// fails loudly instead of hanging CI).
+pub fn world_cfg(profile: MachineProfile) -> WorldCfg {
+    WorldCfg {
+        profile,
+        watchdog: Some(Duration::from_secs(600)),
+        ..WorldCfg::default()
+    }
+}
+
+/// Scratch checkpoint directory.
+pub fn scratch_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("mana2_bench_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// Rank counts for sweeps: `MANA2_RANKS="2,4,8"` overrides; the default is
+/// sized for a small container (the paper sweeps 32…2048 on Cori — shapes,
+/// not absolute scale, are reproduced; see EXPERIMENTS.md).
+pub fn rank_sweep() -> Vec<usize> {
+    if let Ok(s) = std::env::var("MANA2_RANKS") {
+        let v: Vec<usize> = s.split(',').filter_map(|x| x.trim().parse().ok()).collect();
+        if !v.is_empty() {
+            return v;
+        }
+    }
+    vec![2, 4, 8, 16, 32]
+}
+
+/// Run the MD workload natively.
+pub fn gromacs_native(
+    ranks: usize,
+    cfg: &gromacs::GromacsConfig,
+    profile: MachineProfile,
+) -> Timed<gromacs::GromacsResult> {
+    let w = World::new(ranks, world_cfg(profile));
+    let cfg = cfg.clone();
+    let t = Instant::now();
+    let out = w
+        .launch(move |p| {
+            let mut f = NativeFace::new(p);
+            gromacs::run(&mut f, &cfg).expect("native gromacs")
+        })
+        .expect("native world");
+    Timed {
+        wall: t.elapsed(),
+        result: out.into_iter().next().unwrap(),
+        stats: w.stats(),
+    }
+}
+
+/// Run the MD workload under MANA.
+pub fn gromacs_mana(
+    ranks: usize,
+    cfg: &gromacs::GromacsConfig,
+    profile: MachineProfile,
+    mana_cfg: ManaConfig,
+) -> (Timed<gromacs::GromacsResult>, mana_core::CoordReport) {
+    let rt = ManaRuntime::new(ranks, mana_cfg).with_world_cfg(world_cfg(profile));
+    let cfg = cfg.clone();
+    let t = Instant::now();
+    let report = rt
+        .run_fresh(move |m| {
+            let mut f = ManaFace::new(m);
+            gromacs::run(&mut f, &cfg).map_err(|e| e.into_mana())
+        })
+        .expect("mana gromacs");
+    let wall = t.elapsed();
+    let stats = report.world_stats.clone();
+    let coord = clone_coord(&report.coord);
+    let result = report.values().into_iter().next().unwrap();
+    (
+        Timed {
+            wall,
+            result,
+            stats,
+        },
+        coord,
+    )
+}
+
+fn clone_coord(c: &mana_core::CoordReport) -> mana_core::CoordReport {
+    mana_core::CoordReport {
+        rounds: c.rounds.clone(),
+        skipped_requests: c.skipped_requests,
+    }
+}
+
+/// Run the SCF workload natively.
+pub fn vasp_native(
+    ranks: usize,
+    cfg: &vasp::VaspConfig,
+    profile: MachineProfile,
+) -> Timed<vasp::VaspResult> {
+    let w = World::new(ranks, world_cfg(profile));
+    let cfg = cfg.clone();
+    let t = Instant::now();
+    let out = w
+        .launch(move |p| {
+            let mut f = NativeFace::new(p);
+            vasp::run(&mut f, &cfg).expect("native vasp")
+        })
+        .expect("native world");
+    Timed {
+        wall: t.elapsed(),
+        result: out.into_iter().next().unwrap(),
+        stats: w.stats(),
+    }
+}
+
+/// Run the SCF workload under MANA.
+pub fn vasp_mana(
+    ranks: usize,
+    cfg: &vasp::VaspConfig,
+    profile: MachineProfile,
+    mana_cfg: ManaConfig,
+) -> Timed<vasp::VaspResult> {
+    let rt = ManaRuntime::new(ranks, mana_cfg).with_world_cfg(world_cfg(profile));
+    let cfg = cfg.clone();
+    let t = Instant::now();
+    let report = rt
+        .run_fresh(move |m| {
+            let mut f = ManaFace::new(m);
+            vasp::run(&mut f, &cfg).map_err(|e| e.into_mana())
+        })
+        .expect("mana vasp");
+    let wall = t.elapsed();
+    let stats = report.world_stats.clone();
+    let result = report.values().into_iter().next().unwrap();
+    Timed {
+        wall,
+        result,
+        stats,
+    }
+}
+
+/// Overhead percentage of `measured` over `baseline`.
+pub fn overhead_pct(baseline: Duration, measured: Duration) -> f64 {
+    (measured.as_secs_f64() / baseline.as_secs_f64() - 1.0) * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_math() {
+        let base = Duration::from_secs(10);
+        assert!((overhead_pct(base, Duration::from_secs(15)) - 50.0).abs() < 1e-9);
+        assert!(overhead_pct(base, base).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rank_sweep_default_ascending() {
+        let v = rank_sweep();
+        assert!(!v.is_empty());
+        assert!(v.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,160 @@
+//! Wrapper callback plumbing: lambda-style vs prepare/finish (paper §III-H).
+//!
+//! The original MANA built C++ lambdas inside hot MPI wrappers; the
+//! compiler turned each into several extra call frames, a measurable cost
+//! at VASP's collective rates. MANA-2.0 decomposed them into dedicated
+//! `prepare`/`finish` functions. Both styles are implemented here behind
+//! one dispatch point so the `ablation_callbacks` bench can measure the
+//! difference: [`CallbackStyle::Lambda`] heap-allocates two boxed closures
+//! per wrapper call and invokes them through fat pointers (the dynamic
+//! dispatch + allocation analog of the extra frames);
+//! [`CallbackStyle::Prepared`] calls static functions directly.
+
+use std::cell::Cell;
+
+/// Which wrapper-callback style is in force.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallbackStyle {
+    /// Boxed-closure pre/post hooks per call (original MANA).
+    Lambda,
+    /// Direct static prepare/finish calls (MANA-2.0).
+    Prepared,
+}
+
+/// Per-rank commit bookkeeping updated by every wrapper: how many wrapper
+/// calls began/finished, and the checkpoint-disable depth (the
+/// `DMTCP_PLUGIN_DISABLE_CKPT` nesting of the Fig. 1 skeleton).
+#[derive(Debug, Default)]
+pub struct CommitState {
+    begun: Cell<u64>,
+    finished: Cell<u64>,
+    disable_depth: Cell<u32>,
+}
+
+impl CommitState {
+    /// Fresh state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wrapper calls begun.
+    pub fn begun(&self) -> u64 {
+        self.begun.get()
+    }
+
+    /// Wrapper calls finished.
+    pub fn finished(&self) -> u64 {
+        self.finished.get()
+    }
+
+    /// Is checkpointing currently disabled (inside a lower-half critical
+    /// section)?
+    pub fn ckpt_disabled(&self) -> bool {
+        self.disable_depth.get() > 0
+    }
+
+    fn prepare(&self) {
+        self.begun.set(self.begun.get() + 1);
+        self.disable_depth.set(self.disable_depth.get() + 1);
+    }
+
+    fn finish(&self) {
+        debug_assert!(self.disable_depth.get() > 0, "unbalanced commit finish");
+        self.disable_depth.set(self.disable_depth.get() - 1);
+        self.finished.set(self.finished.get() + 1);
+    }
+
+    /// Wrapper entry (`commit_begin` + `DMTCP_PLUGIN_DISABLE_CKPT` of the
+    /// Fig. 1 skeleton), dispatched by style. Must be paired with
+    /// [`CommitState::exit`].
+    pub fn enter(&self, style: CallbackStyle) {
+        match style {
+            CallbackStyle::Prepared => self.prepare(),
+            CallbackStyle::Lambda => {
+                let pre: Box<dyn Fn() + '_> = Box::new(|| self.prepare());
+                pre();
+            }
+        }
+    }
+
+    /// Wrapper exit (`DMTCP_PLUGIN_ENABLE_CKPT` + `commit_finish`).
+    pub fn exit(&self, style: CallbackStyle) {
+        match style {
+            CallbackStyle::Prepared => self.finish(),
+            CallbackStyle::Lambda => {
+                let post: Box<dyn Fn() + '_> = Box::new(|| self.finish());
+                post();
+            }
+        }
+    }
+
+    /// Run `body` bracketed by prepare/finish using the given style. This
+    /// is the single dispatch point every MANA wrapper goes through.
+    pub fn with_commit<R>(&self, style: CallbackStyle, body: impl FnOnce() -> R) -> R {
+        match style {
+            CallbackStyle::Prepared => {
+                self.prepare();
+                let r = body();
+                self.finish();
+                r
+            }
+            CallbackStyle::Lambda => {
+                // Deliberately costly: two boxed closures per call, invoked
+                // through dyn pointers — the frame/allocation overhead the
+                // paper removed.
+                let pre: Box<dyn Fn()> = Box::new(|| self.prepare());
+                let post: Box<dyn Fn()> = Box::new(|| self.finish());
+                pre();
+                let r = body();
+                post();
+                r
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_styles_balance() {
+        for style in [CallbackStyle::Lambda, CallbackStyle::Prepared] {
+            let cs = CommitState::new();
+            let out = cs.with_commit(style, || {
+                assert!(cs.ckpt_disabled(), "ckpt must be disabled inside body");
+                7
+            });
+            assert_eq!(out, 7);
+            assert!(!cs.ckpt_disabled());
+            assert_eq!(cs.begun(), 1);
+            assert_eq!(cs.finished(), 1);
+        }
+    }
+
+    #[test]
+    fn nesting_tracks_depth() {
+        let cs = CommitState::new();
+        cs.with_commit(CallbackStyle::Prepared, || {
+            cs.with_commit(CallbackStyle::Prepared, || {
+                assert!(cs.ckpt_disabled());
+            });
+            assert!(cs.ckpt_disabled());
+        });
+        assert!(!cs.ckpt_disabled());
+        assert_eq!(cs.begun(), 2);
+    }
+
+    #[test]
+    fn lambda_style_is_not_cheaper() {
+        // Sanity: both styles do the same bookkeeping.
+        let a = CommitState::new();
+        let b = CommitState::new();
+        for _ in 0..100 {
+            a.with_commit(CallbackStyle::Lambda, || ());
+            b.with_commit(CallbackStyle::Prepared, || ());
+        }
+        assert_eq!(a.begun(), b.begun());
+        assert_eq!(a.finished(), b.finished());
+    }
+}

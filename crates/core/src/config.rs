@@ -1,0 +1,140 @@
+//! MANA runtime configuration: every paper-relevant design choice is a
+//! knob here so the benchmark harness can ablate it.
+
+use crate::callbacks::CallbackStyle;
+use crate::vtable::VtBackend;
+use splitproc::FsMode;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Two-phase-commit protocol variant (paper §III-D/E/J/L).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TpcMode {
+    /// Original MANA: an interruptible barrier before *every* collective.
+    /// Correctness hazard (§III-E deadlock) and 2-3× bcast slowdown
+    /// (§III-D), but simple.
+    Original,
+    /// MANA-2.0 hybrid: no pre-collective barrier. Collectives run as
+    /// intent-polling p2p state machines, which are checkpointable at any
+    /// moment — see DESIGN.md §5.6 for why this subsumes the paper's
+    /// window switch.
+    Hybrid,
+}
+
+/// Point-to-point drain algorithm (paper §III-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DrainMode {
+    /// MANA-2.0: one `MPI_Alltoall` of per-pair sent-byte counts; each rank
+    /// then drains locally with no further coordination.
+    Alltoall,
+    /// Original MANA baseline: global sent/received totals round-tripped
+    /// through the centralized coordinator until they balance.
+    Coordinator,
+}
+
+/// Communicator-restoration strategy at restart (paper §III-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RestartMode {
+    /// MANA-2.0: recreate only communicators on the active list, directly
+    /// from their saved groups.
+    ActiveList,
+    /// Original MANA baseline: replay every recorded communicator
+    /// constructor, including ones for long-freed communicators.
+    ReplayLog,
+}
+
+/// Full MANA configuration for one run.
+#[derive(Debug, Clone)]
+pub struct ManaConfig {
+    /// Two-phase-commit variant.
+    pub tpc: TpcMode,
+    /// Drain algorithm.
+    pub drain: DrainMode,
+    /// Virtual-ID table backend (§III-I.1 ablation).
+    pub vtable: VtBackend,
+    /// FS-register switching cost model (§III-G).
+    pub fs_mode: FsMode,
+    /// Restart strategy (§III-C ablation).
+    pub restart_mode: RestartMode,
+    /// Wrapper callback style (§III-H ablation).
+    pub callback_style: CallbackStyle,
+    /// If true, ranks exit after writing a checkpoint (checkpoint-and-kill,
+    /// the mode preceding a restart). If false, ranks resume execution
+    /// (the Fig. 3 "checkpoint while running" mode).
+    pub exit_after_ckpt: bool,
+    /// Directory for checkpoint images.
+    pub ckpt_dir: PathBuf,
+    /// Park slice used in MANA test loops.
+    pub poll_interval: Duration,
+    /// Enable the tools-interface deadlock detector (paper conclusion's
+    /// proposed component): if every rank is blocked and no progress
+    /// happens for this long, the run fails with
+    /// [`crate::runtime::RuntimeError::Deadlock`] carrying a per-rank
+    /// blocked-state report instead of hanging.
+    pub deadlock_timeout: Option<Duration>,
+}
+
+impl Default for ManaConfig {
+    fn default() -> Self {
+        ManaConfig {
+            tpc: TpcMode::Hybrid,
+            drain: DrainMode::Alltoall,
+            vtable: VtBackend::FxHash,
+            fs_mode: FsMode::Workaround,
+            restart_mode: RestartMode::ActiveList,
+            callback_style: CallbackStyle::Prepared,
+            exit_after_ckpt: false,
+            ckpt_dir: std::env::temp_dir().join("mana2_ckpt"),
+            poll_interval: Duration::from_micros(500),
+            deadlock_timeout: None,
+        }
+    }
+}
+
+impl ManaConfig {
+    /// The configuration matching the paper's "master branch" (used in the
+    /// C/R experiments): original 2PC, lambda wrappers, tree-map tables.
+    pub fn master_branch() -> Self {
+        ManaConfig {
+            tpc: TpcMode::Original,
+            vtable: VtBackend::BTree,
+            callback_style: CallbackStyle::Lambda,
+            fs_mode: FsMode::KernelCall,
+            ..ManaConfig::default()
+        }
+    }
+
+    /// The configuration matching the "feature/2pc" branch (Table II):
+    /// hybrid 2PC, lambda removal, plus the FS workaround.
+    pub fn feature_2pc_branch() -> Self {
+        ManaConfig {
+            tpc: TpcMode::Hybrid,
+            vtable: VtBackend::FxHash,
+            callback_style: CallbackStyle::Prepared,
+            fs_mode: FsMode::Workaround,
+            ..ManaConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_the_modern_config() {
+        let c = ManaConfig::default();
+        assert_eq!(c.tpc, TpcMode::Hybrid);
+        assert_eq!(c.drain, DrainMode::Alltoall);
+        assert_eq!(c.restart_mode, RestartMode::ActiveList);
+    }
+
+    #[test]
+    fn branch_presets_differ_where_the_paper_says() {
+        let master = ManaConfig::master_branch();
+        let feat = ManaConfig::feature_2pc_branch();
+        assert_eq!(master.tpc, TpcMode::Original);
+        assert_eq!(feat.tpc, TpcMode::Hybrid);
+        assert_ne!(master.callback_style, feat.callback_style);
+    }
+}

@@ -1,0 +1,542 @@
+//! The centralized checkpoint coordinator (DMTCP-coordinator analog).
+//!
+//! The coordinator raises checkpoint *intent*, waits until every rank has
+//! parked at a safe point (collecting each rank's in-collective status and
+//! globally-unique communicator ID, §III-K), releases the drain, gathers
+//! per-rank image sizes, and resumes or kills the job. It also carries the
+//! side-channel traffic of the *legacy* drain algorithm (global totals,
+//! §III-B baseline) so the ablation bench can measure how chatty it is.
+//!
+//! MANA-2.0's lesson §III-M — "additional communication by MANA should be
+//! minimized … use MPI calls instead of the centralized coordinator" — is
+//! visible in the message counters: with `DrainMode::Alltoall`, the
+//! coordinator exchanges exactly 3 messages per rank per checkpoint
+//! (Ready/Go, Done/Resume), while `DrainMode::Coordinator` adds rounds of
+//! count reports.
+
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Rank → coordinator messages.
+#[derive(Debug)]
+pub enum RankMsg {
+    /// Any rank may ask for a checkpoint (`dmtcp_command -c` analog).
+    RequestCkpt,
+    /// Parked at a safe point; reports whether the rank was inside a
+    /// MANA-level collective and, if so, its globally-unique gid (§III-K).
+    Ready {
+        /// Reporting rank.
+        rank: usize,
+        /// gid of the collective the rank is parked inside, if any.
+        in_collective: Option<u64>,
+    },
+    /// Legacy-drain round report: this rank's total sent/received bytes.
+    DrainReport {
+        /// Reporting rank.
+        rank: usize,
+        /// Total user bytes sent.
+        sent: u64,
+        /// Total user bytes received (including drained).
+        recvd: u64,
+    },
+    /// Image written.
+    CkptDone {
+        /// Reporting rank.
+        rank: usize,
+        /// Bytes of the written image.
+        image_bytes: u64,
+    },
+    /// The application closure wants to finish; the rank blocks until the
+    /// coordinator acknowledges (so a concurrent checkpoint round cannot
+    /// lose a participant).
+    Finishing {
+        /// Reporting rank.
+        rank: usize,
+    },
+}
+
+/// Coordinator → rank messages (per-rank channels).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoordMsg {
+    /// All ranks parked; run the drain and write images.
+    Go {
+        /// Checkpoint round number.
+        round: u64,
+    },
+    /// Legacy-drain verdict for the round just reported.
+    DrainVerdict {
+        /// True when global sent == received.
+        balanced: bool,
+    },
+    /// Images written everywhere; continue executing.
+    Resume,
+    /// Images written everywhere; exit (checkpoint-and-kill).
+    Exit,
+    /// Acknowledge a `Finishing` rank: it may leave.
+    FinishAck,
+}
+
+/// Statistics of one completed checkpoint round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CkptRoundStats {
+    /// Round number (0-based).
+    pub round: u64,
+    /// Wall time from intent to all-parked.
+    pub quiesce: Duration,
+    /// Wall time from Go to all images written.
+    pub write: Duration,
+    /// Sum of image sizes across ranks.
+    pub total_image_bytes: u64,
+    /// Distinct in-collective gids reported at park time.
+    pub gids_in_flight: Vec<u64>,
+    /// Coordinator messages exchanged during this round.
+    pub coord_msgs: u64,
+}
+
+/// Handle held by each rank.
+#[derive(Clone)]
+pub struct CoordHandle {
+    rank: usize,
+    intent: Arc<AtomicBool>,
+    round: Arc<AtomicU64>,
+    to_coord: Sender<RankMsg>,
+    from_coord: Receiver<CoordMsg>,
+}
+
+impl CoordHandle {
+    /// Is checkpoint intent raised? (The hot-path check in every wrapper.)
+    #[inline]
+    pub fn intent(&self) -> bool {
+        self.intent.load(Ordering::Acquire)
+    }
+
+    /// Current checkpoint round number.
+    pub fn round(&self) -> u64 {
+        self.round.load(Ordering::Acquire)
+    }
+
+    /// My rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Send a message to the coordinator.
+    pub fn send(&self, msg: RankMsg) -> crate::error::Result<()> {
+        self.to_coord
+            .send(msg)
+            .map_err(|_| crate::error::ManaError::CoordinatorGone)
+    }
+
+    /// Blocking receive of the next coordinator message, with a poison-safe
+    /// timeout loop.
+    pub fn recv(&self) -> crate::error::Result<CoordMsg> {
+        loop {
+            match self.from_coord.recv_timeout(Duration::from_millis(50)) {
+                Ok(m) => return Ok(m),
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(crate::error::ManaError::CoordinatorGone)
+                }
+            }
+        }
+    }
+
+    /// Ask for a checkpoint.
+    pub fn request_checkpoint(&self) -> crate::error::Result<()> {
+        self.send(RankMsg::RequestCkpt)
+    }
+}
+
+/// External trigger for checkpoints (held by the driving test/benchmark).
+#[derive(Clone)]
+pub struct CkptTrigger {
+    tx: Sender<RankMsg>,
+}
+
+impl CkptTrigger {
+    /// Request a checkpoint round.
+    pub fn checkpoint(&self) {
+        let _ = self.tx.send(RankMsg::RequestCkpt);
+    }
+}
+
+/// Coordinator outcome after all ranks finished.
+#[derive(Debug, Clone, Default)]
+pub struct CoordReport {
+    /// One entry per completed checkpoint round.
+    pub rounds: Vec<CkptRoundStats>,
+    /// Checkpoint requests ignored because ranks had already finished.
+    pub skipped_requests: u64,
+}
+
+/// Spawn the coordinator thread for a world of `n` ranks.
+///
+/// Returns per-rank handles, the external trigger, and a join handle whose
+/// result is the coordinator's report.
+pub fn spawn_coordinator(
+    n: usize,
+    exit_after_ckpt: bool,
+) -> (
+    Vec<CoordHandle>,
+    CkptTrigger,
+    std::thread::JoinHandle<CoordReport>,
+) {
+    let (to_coord, from_ranks) = unbounded::<RankMsg>();
+    let intent = Arc::new(AtomicBool::new(false));
+    let round = Arc::new(AtomicU64::new(0));
+    let mut handles = Vec::with_capacity(n);
+    let mut rank_txs = Vec::with_capacity(n);
+    for rank in 0..n {
+        let (tx, rx) = bounded::<CoordMsg>(8);
+        rank_txs.push(tx);
+        handles.push(CoordHandle {
+            rank,
+            intent: intent.clone(),
+            round: round.clone(),
+            to_coord: to_coord.clone(),
+            from_coord: rx,
+        });
+    }
+    let trigger = CkptTrigger {
+        tx: to_coord.clone(),
+    };
+    let join = std::thread::Builder::new()
+        .name("mana-coordinator".into())
+        .spawn(move || coordinator_loop(n, exit_after_ckpt, intent, round, from_ranks, rank_txs))
+        .expect("spawn coordinator");
+    (handles, trigger, join)
+}
+
+fn coordinator_loop(
+    n: usize,
+    exit_after_ckpt: bool,
+    intent: Arc<AtomicBool>,
+    round_ctr: Arc<AtomicU64>,
+    from_ranks: Receiver<RankMsg>,
+    rank_txs: Vec<Sender<CoordMsg>>,
+) -> CoordReport {
+    let mut report = CoordReport::default();
+    let mut finished = vec![false; n];
+    let mut finished_count = 0usize;
+    let mut exited = false;
+
+    'outer: while finished_count < n {
+        let msg = match from_ranks.recv_timeout(Duration::from_secs(120)) {
+            Ok(m) => m,
+            Err(RecvTimeoutError::Timeout) => break,
+            Err(RecvTimeoutError::Disconnected) => break,
+        };
+        match msg {
+            RankMsg::Finishing { rank } => {
+                finished[rank] = true;
+                finished_count += 1;
+                let _ = rank_txs[rank].send(CoordMsg::FinishAck);
+            }
+            RankMsg::RequestCkpt => {
+                if finished_count > 0 || exited {
+                    report.skipped_requests += 1;
+                    continue;
+                }
+                // ---- one checkpoint round ----
+                let round = round_ctr.load(Ordering::Acquire);
+                let t0 = Instant::now();
+                let mut msgs = 0u64;
+                intent.store(true, Ordering::Release);
+
+                // Phase 1: collect Ready from every rank.
+                let mut ready = 0usize;
+                let mut gids = Vec::new();
+                while ready < n {
+                    match from_ranks.recv_timeout(Duration::from_secs(120)) {
+                        Ok(RankMsg::Ready { in_collective, .. }) => {
+                            msgs += 1;
+                            ready += 1;
+                            if let Some(g) = in_collective {
+                                if !gids.contains(&g) {
+                                    gids.push(g);
+                                }
+                            }
+                        }
+                        // A rank announcing Finishing is at a safe point:
+                        // count it Ready. Its finalize loop handles the Go
+                        // it receives instead of FinishAck, runs the
+                        // checkpoint, and re-announces Finishing afterwards.
+                        Ok(RankMsg::Finishing { .. }) => {
+                            msgs += 1;
+                            ready += 1;
+                        }
+                        Ok(RankMsg::RequestCkpt) => {
+                            // Coalesce concurrent requests into this round.
+                            report.skipped_requests += 1;
+                        }
+                        Ok(other) => {
+                            debug_assert!(false, "unexpected during quiesce: {other:?}");
+                        }
+                        Err(_) => break 'outer,
+                    }
+                }
+                let quiesce = t0.elapsed();
+
+                // Phase 2: release the drain.
+                for tx in &rank_txs {
+                    let _ = tx.send(CoordMsg::Go { round });
+                    msgs += 1;
+                }
+
+                // Phase 2b (legacy drain only): totals rounds. The ranks
+                // drive this; we answer every complete set of n reports.
+                // Phase 3: collect Done.
+                let t1 = Instant::now();
+                let mut done = 0usize;
+                let mut total_bytes = 0u64;
+                let mut drain_reports: Vec<(u64, u64)> = Vec::new();
+                while done < n {
+                    match from_ranks.recv_timeout(Duration::from_secs(120)) {
+                        Ok(RankMsg::DrainReport { sent, recvd, .. }) => {
+                            msgs += 1;
+                            drain_reports.push((sent, recvd));
+                            if drain_reports.len() == n {
+                                let s: u64 = drain_reports.iter().map(|r| r.0).sum();
+                                let r: u64 = drain_reports.iter().map(|r| r.1).sum();
+                                let balanced = s == r;
+                                for tx in &rank_txs {
+                                    let _ = tx.send(CoordMsg::DrainVerdict { balanced });
+                                    msgs += 1;
+                                }
+                                drain_reports.clear();
+                            }
+                        }
+                        Ok(RankMsg::CkptDone { image_bytes, .. }) => {
+                            msgs += 1;
+                            done += 1;
+                            total_bytes += image_bytes;
+                        }
+                        Ok(RankMsg::RequestCkpt) => {
+                            report.skipped_requests += 1;
+                        }
+                        Ok(other) => {
+                            debug_assert!(false, "unexpected during write: {other:?}");
+                        }
+                        Err(_) => break 'outer,
+                    }
+                }
+                let write = t1.elapsed();
+
+                // Phase 4: resume or kill. Intent must drop *before* the
+                // broadcast: the channel receive synchronizes-with the
+                // send, so a resuming rank is guaranteed to read intent ==
+                // false and cannot emit a spurious Ready into the main
+                // loop.
+                intent.store(false, Ordering::Release);
+                round_ctr.store(round + 1, Ordering::Release);
+                let fin = if exit_after_ckpt {
+                    CoordMsg::Exit
+                } else {
+                    CoordMsg::Resume
+                };
+                for tx in &rank_txs {
+                    let _ = tx.send(fin);
+                    msgs += 1;
+                }
+                report.rounds.push(CkptRoundStats {
+                    round,
+                    quiesce,
+                    write,
+                    total_image_bytes: total_bytes,
+                    gids_in_flight: gids,
+                    coord_msgs: msgs,
+                });
+                if exit_after_ckpt {
+                    exited = true;
+                }
+            }
+            RankMsg::Ready { .. } | RankMsg::DrainReport { .. } | RankMsg::CkptDone { .. } => {
+                debug_assert!(false, "stray message outside a round: {msg:?}");
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finishing_without_checkpoints() {
+        let n = 3;
+        let (handles, _trigger, join) = spawn_coordinator(n, false);
+        let threads: Vec<_> = handles
+            .into_iter()
+            .map(|h| {
+                std::thread::spawn(move || {
+                    h.send(RankMsg::Finishing { rank: h.rank() }).unwrap();
+                    assert_eq!(h.recv().unwrap(), CoordMsg::FinishAck);
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let report = join.join().unwrap();
+        assert!(report.rounds.is_empty());
+    }
+
+    #[test]
+    fn one_full_round_resume() {
+        let n = 4;
+        let (handles, trigger, join) = spawn_coordinator(n, false);
+        trigger.checkpoint();
+        let threads: Vec<_> = handles
+            .into_iter()
+            .map(|h| {
+                std::thread::spawn(move || {
+                    // Wait for intent like a wrapper would.
+                    while !h.intent() {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    h.send(RankMsg::Ready {
+                        rank: h.rank(),
+                        in_collective: (h.rank() % 2 == 0).then_some(42),
+                    })
+                    .unwrap();
+                    assert_eq!(h.recv().unwrap(), CoordMsg::Go { round: 0 });
+                    h.send(RankMsg::CkptDone {
+                        rank: h.rank(),
+                        image_bytes: 100,
+                    })
+                    .unwrap();
+                    assert_eq!(h.recv().unwrap(), CoordMsg::Resume);
+                    assert!(!h.intent(), "intent cleared after resume");
+                    assert_eq!(h.round(), 1);
+                    h.send(RankMsg::Finishing { rank: h.rank() }).unwrap();
+                    assert_eq!(h.recv().unwrap(), CoordMsg::FinishAck);
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let report = join.join().unwrap();
+        assert_eq!(report.rounds.len(), 1);
+        let r = &report.rounds[0];
+        assert_eq!(r.total_image_bytes, 400);
+        assert_eq!(r.gids_in_flight, vec![42]);
+        assert!(r.coord_msgs >= 3 * n as u64);
+    }
+
+    #[test]
+    fn exit_after_ckpt_sends_exit() {
+        let n = 2;
+        let (handles, trigger, join) = spawn_coordinator(n, true);
+        trigger.checkpoint();
+        let threads: Vec<_> = handles
+            .into_iter()
+            .map(|h| {
+                std::thread::spawn(move || {
+                    while !h.intent() {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    h.send(RankMsg::Ready {
+                        rank: h.rank(),
+                        in_collective: None,
+                    })
+                    .unwrap();
+                    assert!(matches!(h.recv().unwrap(), CoordMsg::Go { .. }));
+                    h.send(RankMsg::CkptDone {
+                        rank: h.rank(),
+                        image_bytes: 10,
+                    })
+                    .unwrap();
+                    assert_eq!(h.recv().unwrap(), CoordMsg::Exit);
+                    // Exiting ranks still announce Finishing so the
+                    // coordinator can wind down.
+                    h.send(RankMsg::Finishing { rank: h.rank() }).unwrap();
+                    assert_eq!(h.recv().unwrap(), CoordMsg::FinishAck);
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let report = join.join().unwrap();
+        assert_eq!(report.rounds.len(), 1);
+    }
+
+    #[test]
+    fn legacy_drain_rounds_answered() {
+        let n = 2;
+        let (handles, trigger, join) = spawn_coordinator(n, false);
+        trigger.checkpoint();
+        let threads: Vec<_> = handles
+            .into_iter()
+            .map(|h| {
+                std::thread::spawn(move || {
+                    while !h.intent() {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    h.send(RankMsg::Ready {
+                        rank: h.rank(),
+                        in_collective: None,
+                    })
+                    .unwrap();
+                    assert!(matches!(h.recv().unwrap(), CoordMsg::Go { .. }));
+                    // Round 1: unbalanced (rank 0 sent 10, nobody received).
+                    h.send(RankMsg::DrainReport {
+                        rank: h.rank(),
+                        sent: if h.rank() == 0 { 10 } else { 0 },
+                        recvd: 0,
+                    })
+                    .unwrap();
+                    assert_eq!(
+                        h.recv().unwrap(),
+                        CoordMsg::DrainVerdict { balanced: false }
+                    );
+                    // Round 2: balanced.
+                    h.send(RankMsg::DrainReport {
+                        rank: h.rank(),
+                        sent: if h.rank() == 0 { 10 } else { 0 },
+                        recvd: if h.rank() == 1 { 10 } else { 0 },
+                    })
+                    .unwrap();
+                    assert_eq!(
+                        h.recv().unwrap(),
+                        CoordMsg::DrainVerdict { balanced: true }
+                    );
+                    h.send(RankMsg::CkptDone {
+                        rank: h.rank(),
+                        image_bytes: 1,
+                    })
+                    .unwrap();
+                    assert_eq!(h.recv().unwrap(), CoordMsg::Resume);
+                    h.send(RankMsg::Finishing { rank: h.rank() }).unwrap();
+                    assert_eq!(h.recv().unwrap(), CoordMsg::FinishAck);
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let report = join.join().unwrap();
+        assert_eq!(report.rounds.len(), 1);
+        // Legacy drain cost shows up in the message counter: 2 reports + 2
+        // verdicts per round × 2 rounds on top of the base 3-per-rank.
+        assert!(report.rounds[0].coord_msgs > 3 * n as u64);
+    }
+
+    #[test]
+    fn request_after_finish_is_skipped() {
+        let n = 1;
+        let (handles, trigger, join) = spawn_coordinator(n, false);
+        let h = &handles[0];
+        h.send(RankMsg::Finishing { rank: 0 }).unwrap();
+        assert_eq!(h.recv().unwrap(), CoordMsg::FinishAck);
+        trigger.checkpoint();
+        // Coordinator exits since all finished; request may land before or
+        // after the loop ends — either way no round ran.
+        let report = join.join().unwrap();
+        assert!(report.rounds.is_empty());
+    }
+}

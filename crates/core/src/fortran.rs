@@ -1,0 +1,162 @@
+//! Fortran named-constant handling (paper §III-F).
+//!
+//! In MPI's Fortran bindings, named constants like `MPI_IN_PLACE` and
+//! `MPI_STATUS_IGNORE` are *link-time addresses of unique storage
+//! locations* inside the MPI library (Fortran common blocks), not
+//! compile-time values. A Fortran call therefore passes MANA an opaque
+//! address, and the wrapper must recognize "this address IS the constant"
+//! and substitute the C-side sentinel before calling the lower half. The
+//! original MANA mishandled corner cases here; MANA-2.0 links a small
+//! discovery routine that learns the addresses at startup.
+//!
+//! The simulation is literal: [`FortranConstants`] allocates unique static
+//! storage per constant (the "link step"), exposes their addresses, and
+//! [`FortranConstants::classify`] performs the address-identity test the
+//! MANA-2.0 wrapper does.
+
+use std::sync::OnceLock;
+
+/// C-side sentinel meanings of the Fortran named constants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NamedConstant {
+    /// `MPI_IN_PLACE`: the send buffer aliases the receive buffer.
+    InPlace,
+    /// `MPI_STATUS_IGNORE`: the caller does not want a status object.
+    StatusIgnore,
+    /// `MPI_STATUSES_IGNORE` (array form).
+    StatusesIgnore,
+    /// `MPI_BOTTOM`: absolute-address buffer origin.
+    Bottom,
+    /// `MPI_UNWEIGHTED` (topology calls).
+    Unweighted,
+}
+
+/// All constants, for iteration in tests.
+pub const ALL_CONSTANTS: [NamedConstant; 5] = [
+    NamedConstant::InPlace,
+    NamedConstant::StatusIgnore,
+    NamedConstant::StatusesIgnore,
+    NamedConstant::Bottom,
+    NamedConstant::Unweighted,
+];
+
+/// The "common block": one unique storage cell per constant. Boxed and
+/// leaked once so the addresses are stable for the process lifetime —
+/// exactly the lifetime Fortran link-time constants have.
+struct CommonBlock {
+    cells: Vec<&'static u64>,
+}
+
+fn common_block() -> &'static CommonBlock {
+    static BLOCK: OnceLock<CommonBlock> = OnceLock::new();
+    BLOCK.get_or_init(|| CommonBlock {
+        cells: ALL_CONSTANTS
+            .iter()
+            .enumerate()
+            .map(|(i, _)| &*Box::leak(Box::new(0xF0F0_0000u64 + i as u64)))
+            .collect(),
+    })
+}
+
+/// Discovered addresses of the Fortran named constants — what MANA-2.0's
+/// linked discovery routine produces at startup.
+#[derive(Debug, Clone, Copy)]
+pub struct FortranConstants {
+    addrs: [usize; ALL_CONSTANTS.len()],
+}
+
+impl FortranConstants {
+    /// Run the discovery routine (idempotent; addresses are process-stable).
+    pub fn discover() -> Self {
+        let block = common_block();
+        let mut addrs = [0usize; ALL_CONSTANTS.len()];
+        for (i, cell) in block.cells.iter().enumerate() {
+            addrs[i] = *cell as *const u64 as usize;
+        }
+        FortranConstants { addrs }
+    }
+
+    /// The address a Fortran caller would pass for `c`.
+    pub fn address_of(&self, c: NamedConstant) -> usize {
+        self.addrs[c as usize]
+    }
+
+    /// The §III-F wrapper check: does this argument address denote a named
+    /// constant? Returns the C-side meaning if so.
+    pub fn classify(&self, addr: usize) -> Option<NamedConstant> {
+        self.addrs
+            .iter()
+            .position(|&a| a == addr)
+            .map(|i| ALL_CONSTANTS[i])
+    }
+}
+
+/// A Fortran-style buffer argument after classification: either a real
+/// buffer or a named constant to be handled specially.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FortranArg<'a> {
+    /// An ordinary data buffer.
+    Buffer(&'a [f64]),
+    /// A recognized named constant.
+    Constant(NamedConstant),
+}
+
+/// Classify a raw (address, maybe-buffer) pair the way MANA's Fortran
+/// wrapper shim does: address identity first, buffer otherwise.
+pub fn classify_arg<'a>(
+    fc: &FortranConstants,
+    addr: usize,
+    buffer: Option<&'a [f64]>,
+) -> FortranArg<'a> {
+    if let Some(c) = fc.classify(addr) {
+        FortranArg::Constant(c)
+    } else {
+        FortranArg::Buffer(buffer.unwrap_or(&[]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discovery_is_stable() {
+        let a = FortranConstants::discover();
+        let b = FortranConstants::discover();
+        for c in ALL_CONSTANTS {
+            assert_eq!(a.address_of(c), b.address_of(c));
+        }
+    }
+
+    #[test]
+    fn addresses_are_distinct_and_nonzero() {
+        let fc = FortranConstants::discover();
+        let mut seen = std::collections::HashSet::new();
+        for c in ALL_CONSTANTS {
+            let addr = fc.address_of(c);
+            assert_ne!(addr, 0);
+            assert!(seen.insert(addr), "duplicate address for {c:?}");
+        }
+    }
+
+    #[test]
+    fn classify_roundtrips() {
+        let fc = FortranConstants::discover();
+        for c in ALL_CONSTANTS {
+            assert_eq!(fc.classify(fc.address_of(c)), Some(c));
+        }
+        // An ordinary stack address is not a constant.
+        let local = 0u64;
+        assert_eq!(fc.classify(&local as *const u64 as usize), None);
+    }
+
+    #[test]
+    fn classify_arg_separates_constants_from_buffers() {
+        let fc = FortranConstants::discover();
+        let data = [1.0f64, 2.0];
+        let got = classify_arg(&fc, data.as_ptr() as usize, Some(&data));
+        assert_eq!(got, FortranArg::Buffer(&data[..]));
+        let got = classify_arg(&fc, fc.address_of(NamedConstant::InPlace), Some(&data));
+        assert_eq!(got, FortranArg::Constant(NamedConstant::InPlace));
+    }
+}

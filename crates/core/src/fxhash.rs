@@ -1,0 +1,117 @@
+//! A minimal Fx-style hasher for the virtual-ID fast path.
+//!
+//! Paper §III-I(1): the original MANA's `std::map` (a red-black tree,
+//! O(log n) with poor locality) slowed virtual→real translation; the fix
+//! is "a C++ map based on hash arrays". The offline crate set has no
+//! `rustc-hash`, so this is a from-scratch implementation of the same
+//! multiply-rotate scheme rustc uses — quality is low but speed on small
+//! integer keys (virtual IDs) is exactly what the table needs. HashDoS is
+//! not a concern: keys are MANA-allocated sequential IDs, not attacker
+//! input.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Fx-style streaming hasher.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Word-at-a-time over the length-prefixed remainder.
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rem.len()].copy_from_slice(rem);
+            self.add(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<K> = HashSet<K, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_basics() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        m.insert(1, "a");
+        m.insert(2, "b");
+        assert_eq!(m.get(&1), Some(&"a"));
+        assert_eq!(m.remove(&2), Some("b"));
+        assert!(m.get(&2).is_none());
+    }
+
+    #[test]
+    fn hash_distributes_sequential_keys() {
+        // Sequential IDs (the actual workload) should not collide in the
+        // low bits catastrophically.
+        let mut buckets = [0u32; 16];
+        for i in 0..1024u64 {
+            let mut h = FxHasher::default();
+            h.write_u64(i);
+            buckets[(h.finish() & 0xF) as usize] += 1;
+        }
+        // Perfectly uniform would be 64 per bucket; allow wide slack.
+        assert!(buckets.iter().all(|&b| b > 16 && b < 256), "{buckets:?}");
+    }
+
+    #[test]
+    fn byte_stream_and_word_agree_on_structure() {
+        let mut a = FxHasher::default();
+        a.write(b"abcdefgh");
+        let mut b = FxHasher::default();
+        b.write_u64(u64::from_le_bytes(*b"abcdefgh"));
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn tail_bytes_hash_differently() {
+        let mut a = FxHasher::default();
+        a.write(b"abc");
+        let mut b = FxHasher::default();
+        b.write(b"abd");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -1,0 +1,479 @@
+//! Checkpoint, drain, and restart (paper §III-B, §III-C, §II-A).
+//!
+//! The checkpoint protocol per rank:
+//!
+//! 1. Observe intent at a safe point; report `Ready` (with the gid of any
+//!    MANA-level collective the rank is parked inside, §III-K) and wait
+//!    for `Go`.
+//! 2. **Drain**: exchange per-pair sent-byte rows with one `MPI_Alltoall`
+//!    (or the legacy coordinator totals loop), then locally pull the
+//!    still-owed bytes out of the network — `iprobe`+`recv` for unmatched
+//!    messages, `MPI_Test` on recorded pending `irecv`s for messages the
+//!    library already claimed (the exact §III-B fallback).
+//! 3. Serialize upper-half memory + MANA metadata into a per-rank image.
+//! 4. Wait for `Resume` (continue running) or `Exit` (checkpoint-and-kill;
+//!    restart will rebuild a fresh lower half).
+//!
+//! Restart rebuilds communicators from the **active list** — group
+//! membership alone suffices (§III-C) — or, in the ablation baseline,
+//! replays every logged constructor including freed communicators.
+
+use crate::collective_emu::CollOpMeta;
+use crate::comm_mgr::{CommManager, CommMeta};
+use crate::config::{DrainMode, ManaConfig, RestartMode};
+use crate::coordinator::{CoordHandle, CoordMsg, RankMsg};
+use crate::error::{ManaError, Result};
+use crate::ids::{VComm, VCOMM_WORLD};
+use crate::mana::Mana;
+use crate::p2p_log::{DrainBuffer, DrainedMsg, P2pLog};
+use crate::requests::{Binding, RequestMeta, RequestManager, StoredCompletion, VReqKind};
+use mpisim::{fnv1a_usizes, Comm, Group, Proc, RReq, SrcSel, TagSel};
+use splitproc::{CkptImage, Decode, Encode, LowerHalf, Reader, UpperHalf};
+
+/// Everything MANA saves alongside the upper half.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ManaMeta {
+    /// Communicator records + replay log + emu sequence counters.
+    pub comm: CommMeta,
+    /// Virtual request table (restart-transformed bindings).
+    pub reqs: RequestMeta,
+    /// In-flight emulated collectives.
+    pub collops: CollOpMeta,
+    /// Drained-but-undelivered messages.
+    pub drain_buf: DrainBuffer,
+    /// One-sided windows (records + this rank's region contents).
+    pub wins: crate::mana_win::WinMeta,
+}
+
+impl Encode for ManaMeta {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.comm.encode(out);
+        self.reqs.encode(out);
+        self.collops.encode(out);
+        self.drain_buf.encode(out);
+        self.wins.encode(out);
+    }
+}
+
+impl Decode for ManaMeta {
+    fn decode(r: &mut Reader<'_>) -> std::result::Result<Self, splitproc::CodecError> {
+        Ok(ManaMeta {
+            comm: CommMeta::decode(r)?,
+            reqs: RequestMeta::decode(r)?,
+            collops: CollOpMeta::decode(r)?,
+            drain_buf: DrainBuffer::decode(r)?,
+            wins: crate::mana_win::WinMeta::decode(r)?,
+        })
+    }
+}
+
+/// `MANA2_DEBUG=1` enables checkpoint-protocol tracing to stderr.
+fn debug_enabled() -> bool {
+    use std::sync::OnceLock;
+    static ON: OnceLock<bool> = OnceLock::new();
+    *ON.get_or_init(|| std::env::var("MANA2_DEBUG").is_ok())
+}
+
+impl<'p> Mana<'p> {
+    /// The universal safe point. `at_step` marks an application step
+    /// boundary ([`Mana::step_commit`]); in `exit_after_ckpt` mode only
+    /// step boundaries act on intent, so restart re-enters the application
+    /// at a committed step.
+    pub(crate) fn maybe_checkpoint(&mut self, at_step: bool) -> Result<()> {
+        if !self.coord.intent() || self.in_ckpt || self.commit.ckpt_disabled() || self.exited {
+            return Ok(());
+        }
+        if self.cfg.exit_after_ckpt && !at_step {
+            return Ok(());
+        }
+        if debug_enabled() {
+            eprintln!(
+                "mana2: rank {} entering checkpoint (at_step={at_step})",
+                self.rank()
+            );
+        }
+        self.enter_checkpoint()
+    }
+
+    /// Report Ready, await Go, and run the checkpoint. Callers guarantee a
+    /// coordinator round is (or is about to be) in progress: either the
+    /// local intent flag was observed, or a consistent-cut agreement
+    /// ([`Mana::step_commit`] in exit mode) established that *some* rank
+    /// observed it — in which case the coordinator's quiesce is already
+    /// waiting for this rank's Ready.
+    pub(crate) fn enter_checkpoint(&mut self) -> Result<()> {
+        self.in_ckpt = true;
+        let res = (|| {
+            self.coord.send(RankMsg::Ready {
+                rank: self.rank(),
+                in_collective: self.cur_collective_gid,
+            })?;
+            let round = loop {
+                match self.coord.recv()? {
+                    CoordMsg::Go { round } => break round,
+                    other => {
+                        debug_assert!(false, "unexpected while awaiting Go: {other:?}");
+                    }
+                }
+            };
+            self.checkpoint_body(round)
+        })();
+        self.in_ckpt = false;
+        res
+    }
+
+    /// Drain + serialize + write + await resume/exit. The coordinator has
+    /// already confirmed every rank is parked.
+    pub(crate) fn checkpoint_body(&mut self, round: u64) -> Result<()> {
+        // `self.round` counts *completed* rounds (so `Mana::round()` is
+        // also "which pass is this" after a restart).
+        self.round = round + 1;
+        match self.cfg.drain {
+            DrainMode::Alltoall => self.drain_alltoall()?,
+            DrainMode::Coordinator => self.drain_coordinator()?,
+        }
+        // Serialize and write the image.
+        let meta = ManaMeta {
+            comm: self.comms.to_meta(),
+            reqs: self.reqs.to_meta(),
+            collops: self.collops.to_meta(),
+            drain_buf: self.drain_buf.clone(),
+            wins: self.wins_to_meta()?,
+        };
+        let image = CkptImage {
+            rank: self.rank(),
+            world_size: self.world_size(),
+            round,
+            upper: self.upper.to_bytes(),
+            meta: meta.to_bytes(),
+        };
+        let bytes = image.write_to_dir(&self.cfg.ckpt_dir)?;
+        self.stats.ckpts += 1;
+        self.coord.send(RankMsg::CkptDone {
+            rank: self.rank(),
+            image_bytes: bytes as u64,
+        })?;
+        match self.coord.recv()? {
+            CoordMsg::Resume => {
+                // Network empty + both sides agreed: counters restart from
+                // zero consistently on every rank.
+                self.p2p.reset();
+                Ok(())
+            }
+            CoordMsg::Exit => {
+                self.exited = true;
+                Err(ManaError::CkptExit)
+            }
+            other => {
+                debug_assert!(false, "unexpected after CkptDone: {other:?}");
+                Err(ManaError::CoordinatorGone)
+            }
+        }
+    }
+
+    // ---- drain -------------------------------------------------------------
+
+    /// MANA-2.0 drain: one alltoall of sent rows, then purely local work.
+    fn drain_alltoall(&mut self) -> Result<()> {
+        let world_real = self.real_comm(VCOMM_WORLD)?;
+        let sent_row = self.p2p.sent_row().to_vec();
+        let expected = self.lh.call(|p| p.alltoall_u64(world_real, &sent_row))?;
+        loop {
+            let deficits = self.p2p.deficits(&expected);
+            if deficits.iter().all(|&d| d == 0) {
+                return Ok(());
+            }
+            self.stats.drain_sweeps += 1;
+            let progress = self.drain_sweep(&deficits)?;
+            if !progress {
+                // Nothing receivable this instant: the bytes are in transit
+                // between another rank's send and our mailbox. Park briefly.
+                self.lh.sched_park(self.cfg.poll_interval)?;
+            }
+        }
+    }
+
+    /// Original MANA drain: totals through the coordinator, iterated.
+    fn drain_coordinator(&mut self) -> Result<()> {
+        loop {
+            let (sent, recvd) = self.p2p.totals();
+            self.coord.send(RankMsg::DrainReport {
+                rank: self.rank(),
+                sent,
+                recvd,
+            })?;
+            match self.coord.recv()? {
+                CoordMsg::DrainVerdict { balanced: true } => return Ok(()),
+                CoordMsg::DrainVerdict { balanced: false } => {
+                    self.stats.drain_sweeps += 1;
+                    // No per-pair information: sweep everything receivable.
+                    let all = vec![u64::MAX; self.world_size()];
+                    let progress = self.drain_sweep(&all)?;
+                    if !progress {
+                        self.lh.sched_park(self.cfg.poll_interval)?;
+                    }
+                }
+                other => {
+                    debug_assert!(false, "unexpected drain reply: {other:?}");
+                    return Err(ManaError::CoordinatorGone);
+                }
+            }
+        }
+    }
+
+    /// One drain sweep: for each peer still owing bytes, (a) iprobe+recv
+    /// unmatched messages on every active communicator, (b) test recorded
+    /// pending `irecv`s (the message may already be claimed — §III-B), on
+    /// both user requests and emulated-collective slots.
+    fn drain_sweep(&mut self, deficits: &[u64]) -> Result<bool> {
+        let mut progress = false;
+        // (a) Unmatched messages in the network.
+        let active: Vec<(u64, Vec<usize>)> = self
+            .comms
+            .active_records()
+            .iter()
+            .map(|r| (r.vid, r.world_ranks.clone()))
+            .collect();
+        for (vid, ranks) in &active {
+            let vc = VComm(*vid);
+            let real = match self.comms.real(vc) {
+                Some(r) => r,
+                None => continue,
+            };
+            if !ranks.contains(&self.rank()) {
+                continue;
+            }
+            for (local, &w) in ranks.iter().enumerate() {
+                if w == self.rank() || deficits[w] == 0 {
+                    continue;
+                }
+                loop {
+                    let st = self
+                        .lh
+                        .call(|p| p.iprobe(real, SrcSel::Rank(local), TagSel::Any))?;
+                    let st = match st {
+                        None => break,
+                        Some(s) => s,
+                    };
+                    let (st2, data) = self
+                        .lh
+                        .call(|p| p.recv(real, SrcSel::Rank(local), TagSel::Tag(st.tag)))?;
+                    self.p2p.count_recv(w, data.len());
+                    self.stats.drained_msgs += 1;
+                    self.stats.drained_bytes += data.len() as u64;
+                    self.drain_buf.push(DrainedMsg {
+                        vcomm: vc,
+                        src_world: w,
+                        tag: st2.tag,
+                        payload: data,
+                    });
+                    progress = true;
+                }
+            }
+        }
+        // (b) Messages already claimed by posted receives: user requests…
+        for vr in self.reqs.testable_recvs() {
+            let (vcomm, raw) = match self.reqs.entry(vr) {
+                Some(e) => match (&e.kind, &e.binding) {
+                    (VReqKind::RecvP2p { vcomm, .. }, Binding::Real(raw)) => (*vcomm, *raw),
+                    _ => continue,
+                },
+                None => continue,
+            };
+            if let Some(c) = self.lh.call(|p| p.test(RReq::from_raw(raw)))? {
+                let ranks = self.ranks_of(vcomm)?;
+                let src_world = *ranks
+                    .get(c.status.source)
+                    .ok_or(ManaError::InvalidVComm(vcomm.0))?;
+                self.p2p.count_recv(src_world, c.data.len());
+                self.stats.drained_msgs += 1;
+                self.stats.drained_bytes += c.data.len() as u64;
+                // Step one of two-step retirement: the user's address for
+                // this request is unknown here, so park the completion.
+                self.reqs.mark_null(
+                    vr,
+                    Some(StoredCompletion {
+                        src_world,
+                        tag: c.status.tag,
+                        payload: c.data,
+                    }),
+                );
+                progress = true;
+            }
+        }
+        // … and emulated-collective slots (receive-only: advancing a state
+        // machine could *send*, which would invalidate the exchanged
+        // counts).
+        for id in self.collops.sorted_ids() {
+            let mut op = match self.collops.remove_for_poll(id) {
+                Some(op) => op,
+                None => continue,
+            };
+            let ranks = self.ranks_of(op.vcomm)?;
+            for slot in &mut op.slots {
+                if slot.data.is_some() {
+                    continue;
+                }
+                let raw = match slot.real {
+                    Some(r) => r,
+                    None => continue,
+                };
+                if let Some(c) = self.lh.call(|p| p.test(RReq::from_raw(raw)))? {
+                    let src_world = ranks[slot.src_local];
+                    self.p2p.count_recv(src_world, c.data.len());
+                    self.stats.drained_msgs += 1;
+                    self.stats.drained_bytes += c.data.len() as u64;
+                    slot.real = None;
+                    slot.data = Some(c.data);
+                    progress = true;
+                }
+            }
+            self.collops.insert(op);
+        }
+        Ok(progress)
+    }
+
+    // ---- finalize -----------------------------------------------------------
+
+    /// `MPI_Finalize` analog: a safe point, then a coordinated goodbye. If
+    /// the coordinator is mid-quiesce, `Finishing` counts as `Ready` and
+    /// this rank runs the checkpoint before retiring. Returns
+    /// [`ManaError::CkptExit`] (after completing the goodbye handshake)
+    /// when a checkpoint-and-kill landed here.
+    pub fn finalize(&mut self) -> Result<()> {
+        let mut ckpt_exit = self.exited;
+        if !self.exited {
+            match self.maybe_checkpoint(true) {
+                Ok(()) => {}
+                Err(ManaError::CkptExit) => ckpt_exit = true,
+                Err(e) => return Err(e),
+            }
+        }
+        loop {
+            self.coord.send(RankMsg::Finishing { rank: self.rank() })?;
+            match self.coord.recv()? {
+                CoordMsg::FinishAck => {
+                    return if ckpt_exit {
+                        Err(ManaError::CkptExit)
+                    } else {
+                        Ok(())
+                    }
+                }
+                CoordMsg::Go { round } => {
+                    // A round started concurrently; we were counted Ready.
+                    match self.checkpoint_body(round) {
+                        Ok(()) => continue,
+                        Err(ManaError::CkptExit) => {
+                            ckpt_exit = true;
+                            continue; // still say goodbye
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+                other => {
+                    debug_assert!(false, "unexpected in finalize: {other:?}");
+                    return Err(ManaError::CoordinatorGone);
+                }
+            }
+        }
+    }
+
+    // ---- restart -------------------------------------------------------------
+
+    /// Rebuild a rank from its checkpoint image on a fresh lower half.
+    pub fn restore(
+        proc: &'p Proc,
+        cfg: ManaConfig,
+        coord: CoordHandle,
+        image: &CkptImage,
+    ) -> Result<Self> {
+        if image.world_size != proc.world_size() {
+            return Err(ManaError::RestartMismatch(format!(
+                "image world size {} vs runtime {}",
+                image.world_size,
+                proc.world_size()
+            )));
+        }
+        if image.rank != proc.rank() {
+            return Err(ManaError::RestartMismatch(format!(
+                "image rank {} vs runtime {}",
+                image.rank,
+                proc.rank()
+            )));
+        }
+        let upper = UpperHalf::from_bytes(&image.upper)?;
+        let meta = ManaMeta::from_bytes(&image.meta)?;
+        let lh = LowerHalf::new(proc, cfg.fs_mode);
+        let mut comms = CommManager::from_meta(&meta.comm, cfg.vtable);
+        let mut stats = crate::mana::ManaStats::default();
+
+        // World first.
+        comms.rebind(VCOMM_WORLD.0, Comm::WORLD);
+        let me = proc.rank();
+        match cfg.restart_mode {
+            RestartMode::ActiveList => {
+                // §III-C: only live communicators, straight from their
+                // groups. vid order is creation order, consistent among
+                // shared members.
+                for rec in meta.comm.records.iter().filter(|r| !r.freed) {
+                    if rec.vid == VCOMM_WORLD.0 || !rec.world_ranks.contains(&me) {
+                        continue;
+                    }
+                    let group = Group::new(rec.world_ranks.clone())?;
+                    let tag = fnv1a_usizes(&[0x7E57A7_usize, rec.gid as usize, image.round as usize]);
+                    let real = lh.call(|p| p.comm_create_from_group(&group, tag))?;
+                    comms.rebind(rec.vid, real);
+                    stats.restored_comms += 1;
+                }
+            }
+            RestartMode::ReplayLog => {
+                // Original MANA baseline: replay every constructor, freed
+                // or not (freed ones are wasted work + table bloat).
+                for call in &meta.comm.replay_log {
+                    match call {
+                        crate::comm_mgr::CommCall::Create { vid, world_ranks } => {
+                            if !world_ranks.contains(&me) {
+                                continue;
+                            }
+                            let group = Group::new(world_ranks.clone())?;
+                            let gid = crate::comm_mgr::global_comm_id(world_ranks);
+                            let tag = fnv1a_usizes(&[
+                                0x7E57A7_usize,
+                                gid as usize,
+                                image.round as usize,
+                            ]);
+                            let real = lh.call(|p| p.comm_create_from_group(&group, tag))?;
+                            comms.rebind(*vid, real);
+                            stats.replayed_calls += 1;
+                            stats.restored_comms += 1;
+                        }
+                        crate::comm_mgr::CommCall::Free { .. } => {
+                            stats.replayed_calls += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut mana = Mana {
+            lh,
+            comms,
+            wins: crate::mana_win::WinManager::from_meta(&meta.wins, cfg.vtable),
+            reqs: RequestManager::from_meta(&meta.reqs, cfg.vtable),
+            collops: crate::collective_emu::CollOpTable::from_meta(&meta.collops),
+            p2p: P2pLog::new(proc.world_size()),
+            drain_buf: meta.drain_buf.clone(),
+            upper,
+            coord,
+            commit: crate::callbacks::CommitState::new(),
+            in_ckpt: false,
+            exited: false,
+            cur_collective_gid: None,
+            round: image.round + 1,
+            stats,
+            cfg,
+        };
+        mana.restore_wins(&meta.wins)?;
+        Ok(mana)
+    }
+}

@@ -1,0 +1,67 @@
+//! Fortran-binding entry points on `Mana` (paper §III-F).
+//!
+//! A Fortran MPI call reaches MANA with *addresses* where C passes values:
+//! named constants like `MPI_IN_PLACE` are link-time storage locations in
+//! the MPI library. These entry points take the raw address argument,
+//! classify it against the discovered constant table, and substitute the
+//! C-side meaning before calling the ordinary wrapper — exactly the
+//! MANA-2.0 shim.
+
+use crate::error::Result;
+use crate::fortran::{FortranConstants, NamedConstant};
+use crate::ids::VComm;
+use crate::mana::Mana;
+use mpisim::ReduceOp;
+
+impl Mana<'_> {
+    /// Fortran `MPI_ALLREDUCE(sendbuf, recvbuf, …)`: `sendbuf_addr` may be
+    /// the address of the `MPI_IN_PLACE` common-block constant, in which
+    /// case `recvbuf` doubles as the contribution (the in-place form).
+    /// Returns the reduced vector.
+    pub fn f_allreduce(
+        &mut self,
+        fc: &FortranConstants,
+        sendbuf_addr: usize,
+        sendbuf: Option<&[f64]>,
+        recvbuf: &[f64],
+        vc: VComm,
+        op: ReduceOp,
+    ) -> Result<Vec<f64>> {
+        let contrib: &[f64] = match fc.classify(sendbuf_addr) {
+            Some(NamedConstant::InPlace) => recvbuf,
+            _ => sendbuf.unwrap_or(&[]),
+        };
+        self.allreduce_t(vc, op, contrib)
+    }
+
+    /// Fortran `MPI_RECV(..., status)`: `status_addr` may be
+    /// `MPI_STATUS_IGNORE`'s address; the shim then discards the status
+    /// like the C sentinel does. Returns `(Some(status) unless ignored,
+    /// payload)`.
+    pub fn f_recv(
+        &mut self,
+        fc: &FortranConstants,
+        vc: VComm,
+        src: mpisim::SrcSel,
+        tag: mpisim::TagSel,
+        status_addr: usize,
+    ) -> Result<(Option<mpisim::Status>, Vec<u8>)> {
+        let (st, data) = self.recv(vc, src, tag)?;
+        let ignored = matches!(
+            fc.classify(status_addr),
+            Some(NamedConstant::StatusIgnore) | Some(NamedConstant::StatusesIgnore)
+        );
+        Ok(((!ignored).then_some(st), data))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::fortran::{FortranConstants, NamedConstant};
+
+    #[test]
+    fn constants_available_for_shim() {
+        let fc = FortranConstants::discover();
+        assert!(fc.classify(fc.address_of(NamedConstant::InPlace)).is_some());
+    }
+}

@@ -1,0 +1,313 @@
+//! `ManaRuntime`: launches a world of MANA-wrapped ranks plus the
+//! coordinator, runs an application closure on every rank, and harvests
+//! outcomes, statistics, and checkpoint-round reports.
+//!
+//! A *restart* run is the split-process story end-to-end: a brand-new
+//! world (fresh lower half), each rank rebuilt from its image
+//! ([`crate::mana::Mana`]`::restore`), the same application closure
+//! re-entered — it finds its position in upper-half memory and continues.
+
+use crate::config::ManaConfig;
+use crate::coordinator::{spawn_coordinator, CkptTrigger, CoordReport};
+use crate::error::{ManaError, Result};
+use crate::mana::{Mana, ManaStats};
+use mpisim::{StatsSnapshot, World, WorldCfg};
+use splitproc::CkptImage;
+use std::fmt;
+
+/// How one rank's application run ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AppOutcome<T> {
+    /// The closure ran to completion.
+    Finished(T),
+    /// A checkpoint was written and the configuration requested
+    /// exit-after-checkpoint; restart with [`ManaRuntime::run_restart`].
+    Checkpointed,
+}
+
+impl<T> AppOutcome<T> {
+    /// The finished value, if any.
+    pub fn finished(self) -> Option<T> {
+        match self {
+            AppOutcome::Finished(v) => Some(v),
+            AppOutcome::Checkpointed => None,
+        }
+    }
+
+    /// Did this rank checkpoint-and-exit?
+    pub fn is_checkpointed(&self) -> bool {
+        matches!(self, AppOutcome::Checkpointed)
+    }
+}
+
+/// Everything a run produces.
+#[derive(Debug)]
+pub struct RunReport<T> {
+    /// Per-rank outcomes in rank order.
+    pub outcomes: Vec<AppOutcome<T>>,
+    /// Lower-half (network) statistics.
+    pub world_stats: StatsSnapshot,
+    /// Per-rank MANA statistics.
+    pub rank_stats: Vec<ManaStats>,
+    /// Coordinator report (one entry per checkpoint round).
+    pub coord: CoordReport,
+}
+
+impl<T> RunReport<T> {
+    /// All ranks finished (no checkpoint-and-exit).
+    pub fn all_finished(&self) -> bool {
+        self.outcomes
+            .iter()
+            .all(|o| matches!(o, AppOutcome::Finished(_)))
+    }
+
+    /// All ranks checkpointed-and-exited.
+    pub fn all_checkpointed(&self) -> bool {
+        self.outcomes.iter().all(|o| o.is_checkpointed())
+    }
+
+    /// Finished values in rank order (panics on a checkpointed rank).
+    pub fn values(self) -> Vec<T> {
+        self.outcomes
+            .into_iter()
+            .map(|o| o.finished().expect("rank checkpointed, not finished"))
+            .collect()
+    }
+}
+
+/// Runtime failure.
+#[derive(Debug)]
+pub enum RuntimeError {
+    /// The world itself failed (rank panic).
+    World(String),
+    /// A rank returned a MANA error.
+    Rank(usize, ManaError),
+    /// The tools-interface deadlock detector fired; the payload is the
+    /// per-rank blocked-state report.
+    Deadlock(String),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::World(s) => write!(f, "world failure: {s}"),
+            RuntimeError::Rank(r, e) => write!(f, "rank {r}: {e}"),
+            RuntimeError::Deadlock(report) => write!(f, "deadlock detected:\n{report}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// Launch configuration for MANA-wrapped worlds.
+pub struct ManaRuntime {
+    n: usize,
+    cfg: ManaConfig,
+    world_cfg: WorldCfg,
+}
+
+impl ManaRuntime {
+    /// Runtime for `n` ranks with default world settings.
+    pub fn new(n: usize, cfg: ManaConfig) -> Self {
+        ManaRuntime {
+            n,
+            cfg,
+            world_cfg: WorldCfg::default(),
+        }
+    }
+
+    /// Override the world (machine profile / watchdog) configuration.
+    pub fn with_world_cfg(mut self, wc: WorldCfg) -> Self {
+        self.world_cfg = wc;
+        self
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.n
+    }
+
+    /// The MANA configuration.
+    pub fn config(&self) -> &ManaConfig {
+        &self.cfg
+    }
+
+    /// Fresh run: empty upper halves.
+    pub fn run_fresh<T, F>(&self, f: F) -> std::result::Result<RunReport<T>, RuntimeError>
+    where
+        T: Send + 'static,
+        F: Fn(&mut Mana<'_>) -> Result<T> + Send + Sync,
+    {
+        self.run_inner(false, f, None::<fn(CkptTrigger)>)
+    }
+
+    /// Fresh run with an external driver thread holding the checkpoint
+    /// trigger (for time-based checkpoints, Fig. 3 style).
+    pub fn run_fresh_driven<T, F, G>(
+        &self,
+        f: F,
+        driver: G,
+    ) -> std::result::Result<RunReport<T>, RuntimeError>
+    where
+        T: Send + 'static,
+        F: Fn(&mut Mana<'_>) -> Result<T> + Send + Sync,
+        G: FnOnce(CkptTrigger) + Send + 'static,
+    {
+        self.run_inner(false, f, Some(driver))
+    }
+
+    /// Restart run: each rank is rebuilt from its image in
+    /// `cfg.ckpt_dir`, then `f` is re-entered.
+    pub fn run_restart<T, F>(&self, f: F) -> std::result::Result<RunReport<T>, RuntimeError>
+    where
+        T: Send + 'static,
+        F: Fn(&mut Mana<'_>) -> Result<T> + Send + Sync,
+    {
+        self.run_inner(true, f, None::<fn(CkptTrigger)>)
+    }
+
+    fn run_inner<T, F, G>(
+        &self,
+        restart: bool,
+        f: F,
+        driver: Option<G>,
+    ) -> std::result::Result<RunReport<T>, RuntimeError>
+    where
+        T: Send + 'static,
+        F: Fn(&mut Mana<'_>) -> Result<T> + Send + Sync,
+        G: FnOnce(CkptTrigger) + Send + 'static,
+    {
+        let (handles, trigger, coord_join) = spawn_coordinator(self.n, self.cfg.exit_after_ckpt);
+        let driver_join = driver.map(|d| {
+            let t = trigger.clone();
+            std::thread::spawn(move || d(t))
+        });
+        let world = World::new(self.n, self.world_cfg.clone());
+        // Optional tools-interface deadlock detector (paper conclusion).
+        let detector = self.cfg.deadlock_timeout.map(|window| {
+            let intro = world.introspect();
+            let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+            let stop2 = stop.clone();
+            let handle = std::thread::spawn(move || -> Option<String> {
+                use std::sync::atomic::Ordering;
+                let slice = (window / 4).max(std::time::Duration::from_millis(10));
+                let mut stuck_since: Option<std::time::Instant> = None;
+                let mut last: Option<Vec<mpisim::RankActivity>> = None;
+                loop {
+                    if stop2.load(Ordering::Relaxed) {
+                        return None;
+                    }
+                    std::thread::sleep(slice);
+                    let snap = intro.activity();
+                    let all_blocked = snap.iter().all(|a| a.blocked.is_some());
+                    let unchanged = last.as_ref() == Some(&snap);
+                    last = Some(snap.clone());
+                    if all_blocked && unchanged {
+                        let since = *stuck_since.get_or_insert_with(std::time::Instant::now);
+                        if since.elapsed() >= window {
+                            let report = snap
+                                .iter()
+                                .enumerate()
+                                .map(|(r, a)| mpisim::describe(r, a))
+                                .collect::<Vec<_>>()
+                                .join("\n");
+                            intro.poison();
+                            return Some(report);
+                        }
+                    } else {
+                        stuck_since = None;
+                    }
+                }
+            });
+            (stop, handle)
+        });
+        let cfg = &self.cfg;
+        let f = &f;
+        let handles_ref = &handles;
+        let launched = world.launch(move |proc| -> Result<(AppOutcome<T>, ManaStats)> {
+            let coord = handles_ref[proc.rank()].clone();
+            let mut mana = if restart {
+                let image = CkptImage::read_from_dir(&cfg.ckpt_dir, proc.rank())?;
+                Mana::restore(proc, cfg.clone(), coord, &image)?
+            } else {
+                Mana::fresh(proc, cfg.clone(), coord)
+            };
+            let res = f(&mut mana);
+            let outcome = match res {
+                Ok(v) => match mana.finalize() {
+                    Ok(()) => AppOutcome::Finished(v),
+                    Err(ManaError::CkptExit) => AppOutcome::Checkpointed,
+                    Err(e) => {
+                        mana.abort_world();
+                        return Err(e);
+                    }
+                },
+                Err(ManaError::CkptExit) => {
+                    match mana.finalize() {
+                        Ok(()) | Err(ManaError::CkptExit) => {}
+                        Err(e) => {
+                            mana.abort_world();
+                            return Err(e);
+                        }
+                    }
+                    AppOutcome::Checkpointed
+                }
+                // A fatal application/MPI error: abort the world so peers
+                // blocked on this rank fail fast instead of hanging
+                // (MPI_ERRORS_ARE_FATAL behaviour).
+                Err(e) => {
+                    mana.abort_world();
+                    return Err(e);
+                }
+            };
+            Ok((outcome, mana.stats()))
+        });
+        let world_stats = world.stats();
+        // Drop our coordinator senders so the coordinator unblocks even if
+        // ranks errored before saying goodbye.
+        drop(handles);
+        drop(trigger);
+        if let Some(j) = driver_join {
+            let _ = j.join();
+        }
+        let deadlock_report = detector.and_then(|(stop, handle)| {
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+            handle.join().ok().flatten()
+        });
+        if let Some(report) = deadlock_report {
+            let _ = coord_join.join();
+            return Err(RuntimeError::Deadlock(report));
+        }
+        let results = match launched {
+            Ok(r) => r,
+            Err(e) => {
+                let _ = coord_join.join();
+                return Err(RuntimeError::World(e.to_string()));
+            }
+        };
+        let coord = match coord_join.join() {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("mana coordinator thread panicked: {e:?}");
+                CoordReport::default()
+            }
+        };
+        let mut outcomes = Vec::with_capacity(self.n);
+        let mut rank_stats = Vec::with_capacity(self.n);
+        for (rank, r) in results.into_iter().enumerate() {
+            match r {
+                Ok((o, s)) => {
+                    outcomes.push(o);
+                    rank_stats.push(s);
+                }
+                Err(e) => return Err(RuntimeError::Rank(rank, e)),
+            }
+        }
+        Ok(RunReport {
+            outcomes,
+            world_stats,
+            rank_stats,
+            coord,
+        })
+    }
+}

@@ -1,0 +1,680 @@
+//! End-to-end checkpoint/restart integration tests for the MANA-2.0 layer.
+
+use mana_core::{
+    CallbackStyle, DrainMode, ManaConfig, ManaRuntime, RestartMode, RuntimeError, TpcMode, VReq,
+    VtBackend,
+};
+use mpisim::{ReduceOp, SrcSel, TagSel, WorldCfg};
+use splitproc::FsMode;
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn ckpt_dir(name: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("mana2_test_{}_{}", name, std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn cfg(name: &str) -> ManaConfig {
+    ManaConfig {
+        ckpt_dir: ckpt_dir(name),
+        ..ManaConfig::default()
+    }
+}
+
+fn wcfg() -> WorldCfg {
+    WorldCfg {
+        watchdog: Some(Duration::from_secs(60)),
+        ..WorldCfg::default()
+    }
+}
+
+#[test]
+fn mana_matches_native_semantics() {
+    // Ring p2p + allreduce under MANA gives the same numbers as raw mpisim.
+    let n = 5;
+    let rt = ManaRuntime::new(n, cfg("native_match")).with_world_cfg(wcfg());
+    let report = rt
+        .run_fresh(|m| {
+            let w = m.comm_world();
+            let right = (m.rank() + 1) % m.world_size();
+            let left = (m.rank() + m.world_size() - 1) % m.world_size();
+            m.send_t(w, right, 3, &[m.rank() as u64 * 7])?;
+            let (st, got) = m.recv_t::<u64>(w, SrcSel::Rank(left), TagSel::Tag(3))?;
+            assert_eq!(st.source, left);
+            let sum = m.allreduce_t(w, ReduceOp::Sum, &got)?;
+            Ok(sum[0])
+        })
+        .unwrap();
+    let expect: u64 = (0..n as u64).map(|r| r * 7).sum();
+    assert_eq!(report.values(), vec![expect; n]);
+}
+
+#[test]
+fn resume_checkpoint_mid_run() {
+    let n = 4;
+    let config = cfg("resume_mid");
+    let dir = config.ckpt_dir.clone();
+    let rt = ManaRuntime::new(n, config).with_world_cfg(wcfg());
+    let report = rt
+        .run_fresh(|m| {
+            let w = m.comm_world();
+            let mut acc = 0u64;
+            for step in 0..6u64 {
+                if step == 2 && m.rank() == 0 && m.round() == 0 {
+                    m.request_checkpoint()?;
+                }
+                let s = m.allreduce_t(w, ReduceOp::Sum, &[step + m.rank() as u64])?;
+                acc += s[0];
+            }
+            Ok(acc)
+        })
+        .unwrap();
+    assert!(report.all_finished());
+    // All ranks computed identical sums.
+    let vals = report.values();
+    assert!(vals.windows(2).all(|w| w[0] == w[1]));
+    // Exactly one checkpoint round happened, and images exist per rank.
+    // (rank_stats checked via ckpts counter.)
+    for r in 0..n {
+        assert!(
+            splitproc::CkptImage::read_from_dir(&dir, r).is_ok(),
+            "image for rank {r}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn drain_captures_in_flight_messages() {
+    let n = 2;
+    let config = cfg("drain_inflight");
+    let dir = config.ckpt_dir.clone();
+    let rt = ManaRuntime::new(n, config).with_world_cfg(wcfg());
+    let report = rt
+        .run_fresh(|m| {
+            let w = m.comm_world();
+            if m.rank() == 0 {
+                for i in 0..3i32 {
+                    m.send(w, 1, i, &vec![i as u8; 10 * (i as usize + 1)])?;
+                }
+                m.request_checkpoint()?;
+                m.barrier(w)?;
+                Ok(0usize)
+            } else {
+                // Messages are in flight while rank 1 sits in the barrier.
+                m.barrier(w)?;
+                let mut total = 0usize;
+                for i in 0..3i32 {
+                    let (st, data) = m.recv(w, SrcSel::Rank(0), TagSel::Tag(i))?;
+                    assert_eq!(st.tag, i);
+                    assert_eq!(data, vec![i as u8; 10 * (i as usize + 1)]);
+                    total += data.len();
+                }
+                Ok(total)
+            }
+        })
+        .unwrap();
+    assert_eq!(report.outcomes.len(), 2);
+    // Rank 1 must have drained the three messages at checkpoint time.
+    assert_eq!(report.rank_stats[1].drained_msgs, 3);
+    assert_eq!(report.rank_stats[1].drained_bytes, 10 + 20 + 30);
+    assert_eq!(report.coord.rounds.len(), 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn two_step_retirement_of_drained_irecv() {
+    // An irecv posted before the checkpoint is completed *by the drain*;
+    // the application's later wait observes the nulled binding (step two)
+    // and its request variable is overwritten with MPI_REQUEST_NULL.
+    let n = 2;
+    let config = cfg("two_step");
+    let dir = config.ckpt_dir.clone();
+    let rt = ManaRuntime::new(n, config).with_world_cfg(wcfg());
+    rt.run_fresh(|m| {
+        let w = m.comm_world();
+        if m.rank() == 1 {
+            let mut req = m.irecv(w, SrcSel::Rank(0), TagSel::Tag(9))?;
+            m.barrier(w)?; // let rank 0 send + trigger
+            m.barrier(w)?; // checkpoint happens inside this barrier window
+            let c = m.wait(&mut req)?;
+            assert_eq!(c.data, vec![42u8; 8]);
+            assert!(req.is_null(), "request variable must be nulled");
+            assert_eq!(m.live_requests(), 0, "table fully pruned");
+        } else {
+            m.barrier(w)?;
+            m.send(w, 1, 9, &[42u8; 8])?;
+            m.request_checkpoint()?;
+            m.barrier(w)?;
+        }
+        Ok(())
+    })
+    .unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Step-loop workload shared by the restart tests: accumulates allreduce
+/// results into upper-half state, requests a checkpoint at step 3 on the
+/// first pass, and resumes from the recorded step after restart.
+fn step_workload(m: &mut mana_core::Mana<'_>, total_steps: u64) -> mana_core::Result<u64> {
+    let w = m.comm_world();
+    let mut step = m
+        .upper()
+        .read_value::<u64>("step")
+        .transpose()?
+        .unwrap_or(0);
+    let mut acc = m
+        .upper()
+        .read_value::<u64>("acc")
+        .transpose()?
+        .unwrap_or(0);
+    while step < total_steps {
+        if step == 3 && m.round() == 0 && m.rank() == 0 {
+            m.request_checkpoint()?;
+        }
+        let s = m.allreduce_t(w, ReduceOp::Sum, &[step * 10 + m.rank() as u64])?;
+        acc += s[0];
+        step += 1;
+        m.upper_mut().write_value("step", &step);
+        m.upper_mut().write_value("acc", &acc);
+        m.step_commit()?;
+    }
+    Ok(acc)
+}
+
+#[test]
+fn checkpoint_exit_and_restart_continues() {
+    let n = 4;
+    let mut config = cfg("exit_restart");
+    config.exit_after_ckpt = true;
+    let dir = config.ckpt_dir.clone();
+    let total = 8u64;
+
+    // Reference: uninterrupted run.
+    let ref_cfg = ManaConfig {
+        ckpt_dir: ckpt_dir("exit_restart_ref"),
+        ..ManaConfig::default()
+    };
+    let reference = ManaRuntime::new(n, ref_cfg)
+        .with_world_cfg(wcfg())
+        .run_fresh(|m| step_workload(m, total))
+        .unwrap()
+        .values();
+
+    // Pass 1: checkpoint at step 4 boundary, exit.
+    let rt = ManaRuntime::new(n, config.clone()).with_world_cfg(wcfg());
+    let pass1 = rt.run_fresh(|m| step_workload(m, total)).unwrap();
+    assert!(pass1.all_checkpointed(), "{:?}", pass1.outcomes);
+    assert_eq!(pass1.coord.rounds.len(), 1);
+
+    // Pass 2: restart from images; the workload resumes at the recorded
+    // step and finishes.
+    let rt2 = ManaRuntime::new(n, config).with_world_cfg(wcfg());
+    let pass2 = rt2.run_restart(|m| step_workload(m, total)).unwrap();
+    assert!(pass2.all_finished());
+    assert_eq!(pass2.values(), reference);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn restart_rebuilds_subcommunicators_from_active_list() {
+    let n = 4;
+    let mut config = cfg("subcomm_restart");
+    config.exit_after_ckpt = true;
+    let dir = config.ckpt_dir.clone();
+
+    let work = |m: &mut mana_core::Mana<'_>| -> mana_core::Result<u64> {
+        let w = m.comm_world();
+        let phase = m
+            .upper()
+            .read_value::<u64>("phase")
+            .transpose()?
+            .unwrap_or(0);
+        if phase == 0 {
+            // Build comms: a dup (freed before ckpt) and an even/odd split
+            // (kept). Store the split's *virtual id* in upper-half memory —
+            // virtual IDs are restart-stable (§II-C).
+            let dup = m.comm_dup(w)?;
+            m.barrier(dup)?;
+            m.comm_free(dup)?;
+            let sub = m.comm_split(w, (m.rank() % 2) as i32, 0)?.unwrap();
+            m.upper_mut().write_value("sub_vid", &sub.0);
+            m.upper_mut().write_value("phase", &1u64);
+            if m.rank() == 0 {
+                m.request_checkpoint()?;
+            }
+            m.step_commit()?;
+        }
+        // Phase 1 (after restart): use the stored virtual communicator.
+        let sub = mana_core::VComm(
+            m.upper()
+                .read_value::<u64>("sub_vid")
+                .transpose()?
+                .expect("sub_vid saved"),
+        );
+        let sum = m.allreduce_t(sub, ReduceOp::Sum, &[m.rank() as u64])?;
+        Ok(sum[0])
+    };
+
+    let pass1 = ManaRuntime::new(n, config.clone())
+        .with_world_cfg(wcfg())
+        .run_fresh(work)
+        .unwrap();
+    assert!(pass1.all_checkpointed());
+
+    let pass2 = ManaRuntime::new(n, config)
+        .with_world_cfg(wcfg())
+        .run_restart(work)
+        .unwrap();
+    // Evens {0,2} sum=2; odds {1,3} sum=4.
+    assert_eq!(pass2.values(), vec![2, 4, 2, 4]);
+    // Active-list restart recreated only the split comm (dup was freed):
+    // restored_comms == 1 per rank.
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn replay_log_restart_recreates_freed_comms() {
+    let n = 2;
+    let mut config = cfg("replay_restart");
+    config.exit_after_ckpt = true;
+    config.restart_mode = RestartMode::ReplayLog;
+    let dir = config.ckpt_dir.clone();
+
+    let work = |m: &mut mana_core::Mana<'_>| -> mana_core::Result<(u64, u64)> {
+        let w = m.comm_world();
+        let phase = m
+            .upper()
+            .read_value::<u64>("phase")
+            .transpose()?
+            .unwrap_or(0);
+        if phase == 0 {
+            for _ in 0..3 {
+                let d = m.comm_dup(w)?;
+                m.barrier(d)?;
+                m.comm_free(d)?;
+            }
+            let keep = m.comm_dup(w)?;
+            m.upper_mut().write_value("keep", &keep.0);
+            m.upper_mut().write_value("phase", &1u64);
+            if m.rank() == 0 {
+                m.request_checkpoint()?;
+            }
+            m.step_commit()?;
+        }
+        let keep = mana_core::VComm(
+            m.upper()
+                .read_value::<u64>("keep")
+                .transpose()?
+                .unwrap(),
+        );
+        let sum = m.allreduce_t(keep, ReduceOp::Sum, &[1u64])?;
+        let stats = m.stats();
+        Ok((sum[0], stats.replayed_calls))
+    };
+
+    ManaRuntime::new(n, config.clone())
+        .with_world_cfg(wcfg())
+        .run_fresh(work)
+        .unwrap();
+    let pass2 = ManaRuntime::new(n, config)
+        .with_world_cfg(wcfg())
+        .run_restart(work)
+        .unwrap();
+    let vals = pass2.values();
+    for (sum, replayed) in vals {
+        assert_eq!(sum, n as u64);
+        // 3 freed dups (create+free) + 1 kept dup = 7 logged calls replayed.
+        assert_eq!(replayed, 7, "replay-log baseline replays freed comms");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn original_tpc_deadlocks_hybrid_does_not() {
+    // Paper §III-E: rank 0 bcasts (as root) then sends; rank 1 receives
+    // then bcasts. Legal MPI; deadlocks iff a barrier precedes the bcast.
+    let scenario = |m: &mut mana_core::Mana<'_>| -> mana_core::Result<u64> {
+        let w = m.comm_world();
+        if m.rank() == 0 {
+            let mut data = vec![5u64];
+            m.bcast_t(w, 0, &mut data)?; // root: must not wait for rank 1
+            m.send_t(w, 1, 1, &[9u64])?;
+            Ok(0)
+        } else {
+            let (_, go) = m.recv_t::<u64>(w, SrcSel::Rank(0), TagSel::Tag(1))?;
+            assert_eq!(go[0], 9);
+            let mut data: Vec<u64> = vec![];
+            m.bcast_t(w, 0, &mut data)?;
+            Ok(data[0])
+        }
+    };
+
+    let deadline = WorldCfg {
+        watchdog: Some(Duration::from_millis(700)),
+        ..WorldCfg::default()
+    };
+
+    // Hybrid: completes.
+    let hybrid = ManaRuntime::new(2, cfg("deadlock_hybrid"))
+        .with_world_cfg(deadline.clone())
+        .run_fresh(scenario)
+        .unwrap();
+    assert_eq!(hybrid.values(), vec![0, 5]);
+
+    // Original: the injected barrier deadlocks; the watchdog converts the
+    // hang into an error.
+    let mut oc = cfg("deadlock_original");
+    oc.tpc = TpcMode::Original;
+    let res = ManaRuntime::new(2, oc)
+        .with_world_cfg(deadline)
+        .run_fresh(scenario);
+    assert!(
+        matches!(res, Err(RuntimeError::Rank(_, _)) | Err(RuntimeError::World(_))),
+        "original 2PC must deadlock here"
+    );
+}
+
+#[test]
+fn straggler_checkpoint_while_peers_wait_in_collective() {
+    let n = 3;
+    let config = cfg("straggler");
+    let dir = config.ckpt_dir.clone();
+    let rt = ManaRuntime::new(n, config).with_world_cfg(wcfg());
+    let report = rt
+        .run_fresh(|m| {
+            let w = m.comm_world();
+            if m.rank() == 0 {
+                // The straggler: give peers time to park inside the
+                // (emulated, checkpointable) barrier, then request the
+                // checkpoint and keep computing. The checkpoint must
+                // proceed while ranks 1,2 wait in the barrier.
+                std::thread::sleep(Duration::from_millis(150));
+                m.request_checkpoint()?;
+                m.compute(2_000_000)?;
+            }
+            m.barrier(w)?;
+            Ok(m.stats().ckpts)
+        })
+        .unwrap();
+    assert!(report.all_finished());
+    assert_eq!(report.coord.rounds.len(), 1);
+    // Peers parked inside a collective reported its gid (§III-K).
+    assert!(
+        !report.coord.rounds[0].gids_in_flight.is_empty(),
+        "waiting ranks must report their collective gid"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn nonblocking_collective_across_resume() {
+    let n = 4;
+    let config = cfg("nb_resume");
+    let dir = config.ckpt_dir.clone();
+    let rt = ManaRuntime::new(n, config).with_world_cfg(wcfg());
+    let report = rt
+        .run_fresh(|m| {
+            let w = m.comm_world();
+            let contrib = mpisim::encode_slice(&[m.rank() as u64 + 1]);
+            let mut req = m.iallreduce(w, mpisim::Datatype::U64, ReduceOp::Sum, &contrib)?;
+            if m.rank() == 0 {
+                m.request_checkpoint()?;
+            }
+            // The wait services the checkpoint mid-collective.
+            let c = m.wait(&mut req)?;
+            assert!(req.is_null());
+            let v = mpisim::decode_slice::<u64>(&c.data).unwrap();
+            Ok(v[0])
+        })
+        .unwrap();
+    assert_eq!(report.values(), vec![10, 10, 10, 10]); // 1+2+3+4
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn nonblocking_collective_across_restart() {
+    // The §III-A log-and-replay showcase: an iallreduce is in flight at
+    // checkpoint-and-exit; after restart the stored *virtual request id*
+    // (kept in upper-half memory) is still valid and completes.
+    let n = 3;
+    let mut config = cfg("nb_restart");
+    config.exit_after_ckpt = true;
+    let dir = config.ckpt_dir.clone();
+
+    let work = |m: &mut mana_core::Mana<'_>| -> mana_core::Result<u64> {
+        let w = m.comm_world();
+        let phase = m
+            .upper()
+            .read_value::<u64>("phase")
+            .transpose()?
+            .unwrap_or(0);
+        if phase == 0 {
+            let contrib = mpisim::encode_slice(&[(m.rank() as u64 + 1) * 100]);
+            let req = m.iallreduce(w, mpisim::Datatype::U64, ReduceOp::Sum, &contrib)?;
+            m.upper_mut().write_value("req", &req.0);
+            m.upper_mut().write_value("phase", &1u64);
+            if m.rank() == 0 {
+                m.request_checkpoint()?;
+            }
+            m.step_commit()?; // checkpoint-and-exit happens here
+        }
+        let mut req = VReq(
+            m.upper()
+                .read_value::<u64>("req")
+                .transpose()?
+                .expect("saved request id"),
+        );
+        let c = m.wait(&mut req)?;
+        assert!(req.is_null());
+        let v = mpisim::decode_slice::<u64>(&c.data).unwrap();
+        Ok(v[0])
+    };
+
+    let pass1 = ManaRuntime::new(n, config.clone())
+        .with_world_cfg(wcfg())
+        .run_fresh(work)
+        .unwrap();
+    assert!(pass1.all_checkpointed());
+
+    let pass2 = ManaRuntime::new(n, config)
+        .with_world_cfg(wcfg())
+        .run_restart(work)
+        .unwrap();
+    assert_eq!(pass2.values(), vec![600, 600, 600]); // 100+200+300
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn pending_irecv_reposts_after_restart() {
+    // A pending irecv at checkpoint-and-exit whose message was never sent:
+    // after restart the (re-executed) sender provides it and the stored
+    // virtual request completes via lazy re-posting.
+    let n = 2;
+    let mut config = cfg("repost_restart");
+    config.exit_after_ckpt = true;
+    let dir = config.ckpt_dir.clone();
+
+    let work = |m: &mut mana_core::Mana<'_>| -> mana_core::Result<u64> {
+        let w = m.comm_world();
+        let phase = m
+            .upper()
+            .read_value::<u64>("phase")
+            .transpose()?
+            .unwrap_or(0);
+        if phase == 0 {
+            if m.rank() == 1 {
+                // Post a receive whose message only arrives after restart.
+                let req = m.irecv(w, SrcSel::Rank(0), TagSel::Tag(5))?;
+                m.upper_mut().write_value("req", &req.0);
+            }
+            m.upper_mut().write_value("phase", &1u64);
+            if m.rank() == 0 {
+                m.request_checkpoint()?;
+            }
+            m.step_commit()?;
+        }
+        if m.rank() == 0 {
+            m.send_t(w, 1, 5, &[77u64])?;
+            Ok(0)
+        } else {
+            let mut req = VReq(
+                m.upper()
+                    .read_value::<u64>("req")
+                    .transpose()?
+                    .unwrap(),
+            );
+            let c = m.wait(&mut req)?;
+            Ok(mpisim::decode_slice::<u64>(&c.data).unwrap()[0])
+        }
+    };
+
+    let pass1 = ManaRuntime::new(n, config.clone())
+        .with_world_cfg(wcfg())
+        .run_fresh(work)
+        .unwrap();
+    assert!(pass1.all_checkpointed());
+    let pass2 = ManaRuntime::new(n, config)
+        .with_world_cfg(wcfg())
+        .run_restart(work)
+        .unwrap();
+    assert_eq!(pass2.values(), vec![0, 77]);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn legacy_coordinator_drain_works_but_is_chattier() {
+    let n = 2;
+    let mut legacy = cfg("legacy_drain");
+    legacy.drain = DrainMode::Coordinator;
+    let dir = legacy.ckpt_dir.clone();
+    let work = |m: &mut mana_core::Mana<'_>| -> mana_core::Result<Vec<u8>> {
+        let w = m.comm_world();
+        if m.rank() == 0 {
+            m.send(w, 1, 0, &[7u8; 64])?;
+            m.request_checkpoint()?;
+            m.barrier(w)?;
+            Ok(vec![])
+        } else {
+            m.barrier(w)?;
+            let (_, d) = m.recv(w, SrcSel::Rank(0), TagSel::Tag(0))?;
+            Ok(d)
+        }
+    };
+    let legacy_report = ManaRuntime::new(n, legacy)
+        .with_world_cfg(wcfg())
+        .run_fresh(work)
+        .unwrap();
+    assert_eq!(legacy_report.outcomes.len(), 2);
+    let legacy_msgs = legacy_report.coord.rounds[0].coord_msgs;
+
+    let modern_report = ManaRuntime::new(n, cfg("modern_drain"))
+        .with_world_cfg(wcfg())
+        .run_fresh(work)
+        .unwrap();
+    let modern_msgs = modern_report.coord.rounds[0].coord_msgs;
+    assert!(
+        legacy_msgs > modern_msgs,
+        "legacy drain must exchange more coordinator messages ({legacy_msgs} vs {modern_msgs})"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn master_branch_config_smoke() {
+    // Original 2PC + BTree tables + lambda wrappers + kernel-call FS mode:
+    // the paper's "master branch". Collective-only workload (no §III-E
+    // pattern), so original 2PC is safe.
+    let mut config = ManaConfig::master_branch();
+    config.ckpt_dir = ckpt_dir("master_smoke");
+    assert_eq!(config.vtable, VtBackend::BTree);
+    assert_eq!(config.callback_style, CallbackStyle::Lambda);
+    assert_eq!(config.fs_mode, FsMode::KernelCall);
+    let dir = config.ckpt_dir.clone();
+    let report = ManaRuntime::new(3, config)
+        .with_world_cfg(wcfg())
+        .run_fresh(|m| {
+            let w = m.comm_world();
+            let mut acc = 0u64;
+            for i in 0..4u64 {
+                if i == 1 && m.rank() == 0 && m.round() == 0 {
+                    m.request_checkpoint()?;
+                }
+                acc += m.allreduce_t(w, ReduceOp::Sum, &[i])?[0];
+            }
+            Ok(acc)
+        })
+        .unwrap();
+    assert!(report.all_finished());
+    assert!(report.rank_stats[0].tpc_barriers > 0, "original 2PC barriers ran");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn repeated_checkpoint_rounds() {
+    // Fig. 3 style: several checkpoint/resume rounds in one run.
+    let n = 3;
+    let config = cfg("repeat_rounds");
+    let dir = config.ckpt_dir.clone();
+    let rt = ManaRuntime::new(n, config).with_world_cfg(wcfg());
+    let report = rt
+        .run_fresh(|m| {
+            let w = m.comm_world();
+            for step in 0..9u64 {
+                if m.rank() == 0 && step % 3 == 0 && m.round() == step / 3 {
+                    m.request_checkpoint()?;
+                }
+                m.allreduce_t(w, ReduceOp::Sum, &[step])?;
+            }
+            Ok(m.round())
+        })
+        .unwrap();
+    assert_eq!(report.coord.rounds.len(), 3);
+    // Image sizes recorded per round.
+    for r in &report.coord.rounds {
+        assert!(r.total_image_bytes > 0);
+    }
+    assert!(report.values().iter().all(|&r| r == 3));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn alloc_mem_survives_checkpoint() {
+    let n = 2;
+    let mut config = cfg("alloc_mem");
+    config.exit_after_ckpt = true;
+    let dir = config.ckpt_dir.clone();
+    let work = |m: &mut mana_core::Mana<'_>| -> mana_core::Result<u8> {
+        let phase = m
+            .upper()
+            .read_value::<u64>("phase")
+            .transpose()?
+            .unwrap_or(0);
+        if phase == 0 {
+            // MPI_Alloc_mem → checkpointable upper-half memory (§III item 2).
+            let h = m.alloc_mem(16);
+            m.mem_mut(h)[3] = 0xAB;
+            m.upper_mut().write_value("h", &h);
+            m.upper_mut().write_value("phase", &1u64);
+            if m.rank() == 0 {
+                m.request_checkpoint()?;
+            }
+            m.step_commit()?;
+        }
+        let h = m.upper().read_value::<u64>("h").transpose()?.unwrap();
+        let v = m.mem(h).unwrap()[3];
+        assert!(m.free_mem(h));
+        Ok(v)
+    };
+    ManaRuntime::new(n, config.clone())
+        .with_world_cfg(wcfg())
+        .run_fresh(work)
+        .unwrap();
+    let pass2 = ManaRuntime::new(n, config)
+        .with_world_cfg(wcfg())
+        .run_restart(work)
+        .unwrap();
+    assert_eq!(pass2.values(), vec![0xAB, 0xAB]);
+    std::fs::remove_dir_all(&dir).ok();
+}

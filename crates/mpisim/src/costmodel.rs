@@ -1,0 +1,144 @@
+//! Machine cost profiles.
+//!
+//! The paper evaluates on two Cori partitions — dual-socket Haswell nodes
+//! (fast cores) and KNL nodes (many slow cores). The figures contrast
+//! those balances: Table II shows larger *relative* MANA overhead on KNL,
+//! because interposition code (wrappers, FS switches) executes on the
+//! slower core. A [`MachineProfile`] captures the knobs that matter for
+//! those shapes: compute speed (which also scales wrapper costs, via
+//! [`MachineProfile::core_slowdown`]) and network cost. Costs are charged
+//! by busy-wait, so they compose with the real synchronization behaviour
+//! of the simulator rather than replacing it.
+
+use std::time::{Duration, Instant};
+
+/// A simulated machine balance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineProfile {
+    /// Human-readable name ("haswell", "knl", "zero").
+    pub name: &'static str,
+    /// Nanoseconds of simulated compute per abstract work unit.
+    pub compute_ns_per_unit: f64,
+    /// Fixed per-message network latency in nanoseconds, charged at match
+    /// (receive) time.
+    pub net_latency_ns: u64,
+    /// Additional nanoseconds per KiB of payload.
+    pub per_kib_ns: u64,
+}
+
+impl MachineProfile {
+    /// Cost-free profile for functional tests: no injected latency, one
+    /// nanosecond of compute per unit.
+    pub fn zero() -> Self {
+        MachineProfile {
+            name: "zero",
+            compute_ns_per_unit: 0.0,
+            net_latency_ns: 0,
+            per_kib_ns: 0,
+        }
+    }
+
+    /// Cori-Haswell-like balance: fast cores, low-latency fabric.
+    pub fn haswell() -> Self {
+        MachineProfile {
+            name: "haswell",
+            compute_ns_per_unit: 10.0,
+            net_latency_ns: 900,
+            per_kib_ns: 250,
+        }
+    }
+
+    /// Cori-KNL-like balance: ~2.5-3x slower serial core (which also makes
+    /// wrapper/FS-switch instructions ~2.8x dearer, the Table II effect),
+    /// slightly higher fabric latency.
+    pub fn knl() -> Self {
+        MachineProfile {
+            name: "knl",
+            compute_ns_per_unit: 28.0,
+            net_latency_ns: 1300,
+            per_kib_ns: 350,
+        }
+    }
+
+    /// Transfer cost for a message of `bytes` payload bytes.
+    pub fn transfer_ns(&self, bytes: usize) -> u64 {
+        self.net_latency_ns + (bytes as u64 * self.per_kib_ns) / 1024
+    }
+
+    /// Compute cost for `units` abstract work units.
+    pub fn compute_ns(&self, units: u64) -> u64 {
+        (units as f64 * self.compute_ns_per_unit) as u64
+    }
+
+    /// Core slowdown relative to the Haswell reference core. Wrapper and
+    /// FS-switch instructions execute on the host core, so interposition
+    /// overhead scales with this (the reason the paper's Table II shows
+    /// *larger* relative MANA overhead on KNL).
+    pub fn core_slowdown(&self) -> f64 {
+        self.compute_ns_per_unit / 10.0
+    }
+}
+
+impl Default for MachineProfile {
+    fn default() -> Self {
+        MachineProfile::zero()
+    }
+}
+
+/// Busy-wait for approximately `ns` nanoseconds.
+///
+/// `Instant`-polled spinning: accurate to a few tens of nanoseconds, which
+/// is plenty for µs-scale cost charging, and — unlike `thread::sleep` —
+/// does not round up to scheduler granularity. A zero charge is free.
+pub fn spin_ns(ns: u64) {
+    if ns == 0 {
+        return;
+    }
+    let deadline = Instant::now() + Duration::from_nanos(ns);
+    while Instant::now() < deadline {
+        std::hint::spin_loop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_profile_charges_nothing() {
+        let p = MachineProfile::zero();
+        assert_eq!(p.transfer_ns(1 << 20), 0);
+        assert_eq!(p.compute_ns(1000), 0);
+    }
+
+    #[test]
+    fn transfer_scales_with_size() {
+        let p = MachineProfile::haswell();
+        assert!(p.transfer_ns(0) < p.transfer_ns(1 << 20));
+        assert_eq!(p.transfer_ns(0), p.net_latency_ns);
+    }
+
+    #[test]
+    fn knl_compute_slower_than_haswell() {
+        assert!(
+            MachineProfile::knl().compute_ns(100) > MachineProfile::haswell().compute_ns(100)
+        );
+    }
+
+    #[test]
+    fn spin_ns_waits_roughly() {
+        let t = Instant::now();
+        spin_ns(200_000); // 200µs
+        let e = t.elapsed();
+        assert!(e >= Duration::from_micros(190), "elapsed {e:?}");
+    }
+
+    #[test]
+    fn spin_zero_is_free() {
+        let t = Instant::now();
+        for _ in 0..10_000 {
+            spin_ns(0);
+        }
+        assert!(t.elapsed() < Duration::from_millis(50));
+    }
+}

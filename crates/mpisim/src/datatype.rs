@@ -1,0 +1,190 @@
+//! MPI datatypes and safe typed-buffer conversions.
+//!
+//! The simulated network moves raw bytes; reductions and typed collectives
+//! need to know the element type. This module provides the [`Datatype`]
+//! descriptor plus safe little-endian encode/decode helpers (no `unsafe`
+//! transmutes — per-element conversion is cheap at simulator scale and keeps
+//! the whole crate `forbid(unsafe_code)`-clean).
+
+use crate::error::{MpiError, Result};
+
+/// Element type of a typed message buffer, mirroring the MPI basic datatypes
+/// the paper's applications use (`MPI_BYTE`, `MPI_INT`, `MPI_DOUBLE`, ...).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Datatype {
+    /// `MPI_BYTE` / `MPI_UINT8_T`
+    U8,
+    /// `MPI_INT` (always 32-bit in the simulator)
+    I32,
+    /// `MPI_LONG_LONG`
+    I64,
+    /// `MPI_UNSIGNED_LONG_LONG`
+    U64,
+    /// `MPI_FLOAT`
+    F32,
+    /// `MPI_DOUBLE`
+    F64,
+}
+
+impl Datatype {
+    /// Size in bytes of one element.
+    pub const fn size(self) -> usize {
+        match self {
+            Datatype::U8 => 1,
+            Datatype::I32 | Datatype::F32 => 4,
+            Datatype::I64 | Datatype::U64 | Datatype::F64 => 8,
+        }
+    }
+
+    /// Checks that `bytes` holds a whole number of elements.
+    pub fn check_len(self, bytes: usize) -> Result<usize> {
+        let sz = self.size();
+        if bytes % sz != 0 {
+            Err(MpiError::TypeMismatch {
+                expected_multiple: sz,
+                got: bytes,
+            })
+        } else {
+            Ok(bytes / sz)
+        }
+    }
+
+    /// Human-readable MPI-style name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Datatype::U8 => "MPI_BYTE",
+            Datatype::I32 => "MPI_INT",
+            Datatype::I64 => "MPI_LONG_LONG",
+            Datatype::U64 => "MPI_UNSIGNED_LONG_LONG",
+            Datatype::F32 => "MPI_FLOAT",
+            Datatype::F64 => "MPI_DOUBLE",
+        }
+    }
+}
+
+/// A scalar that can cross the simulated wire.
+///
+/// Implementors provide little-endian conversion; the trait keeps typed
+/// convenience APIs (`send_t`, `allreduce_t`, ...) generic without `unsafe`.
+pub trait Scalar: Copy + Default + PartialEq + std::fmt::Debug + Send + 'static {
+    /// The matching [`Datatype`] descriptor.
+    const DATATYPE: Datatype;
+    /// Append this value's little-endian bytes to `out`.
+    fn write_le(self, out: &mut Vec<u8>);
+    /// Decode one value from exactly `Self::DATATYPE.size()` bytes.
+    fn read_le(src: &[u8]) -> Self;
+}
+
+macro_rules! impl_scalar {
+    ($t:ty, $dt:expr) => {
+        impl Scalar for $t {
+            const DATATYPE: Datatype = $dt;
+            fn write_le(self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            fn read_le(src: &[u8]) -> Self {
+                let mut buf = [0u8; std::mem::size_of::<$t>()];
+                buf.copy_from_slice(&src[..std::mem::size_of::<$t>()]);
+                <$t>::from_le_bytes(buf)
+            }
+        }
+    };
+}
+
+impl_scalar!(i32, Datatype::I32);
+impl_scalar!(i64, Datatype::I64);
+impl_scalar!(u64, Datatype::U64);
+impl_scalar!(f32, Datatype::F32);
+impl_scalar!(f64, Datatype::F64);
+
+impl Scalar for u8 {
+    const DATATYPE: Datatype = Datatype::U8;
+    fn write_le(self, out: &mut Vec<u8>) {
+        out.push(self);
+    }
+    fn read_le(src: &[u8]) -> Self {
+        src[0]
+    }
+}
+
+/// Encode a typed slice into little-endian bytes.
+pub fn encode_slice<T: Scalar>(data: &[T]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() * T::DATATYPE.size());
+    for &v in data {
+        v.write_le(&mut out);
+    }
+    out
+}
+
+/// Decode little-endian bytes into a typed vector.
+///
+/// Returns [`MpiError::TypeMismatch`] if the byte length is not a whole
+/// number of elements.
+pub fn decode_slice<T: Scalar>(bytes: &[u8]) -> Result<Vec<T>> {
+    let n = T::DATATYPE.check_len(bytes.len())?;
+    let sz = T::DATATYPE.size();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        out.push(T::read_le(&bytes[i * sz..]));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_names() {
+        assert_eq!(Datatype::U8.size(), 1);
+        assert_eq!(Datatype::I32.size(), 4);
+        assert_eq!(Datatype::F64.size(), 8);
+        assert_eq!(Datatype::F64.name(), "MPI_DOUBLE");
+    }
+
+    #[test]
+    fn roundtrip_f64() {
+        let data = vec![1.5f64, -2.25, 0.0, f64::MAX];
+        let bytes = encode_slice(&data);
+        assert_eq!(bytes.len(), 32);
+        assert_eq!(decode_slice::<f64>(&bytes).unwrap(), data);
+    }
+
+    #[test]
+    fn roundtrip_all_types() {
+        assert_eq!(
+            decode_slice::<u8>(&encode_slice(&[1u8, 2, 255])).unwrap(),
+            vec![1, 2, 255]
+        );
+        assert_eq!(
+            decode_slice::<i32>(&encode_slice(&[-1i32, i32::MAX])).unwrap(),
+            vec![-1, i32::MAX]
+        );
+        assert_eq!(
+            decode_slice::<i64>(&encode_slice(&[i64::MIN])).unwrap(),
+            vec![i64::MIN]
+        );
+        assert_eq!(
+            decode_slice::<u64>(&encode_slice(&[u64::MAX])).unwrap(),
+            vec![u64::MAX]
+        );
+        assert_eq!(
+            decode_slice::<f32>(&encode_slice(&[1.25f32])).unwrap(),
+            vec![1.25]
+        );
+    }
+
+    #[test]
+    fn decode_rejects_ragged_lengths() {
+        assert!(matches!(
+            decode_slice::<f64>(&[0u8; 7]),
+            Err(MpiError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn check_len_counts_elements() {
+        assert_eq!(Datatype::I32.check_len(12).unwrap(), 3);
+        assert!(Datatype::I32.check_len(13).is_err());
+    }
+}

@@ -1,0 +1,166 @@
+//! Message envelopes and matching specifications.
+//!
+//! An [`Envelope`] is a message *in the network*: deposited by a send,
+//! removed by a matching receive. The gap between those two moments is the
+//! state MANA-2.0's drain algorithm (paper §III-B) must empty before a
+//! checkpoint: bytes that have been counted as sent but not yet received.
+
+/// Classification of traffic on the fabric, used by statistics.
+///
+/// `Internal` marks the plumbing of native lower-half collectives and
+/// communicator management. MANA never needs to drain internal traffic: the
+/// two-phase-commit protocol guarantees no rank is inside a native
+/// collective at checkpoint time, so internal messages are always quiesced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MsgClass {
+    /// Application-level point-to-point traffic (subject to draining).
+    User,
+    /// Collective-internal / comm-management traffic.
+    Internal,
+}
+
+/// A message sitting in the simulated network.
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    /// World rank of the sender.
+    pub src: usize,
+    /// World rank of the destination.
+    pub dst: usize,
+    /// Communicator context the message was sent on.
+    pub ctx: u64,
+    /// Full tag (user tag, or internal encoding for collectives).
+    pub tag: i32,
+    /// Per-(src,dst) sequence number; matching consumes in sequence order,
+    /// which yields MPI's non-overtaking guarantee.
+    pub seq: u64,
+    /// Global arrival stamp for `ANY_SOURCE` fairness.
+    pub arrival: u64,
+    /// Traffic class for statistics.
+    pub class: MsgClass,
+    /// The payload.
+    pub payload: Box<[u8]>,
+}
+
+/// Source selector for receives and probes (`MPI_ANY_SOURCE` support).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SrcSel {
+    /// Match only this local rank of the communicator.
+    Rank(usize),
+    /// `MPI_ANY_SOURCE`.
+    Any,
+}
+
+/// Tag selector for receives and probes (`MPI_ANY_TAG` support).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TagSel {
+    /// Match only this tag.
+    Tag(i32),
+    /// `MPI_ANY_TAG` (matches user-class tags only; internal collective
+    /// traffic is never visible to wildcard receives).
+    Any,
+    /// Match any tag strictly below the bound. Used by interposition
+    /// layers (MANA) that reserve a high tag band for their own traffic:
+    /// an application `ANY_TAG` receive is translated to
+    /// `Below(reserved_base)` so it cannot steal layer-internal messages.
+    Below(i32),
+}
+
+/// Bit reserved in tags for collective-internal traffic. User tags must
+/// stay below this.
+pub const INTERNAL_TAG_BIT: i32 = 1 << 30;
+
+/// Upper bound (exclusive) for user tags.
+pub const MAX_USER_TAG: i32 = 1 << 29;
+
+/// A fully-resolved matching specification (world-rank level).
+#[derive(Debug, Clone, Copy)]
+pub struct MatchSpec {
+    /// Communicator context to match.
+    pub ctx: u64,
+    /// Sender world rank, or `None` for `ANY_SOURCE`.
+    pub src_world: Option<usize>,
+    /// Tag selector.
+    pub tag: TagSel,
+}
+
+impl MatchSpec {
+    /// Does `env` satisfy this spec?
+    ///
+    /// `ANY_TAG` (and `Below`) deliberately never match internal-class
+    /// traffic: a user wildcard receive must not swallow collective
+    /// plumbing.
+    pub fn matches(&self, env: &Envelope) -> bool {
+        if env.ctx != self.ctx {
+            return false;
+        }
+        if let Some(s) = self.src_world {
+            if env.src != s {
+                return false;
+            }
+        }
+        match self.tag {
+            TagSel::Tag(t) => env.tag == t,
+            TagSel::Any => env.tag < INTERNAL_TAG_BIT,
+            TagSel::Below(b) => env.tag < b.min(INTERNAL_TAG_BIT),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(src: usize, ctx: u64, tag: i32) -> Envelope {
+        Envelope {
+            src,
+            dst: 0,
+            ctx,
+            tag,
+            seq: 0,
+            arrival: 0,
+            class: MsgClass::User,
+            payload: Box::new([]),
+        }
+    }
+
+    #[test]
+    fn exact_match() {
+        let spec = MatchSpec {
+            ctx: 7,
+            src_world: Some(3),
+            tag: TagSel::Tag(11),
+        };
+        assert!(spec.matches(&env(3, 7, 11)));
+        assert!(!spec.matches(&env(3, 8, 11)));
+        assert!(!spec.matches(&env(4, 7, 11)));
+        assert!(!spec.matches(&env(3, 7, 12)));
+    }
+
+    #[test]
+    fn wildcards() {
+        let spec = MatchSpec {
+            ctx: 1,
+            src_world: None,
+            tag: TagSel::Any,
+        };
+        assert!(spec.matches(&env(0, 1, 5)));
+        assert!(spec.matches(&env(9, 1, 0)));
+    }
+
+    #[test]
+    fn any_tag_skips_internal_traffic() {
+        let spec = MatchSpec {
+            ctx: 1,
+            src_world: None,
+            tag: TagSel::Any,
+        };
+        assert!(!spec.matches(&env(0, 1, INTERNAL_TAG_BIT | 3)));
+        // But an exact internal tag can be matched (used by collectives).
+        let internal = MatchSpec {
+            ctx: 1,
+            src_world: Some(0),
+            tag: TagSel::Tag(INTERNAL_TAG_BIT | 3),
+        };
+        assert!(internal.matches(&env(0, 1, INTERNAL_TAG_BIT | 3)));
+    }
+}

@@ -1,0 +1,123 @@
+//! Error types for the simulated MPI runtime.
+
+use std::fmt;
+
+/// Errors surfaced by the simulated MPI runtime.
+///
+/// Real MPI aborts the job on most errors (`MPI_ERRORS_ARE_FATAL`); the
+/// simulator instead returns typed errors so tests can assert on failure
+/// modes (deadlock watchdogs, invalid handles, poisoned worlds).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MpiError {
+    /// A blocking call exceeded the world's watchdog deadline.
+    ///
+    /// Used by the deadlock reproduction of paper §III-E: the original
+    /// two-phase-commit barrier turns a legal program into a deadlock, which
+    /// the watchdog converts into this error instead of hanging the test.
+    Timeout,
+    /// Another rank panicked; the world is poisoned and all blocking calls
+    /// unblock with this error.
+    Poisoned,
+    /// The communicator handle does not name a live communicator.
+    InvalidComm(u64),
+    /// A rank argument was outside the communicator's group.
+    InvalidRank {
+        /// The offending rank.
+        rank: usize,
+        /// The communicator/group size it was checked against.
+        size: usize,
+    },
+    /// A request handle was stale (already consumed or from another epoch).
+    InvalidRequest(u64),
+    /// The user tag was outside the allowed range (the simulator reserves
+    /// high tag bits for collective-internal traffic).
+    TagOutOfRange(i32),
+    /// A typed buffer's byte length was not a multiple of the datatype size.
+    TypeMismatch {
+        /// Datatype size the length must be a multiple of.
+        expected_multiple: usize,
+        /// Actual byte length supplied.
+        got: usize,
+    },
+    /// Mismatched buffer lengths in a collective (e.g. reduce contributions
+    /// of different sizes).
+    LengthMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        got: usize,
+    },
+    /// The operation is invalid for the datatype (e.g. bitwise AND on f64).
+    InvalidOp(&'static str),
+    /// A receive completed with a payload larger than the posted buffer.
+    Truncated {
+        /// Incoming payload length.
+        message_len: usize,
+        /// Capacity of the posted buffer.
+        buffer_len: usize,
+    },
+    /// The world is shutting down.
+    Shutdown,
+}
+
+impl fmt::Display for MpiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MpiError::Timeout => write!(f, "watchdog timeout in blocking MPI call"),
+            MpiError::Poisoned => write!(f, "world poisoned by a rank panic"),
+            MpiError::InvalidComm(c) => write!(f, "invalid communicator context {c}"),
+            MpiError::InvalidRank { rank, size } => {
+                write!(f, "rank {rank} out of range for communicator of size {size}")
+            }
+            MpiError::InvalidRequest(r) => write!(f, "invalid or stale request handle {r}"),
+            MpiError::TagOutOfRange(t) => write!(f, "tag {t} outside user tag range"),
+            MpiError::TypeMismatch {
+                expected_multiple,
+                got,
+            } => write!(
+                f,
+                "byte length {got} is not a multiple of datatype size {expected_multiple}"
+            ),
+            MpiError::LengthMismatch { expected, got } => {
+                write!(f, "length mismatch: expected {expected} bytes, got {got}")
+            }
+            MpiError::InvalidOp(what) => write!(f, "invalid reduction: {what}"),
+            MpiError::Truncated {
+                message_len,
+                buffer_len,
+            } => write!(
+                f,
+                "message of {message_len} bytes truncated by {buffer_len}-byte buffer"
+            ),
+            MpiError::Shutdown => write!(f, "world is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for MpiError {}
+
+/// Convenience alias used across the simulator.
+pub type Result<T> = std::result::Result<T, MpiError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = MpiError::InvalidRank { rank: 9, size: 4 };
+        assert!(e.to_string().contains("rank 9"));
+        assert!(e.to_string().contains("size 4"));
+        let e = MpiError::Truncated {
+            message_len: 100,
+            buffer_len: 10,
+        };
+        assert!(e.to_string().contains("100"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(MpiError::Timeout, MpiError::Timeout);
+        assert_ne!(MpiError::Timeout, MpiError::Poisoned);
+    }
+}

@@ -1,0 +1,399 @@
+//! One-sided communication (`MPI_Win_*`, RMA) — active-target
+//! fence synchronization.
+//!
+//! The paper lists the `MPI_Win_` family as *unsupported, on the roadmap*
+//! (§II-B); VASP 6 had to be compiled without it (§IV-B). This module
+//! provides the substrate so the MANA layer can close that gap: windows
+//! are per-rank byte regions registered with the fabric, `put`/`get`/
+//! `accumulate` act directly on the target's region (the shared-memory
+//! analog of RDMA), and `fence` closes an epoch with a barrier on the
+//! window's communicator.
+//!
+//! Synchronization model: active target with `fence` only (the mode VASP
+//! uses via `MPI_Win_fence`). Operations complete immediately at the call
+//! (like hardware RMA with instant remote completion); `fence` provides
+//! the epoch ordering guarantee.
+
+use crate::comm::Comm;
+use crate::datatype::Datatype;
+use crate::error::{MpiError, Result};
+use crate::op::{reduce_bytes, ReduceOp};
+use crate::proc_::Proc;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A window handle (cheap copy). Like [`Comm`], the raw id is the "real
+/// object" MANA virtualizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Win {
+    pub(crate) id: u64,
+}
+
+impl Win {
+    /// Raw window id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Rebuild from a raw id (restart path).
+    pub fn from_id(id: u64) -> Win {
+        Win { id }
+    }
+}
+
+struct WinState {
+    ctx: u64,
+    /// Per-member exposed region, indexed by communicator-local rank.
+    regions: Vec<Mutex<Vec<u8>>>,
+    /// Members still holding the window (freed at zero).
+    refs: usize,
+}
+
+/// Registry of live windows for one world.
+#[derive(Default)]
+pub struct WinRegistry {
+    wins: Mutex<HashMap<u64, WinState>>,
+    next_id: AtomicU64,
+    /// Rendezvous for collective creation: (ctx, creation seq) → win id.
+    pending: Mutex<HashMap<(u64, u64), (u64, usize)>>,
+}
+
+impl WinRegistry {
+    pub(crate) fn new() -> Self {
+        WinRegistry {
+            next_id: AtomicU64::new(1),
+            ..Default::default()
+        }
+    }
+
+    /// Join (or start) the collective creation of a window over `comm`.
+    /// All members call with the same per-communicator creation sequence;
+    /// each supplies its local region size.
+    pub(crate) fn create(
+        &self,
+        comm_ctx: u64,
+        seq: u64,
+        members: usize,
+        my_local: usize,
+        my_size: usize,
+    ) -> Win {
+        let mut pending = self.pending.lock();
+        let (id, joined) = {
+            let entry = pending.entry((comm_ctx, seq)).or_insert_with(|| {
+                let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+                let mut wins = self.wins.lock();
+                wins.insert(
+                    id,
+                    WinState {
+                        ctx: comm_ctx,
+                        regions: (0..members).map(|_| Mutex::new(Vec::new())).collect(),
+                        refs: members,
+                    },
+                );
+                (id, 0usize)
+            });
+            entry.1 += 1;
+            *entry
+        };
+        if joined == members {
+            pending.remove(&(comm_ctx, seq));
+        }
+        drop(pending);
+        // Size (or resize) my region.
+        let wins = self.wins.lock();
+        let st = wins.get(&id).expect("window just created");
+        *st.regions[my_local].lock() = vec![0u8; my_size];
+        Win { id }
+    }
+
+    fn with_region<R>(
+        &self,
+        win: Win,
+        local: usize,
+        f: impl FnOnce(&mut Vec<u8>) -> Result<R>,
+    ) -> Result<R> {
+        let wins = self.wins.lock();
+        let st = wins.get(&win.id).ok_or(MpiError::InvalidComm(win.id))?;
+        let region = st
+            .regions
+            .get(local)
+            .ok_or(MpiError::InvalidRank {
+                rank: local,
+                size: st.regions.len(),
+            })?;
+        let mut guard = region.lock();
+        f(&mut guard)
+    }
+
+    pub(crate) fn ctx_of(&self, win: Win) -> Result<u64> {
+        let wins = self.wins.lock();
+        wins.get(&win.id)
+            .map(|s| s.ctx)
+            .ok_or(MpiError::InvalidComm(win.id))
+    }
+
+    pub(crate) fn free(&self, win: Win) -> Result<()> {
+        let mut wins = self.wins.lock();
+        match wins.get_mut(&win.id) {
+            None => Err(MpiError::InvalidComm(win.id)),
+            Some(st) => {
+                st.refs -= 1;
+                if st.refs == 0 {
+                    wins.remove(&win.id);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Number of live windows (leak checks).
+    pub fn live(&self) -> usize {
+        self.wins.lock().len()
+    }
+}
+
+impl Proc {
+    fn win_member(&self, win: Win) -> Result<(Comm, usize)> {
+        let ctx = self.win_registry().ctx_of(win)?;
+        let comm = Comm::from_ctx(ctx);
+        let me = self.comm_rank(comm)?;
+        Ok((comm, me))
+    }
+
+    /// `MPI_Win_create`: collective over `comm`; each member exposes
+    /// `local_size` bytes (zero-initialized).
+    pub fn win_create(&self, comm: Comm, local_size: usize) -> Result<Win> {
+        let me = self.comm_rank(comm)?;
+        let members = self.comm_size(comm)?;
+        let seq = self.next_coll_seq(comm.ctx()); // consistent across members
+        Ok(self
+            .win_registry()
+            .create(comm.ctx(), seq, members, me, local_size))
+    }
+
+    /// `MPI_Put`: write `data` into `target`'s region at `offset`.
+    pub fn win_put(&self, win: Win, target: usize, offset: usize, data: &[u8]) -> Result<()> {
+        let (_, _me) = self.win_member(win)?;
+        self.win_registry().with_region(win, target, |region| {
+            if offset + data.len() > region.len() {
+                return Err(MpiError::Truncated {
+                    message_len: offset + data.len(),
+                    buffer_len: region.len(),
+                });
+            }
+            region[offset..offset + data.len()].copy_from_slice(data);
+            Ok(())
+        })
+    }
+
+    /// `MPI_Get`: read `len` bytes from `target`'s region at `offset`.
+    pub fn win_get(&self, win: Win, target: usize, offset: usize, len: usize) -> Result<Vec<u8>> {
+        let (_, _me) = self.win_member(win)?;
+        self.win_registry().with_region(win, target, |region| {
+            if offset + len > region.len() {
+                return Err(MpiError::Truncated {
+                    message_len: offset + len,
+                    buffer_len: region.len(),
+                });
+            }
+            Ok(region[offset..offset + len].to_vec())
+        })
+    }
+
+    /// `MPI_Accumulate`: element-wise `op` of `data` into `target`'s region.
+    pub fn win_accumulate(
+        &self,
+        win: Win,
+        target: usize,
+        offset: usize,
+        dt: Datatype,
+        op: ReduceOp,
+        data: &[u8],
+    ) -> Result<()> {
+        let (_, _me) = self.win_member(win)?;
+        self.win_registry().with_region(win, target, |region| {
+            if offset + data.len() > region.len() {
+                return Err(MpiError::Truncated {
+                    message_len: offset + data.len(),
+                    buffer_len: region.len(),
+                });
+            }
+            let slice = &mut region[offset..offset + data.len()];
+            let mut acc = slice.to_vec();
+            reduce_bytes(dt, op, &mut acc, data)?;
+            slice.copy_from_slice(&acc);
+            Ok(())
+        })
+    }
+
+    /// `MPI_Win_fence`: close the access/exposure epoch (a barrier on the
+    /// window's communicator).
+    pub fn win_fence(&self, win: Win) -> Result<()> {
+        let (comm, _) = self.win_member(win)?;
+        self.barrier(comm)
+    }
+
+    /// Read this rank's own exposed region (used by MANA's checkpoint to
+    /// capture window contents).
+    pub fn win_read_local(&self, win: Win) -> Result<Vec<u8>> {
+        let (_, me) = self.win_member(win)?;
+        self.win_registry()
+            .with_region(win, me, |region| Ok(region.clone()))
+    }
+
+    /// Overwrite this rank's own exposed region (restart path).
+    pub fn win_write_local(&self, win: Win, contents: Vec<u8>) -> Result<()> {
+        let (_, me) = self.win_member(win)?;
+        self.win_registry().with_region(win, me, |region| {
+            *region = contents;
+            Ok(())
+        })
+    }
+
+    /// `MPI_Win_free` (collective; the window disappears once every member
+    /// freed it).
+    pub fn win_free(&self, win: Win) -> Result<()> {
+        self.win_registry().free(win)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode_slice;
+    use crate::world::{run, WorldCfg};
+
+    #[test]
+    fn put_get_fence_roundtrip() {
+        let n = 4;
+        let (out, _) = run(n, WorldCfg::default(), |p| {
+            let w = p.comm_world();
+            let win = p.win_create(w, 16).unwrap();
+            p.win_fence(win).unwrap();
+            // Everyone writes its rank byte into the right neighbour.
+            let right = (p.rank() + 1) % p.world_size();
+            p.win_put(win, right, 0, &[p.rank() as u8]).unwrap();
+            p.win_fence(win).unwrap();
+            // Read own region: must hold the left neighbour's rank.
+            let mine = p.win_read_local(win).unwrap();
+            p.win_fence(win).unwrap();
+            p.win_free(win).unwrap();
+            mine[0] as usize
+        })
+        .unwrap();
+        assert_eq!(out, vec![3, 0, 1, 2]);
+    }
+
+    #[test]
+    fn get_reads_remote() {
+        let (out, _) = run(2, WorldCfg::default(), |p| {
+            let w = p.comm_world();
+            let win = p.win_create(w, 8).unwrap();
+            // Each rank publishes its rank*11 in its own region.
+            p.win_put(win, p.rank(), 0, &[(p.rank() as u8) * 11])
+                .unwrap();
+            p.win_fence(win).unwrap();
+            let peer = 1 - p.rank();
+            let got = p.win_get(win, peer, 0, 1).unwrap();
+            p.win_fence(win).unwrap();
+            got[0]
+        })
+        .unwrap();
+        assert_eq!(out, vec![11, 0]);
+    }
+
+    #[test]
+    fn accumulate_sums_concurrently() {
+        let n = 4;
+        let (out, _) = run(n, WorldCfg::default(), |p| {
+            let w = p.comm_world();
+            let win = p.win_create(w, 8).unwrap();
+            p.win_fence(win).unwrap();
+            // Everyone accumulates its (rank+1) into rank 0's counter.
+            p.win_accumulate(
+                win,
+                0,
+                0,
+                Datatype::U64,
+                ReduceOp::Sum,
+                &encode_slice(&[(p.rank() + 1) as u64]),
+            )
+            .unwrap();
+            p.win_fence(win).unwrap();
+            let v = if p.rank() == 0 {
+                let r = p.win_read_local(win).unwrap();
+                u64::from_le_bytes(r[..8].try_into().unwrap())
+            } else {
+                0
+            };
+            p.win_fence(win).unwrap();
+            p.win_free(win).unwrap();
+            v
+        })
+        .unwrap();
+        assert_eq!(out[0], 1 + 2 + 3 + 4);
+    }
+
+    #[test]
+    fn out_of_bounds_rma_rejected() {
+        run(2, WorldCfg::default(), |p| {
+            let w = p.comm_world();
+            let win = p.win_create(w, 4).unwrap();
+            p.win_fence(win).unwrap();
+            assert!(matches!(
+                p.win_put(win, 0, 2, &[0u8; 4]),
+                Err(MpiError::Truncated { .. })
+            ));
+            assert!(matches!(
+                p.win_get(win, 0, 0, 5),
+                Err(MpiError::Truncated { .. })
+            ));
+            p.win_fence(win).unwrap();
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn windows_freed_fully() {
+        let w = crate::world::World::new(2, WorldCfg::default());
+        w.launch_result(|p| {
+            let win = p.win_create(p.comm_world(), 4)?;
+            p.win_fence(win)?;
+            p.win_free(win)?;
+            Ok(())
+        })
+        .unwrap();
+        // Registry drained (checked indirectly: creating again works and
+        // the stale handle errors).
+        w.launch_result(|p| {
+            let stale = Win::from_id(1);
+            assert!(p.win_fence(stale).is_err());
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn windows_on_subcommunicator() {
+        let n = 4;
+        let (out, _) = run(n, WorldCfg::default(), |p| {
+            let sub = p
+                .comm_split(p.comm_world(), (p.rank() % 2) as i32, 0)
+                .unwrap()
+                .unwrap();
+            let win = p.win_create(sub, 4).unwrap();
+            p.win_fence(win).unwrap();
+            let me = p.comm_rank(sub).unwrap();
+            let peer = 1 - me;
+            p.win_put(win, peer, 0, &[p.rank() as u8]).unwrap();
+            p.win_fence(win).unwrap();
+            let got = p.win_read_local(win).unwrap()[0];
+            p.win_fence(win).unwrap();
+            got as usize
+        })
+        .unwrap();
+        // Pairs (0,2) and (1,3) exchanged world ranks.
+        assert_eq!(out, vec![2, 3, 0, 1]);
+    }
+}

@@ -1,0 +1,237 @@
+//! Reduction operators (`MPI_Op`) and the element-wise reduction kernel.
+
+use crate::datatype::Datatype;
+use crate::error::{MpiError, Result};
+
+/// Built-in reduction operators, mirroring the MPI predefined `MPI_Op`s the
+/// paper's workloads exercise (VASP's SCF loop is dominated by `MPI_SUM`
+/// allreduces; GROMACS uses `MPI_MAX`/`MPI_SUM` for load-balance and energy
+/// accumulation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReduceOp {
+    /// `MPI_SUM`
+    Sum,
+    /// `MPI_PROD`
+    Prod,
+    /// `MPI_MAX`
+    Max,
+    /// `MPI_MIN`
+    Min,
+    /// `MPI_BAND` (integer types only)
+    Band,
+    /// `MPI_BOR` (integer types only)
+    Bor,
+    /// `MPI_BXOR` (integer types only)
+    Bxor,
+    /// `MPI_LAND` (nonzero = true; integer types only)
+    Land,
+    /// `MPI_LOR` (integer types only)
+    Lor,
+}
+
+impl ReduceOp {
+    /// Whether the op is defined for floating-point datatypes.
+    pub const fn supports_float(self) -> bool {
+        matches!(
+            self,
+            ReduceOp::Sum | ReduceOp::Prod | ReduceOp::Max | ReduceOp::Min
+        )
+    }
+}
+
+macro_rules! reduce_elem {
+    ($op:expr, $a:expr, $b:expr, int) => {
+        match $op {
+            ReduceOp::Sum => $a.wrapping_add($b),
+            ReduceOp::Prod => $a.wrapping_mul($b),
+            ReduceOp::Max => {
+                if $b > $a {
+                    $b
+                } else {
+                    $a
+                }
+            }
+            ReduceOp::Min => {
+                if $b < $a {
+                    $b
+                } else {
+                    $a
+                }
+            }
+            ReduceOp::Band => $a & $b,
+            ReduceOp::Bor => $a | $b,
+            ReduceOp::Bxor => $a ^ $b,
+            ReduceOp::Land => {
+                if $a != 0 && $b != 0 {
+                    1
+                } else {
+                    0
+                }
+            }
+            ReduceOp::Lor => {
+                if $a != 0 || $b != 0 {
+                    1
+                } else {
+                    0
+                }
+            }
+        }
+    };
+    ($op:expr, $a:expr, $b:expr, float) => {
+        match $op {
+            ReduceOp::Sum => $a + $b,
+            ReduceOp::Prod => $a * $b,
+            ReduceOp::Max => {
+                if $b > $a {
+                    $b
+                } else {
+                    $a
+                }
+            }
+            ReduceOp::Min => {
+                if $b < $a {
+                    $b
+                } else {
+                    $a
+                }
+            }
+            _ => unreachable!("checked by supports_float"),
+        }
+    };
+}
+
+/// Reduce `src` into `acc` element-wise: `acc[i] = op(acc[i], src[i])`.
+///
+/// Both buffers must be the same length and a whole number of `dt` elements.
+/// This is the kernel under `MPI_Reduce`/`MPI_Allreduce`/`MPI_Scan` in both
+/// the native lower-half collectives and MANA's p2p emulations.
+pub fn reduce_bytes(dt: Datatype, op: ReduceOp, acc: &mut [u8], src: &[u8]) -> Result<()> {
+    if acc.len() != src.len() {
+        return Err(MpiError::LengthMismatch {
+            expected: acc.len(),
+            got: src.len(),
+        });
+    }
+    let n = dt.check_len(acc.len())?;
+    if matches!(dt, Datatype::F32 | Datatype::F64) && !op.supports_float() {
+        return Err(MpiError::InvalidOp("bitwise/logical op on float datatype"));
+    }
+    let sz = dt.size();
+    for i in 0..n {
+        let a = &mut acc[i * sz..(i + 1) * sz];
+        let b = &src[i * sz..(i + 1) * sz];
+        match dt {
+            Datatype::U8 => {
+                a[0] = reduce_elem!(op, a[0], b[0], int);
+            }
+            Datatype::I32 => {
+                let (x, y) = (
+                    i32::from_le_bytes(a.try_into().unwrap()),
+                    i32::from_le_bytes(b.try_into().unwrap()),
+                );
+                a.copy_from_slice(&reduce_elem!(op, x, y, int).to_le_bytes());
+            }
+            Datatype::I64 => {
+                let (x, y) = (
+                    i64::from_le_bytes(a.try_into().unwrap()),
+                    i64::from_le_bytes(b.try_into().unwrap()),
+                );
+                a.copy_from_slice(&reduce_elem!(op, x, y, int).to_le_bytes());
+            }
+            Datatype::U64 => {
+                let (x, y) = (
+                    u64::from_le_bytes(a.try_into().unwrap()),
+                    u64::from_le_bytes(b.try_into().unwrap()),
+                );
+                a.copy_from_slice(&reduce_elem!(op, x, y, int).to_le_bytes());
+            }
+            Datatype::F32 => {
+                let (x, y) = (
+                    f32::from_le_bytes(a.try_into().unwrap()),
+                    f32::from_le_bytes(b.try_into().unwrap()),
+                );
+                a.copy_from_slice(&reduce_elem!(op, x, y, float).to_le_bytes());
+            }
+            Datatype::F64 => {
+                let (x, y) = (
+                    f64::from_le_bytes(a.try_into().unwrap()),
+                    f64::from_le_bytes(b.try_into().unwrap()),
+                );
+                a.copy_from_slice(&reduce_elem!(op, x, y, float).to_le_bytes());
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datatype::{decode_slice, encode_slice};
+
+    fn red<T: crate::datatype::Scalar>(op: ReduceOp, a: &[T], b: &[T]) -> Vec<T> {
+        let mut acc = encode_slice(a);
+        reduce_bytes(T::DATATYPE, op, &mut acc, &encode_slice(b)).unwrap();
+        decode_slice(&acc).unwrap()
+    }
+
+    #[test]
+    fn sum_f64() {
+        assert_eq!(
+            red(ReduceOp::Sum, &[1.0f64, 2.0], &[0.5, -2.0]),
+            vec![1.5, 0.0]
+        );
+    }
+
+    #[test]
+    fn max_min_i32() {
+        assert_eq!(red(ReduceOp::Max, &[1i32, 9], &[5, -3]), vec![5, 9]);
+        assert_eq!(red(ReduceOp::Min, &[1i32, 9], &[5, -3]), vec![1, -3]);
+    }
+
+    #[test]
+    fn bitwise_u64() {
+        assert_eq!(red(ReduceOp::Band, &[0b1100u64], &[0b1010]), vec![0b1000]);
+        assert_eq!(red(ReduceOp::Bor, &[0b1100u64], &[0b1010]), vec![0b1110]);
+        assert_eq!(red(ReduceOp::Bxor, &[0b1100u64], &[0b1010]), vec![0b0110]);
+    }
+
+    #[test]
+    fn logical_i32() {
+        assert_eq!(red(ReduceOp::Land, &[3i32, 0], &[1, 1]), vec![1, 0]);
+        assert_eq!(red(ReduceOp::Lor, &[0i32, 0], &[0, 7]), vec![0, 1]);
+    }
+
+    #[test]
+    fn prod_wraps_on_overflow() {
+        // Wrapping semantics for integers rather than a panic.
+        assert_eq!(
+            red(ReduceOp::Prod, &[u64::MAX], &[2]),
+            vec![u64::MAX.wrapping_mul(2)]
+        );
+    }
+
+    #[test]
+    fn float_rejects_bitwise() {
+        let mut acc = encode_slice(&[1.0f64]);
+        let src = acc.clone();
+        assert!(matches!(
+            reduce_bytes(Datatype::F64, ReduceOp::Bxor, &mut acc, &src),
+            Err(MpiError::InvalidOp(_))
+        ));
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let mut acc = vec![0u8; 8];
+        assert!(matches!(
+            reduce_bytes(Datatype::F64, ReduceOp::Sum, &mut acc, &[0u8; 16]),
+            Err(MpiError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn sum_u8_wraps() {
+        assert_eq!(red(ReduceOp::Sum, &[250u8], &[10]), vec![4]);
+    }
+}

@@ -1,0 +1,214 @@
+//! Real (lower-half) request objects.
+//!
+//! These are what MANA-2.0 calls the *real* `MPI_Request`s — the objects
+//! the MPI library hands back, which MANA virtualizes (paper §III-A).
+//! Handles are generation-tagged so a stale handle (e.g. one saved across
+//! a restart, where all real objects are invalid by design) is detected
+//! rather than aliased.
+
+use crate::comm::Comm;
+use crate::envelope::MatchSpec;
+use crate::error::{MpiError, Result};
+
+/// A real request handle: `(generation << 32) | slot`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RReq(pub(crate) u64);
+
+impl RReq {
+    /// Raw handle value (MANA stores this in its virtual-to-real tables).
+    pub fn raw(&self) -> u64 {
+        self.0
+    }
+
+    /// Rebuild from a raw value (only meaningful within the same process
+    /// lifetime; used by MANA's tables).
+    pub fn from_raw(v: u64) -> RReq {
+        RReq(v)
+    }
+
+    fn idx(&self) -> usize {
+        (self.0 & 0xFFFF_FFFF) as usize
+    }
+
+    fn gen(&self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+}
+
+/// Completion information (`MPI_Status`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Status {
+    /// Source rank, local to the receive's communicator. For send requests
+    /// this is the destination rank.
+    pub source: usize,
+    /// Message tag.
+    pub tag: i32,
+    /// Payload length in bytes (`MPI_Get_count` with `MPI_BYTE`).
+    pub len: usize,
+}
+
+/// A completed operation: status plus payload (empty for sends).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Completion {
+    /// Completion status.
+    pub status: Status,
+    /// Received bytes (empty for send completions).
+    pub data: Vec<u8>,
+}
+
+/// Internal request state.
+#[derive(Debug)]
+pub(crate) enum ReqState {
+    /// Sends complete eagerly at post time in this simulator.
+    SendDone { dst_local: usize, tag: i32, len: usize },
+    /// A posted receive awaiting a match.
+    RecvPending {
+        spec: MatchSpec,
+        comm: Comm,
+        cap: Option<usize>,
+    },
+    /// A matched receive holding its payload.
+    RecvDone(Completion),
+    /// A receive that failed (e.g. truncation).
+    Failed(MpiError),
+}
+
+#[derive(Debug)]
+struct Slot {
+    gen: u32,
+    state: Option<ReqState>,
+}
+
+/// Per-rank request table.
+#[derive(Debug, Default)]
+pub(crate) struct ReqSlab {
+    slots: Vec<Slot>,
+    free: Vec<usize>,
+    /// Posted receives still pending, in post order. MPI matching semantics:
+    /// an incoming message matches the *earliest* posted receive it
+    /// satisfies, so progress walks this list in order.
+    pub pending_order: Vec<RReq>,
+}
+
+impl ReqSlab {
+    pub fn alloc(&mut self, state: ReqState) -> RReq {
+        let pending = matches!(state, ReqState::RecvPending { .. });
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.slots[i].state = Some(state);
+                i
+            }
+            None => {
+                self.slots.push(Slot {
+                    gen: 1,
+                    state: Some(state),
+                });
+                self.slots.len() - 1
+            }
+        };
+        let req = RReq(((self.slots[idx].gen as u64) << 32) | idx as u64);
+        if pending {
+            self.pending_order.push(req);
+        }
+        req
+    }
+
+    fn slot(&self, req: RReq) -> Result<&Slot> {
+        let s = self
+            .slots
+            .get(req.idx())
+            .ok_or(MpiError::InvalidRequest(req.0))?;
+        if s.gen != req.gen() || s.state.is_none() {
+            return Err(MpiError::InvalidRequest(req.0));
+        }
+        Ok(s)
+    }
+
+    /// Borrow the state of a live request.
+    pub fn peek(&self, req: RReq) -> Result<&ReqState> {
+        Ok(self.slot(req)?.state.as_ref().unwrap())
+    }
+
+    /// Mutably borrow the state of a live request.
+    pub fn peek_mut(&mut self, req: RReq) -> Result<&mut ReqState> {
+        self.slot(req)?;
+        Ok(self.slots[req.idx()].state.as_mut().unwrap())
+    }
+
+    /// Consume a request, freeing its slot.
+    pub fn take(&mut self, req: RReq) -> Result<ReqState> {
+        self.slot(req)?;
+        let idx = req.idx();
+        let state = self.slots[idx].state.take().unwrap();
+        self.slots[idx].gen = self.slots[idx].gen.wrapping_add(1).max(1);
+        self.free.push(idx);
+        self.pending_order.retain(|r| *r != req);
+        Ok(state)
+    }
+
+    /// Number of live requests (for leak tests).
+    pub fn live(&self) -> usize {
+        self.slots.iter().filter(|s| s.state.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn send_state() -> ReqState {
+        ReqState::SendDone {
+            dst_local: 1,
+            tag: 0,
+            len: 4,
+        }
+    }
+
+    #[test]
+    fn alloc_take_roundtrip() {
+        let mut slab = ReqSlab::default();
+        let r = slab.alloc(send_state());
+        assert_eq!(slab.live(), 1);
+        assert!(matches!(slab.peek(r), Ok(ReqState::SendDone { .. })));
+        assert!(matches!(slab.take(r), Ok(ReqState::SendDone { .. })));
+        assert_eq!(slab.live(), 0);
+    }
+
+    #[test]
+    fn stale_handle_detected() {
+        let mut slab = ReqSlab::default();
+        let r = slab.alloc(send_state());
+        slab.take(r).unwrap();
+        assert!(matches!(slab.peek(r), Err(MpiError::InvalidRequest(_))));
+        // Slot reuse gets a new generation; old handle still invalid.
+        let r2 = slab.alloc(send_state());
+        assert_ne!(r.0, r2.0);
+        assert!(slab.peek(r).is_err());
+        assert!(slab.peek(r2).is_ok());
+    }
+
+    #[test]
+    fn pending_order_tracks_recvs_only() {
+        let mut slab = ReqSlab::default();
+        let _s = slab.alloc(send_state());
+        let r = slab.alloc(ReqState::RecvPending {
+            spec: MatchSpec {
+                ctx: 0,
+                src_world: None,
+                tag: crate::envelope::TagSel::Any,
+            },
+            comm: Comm::WORLD,
+            cap: None,
+        });
+        assert_eq!(slab.pending_order, vec![r]);
+        slab.take(r).unwrap();
+        assert!(slab.pending_order.is_empty());
+    }
+
+    #[test]
+    fn raw_roundtrip() {
+        let mut slab = ReqSlab::default();
+        let r = slab.alloc(send_state());
+        assert_eq!(RReq::from_raw(r.raw()), r);
+    }
+}

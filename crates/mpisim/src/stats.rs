@@ -1,0 +1,198 @@
+//! World-level statistics counters.
+//!
+//! The benchmark harness reads these to regenerate the paper's figures:
+//! Fig. 4 (collective calls per second per process) comes straight from the
+//! per-kind collective counters, and the per-pair user-byte matrix is the
+//! ground truth the drain property tests compare MANA's own counters
+//! against (every byte MANA thinks it sent must exist here).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Collective operation kinds, for per-kind counting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum CollKind {
+    /// `MPI_Barrier`
+    Barrier = 0,
+    /// `MPI_Bcast`
+    Bcast = 1,
+    /// `MPI_Reduce`
+    Reduce = 2,
+    /// `MPI_Allreduce`
+    Allreduce = 3,
+    /// `MPI_Alltoall`
+    Alltoall = 4,
+    /// `MPI_Gather`
+    Gather = 5,
+    /// `MPI_Scatter`
+    Scatter = 6,
+    /// `MPI_Allgather`
+    Allgather = 7,
+    /// `MPI_Scan`
+    Scan = 8,
+}
+
+/// Number of [`CollKind`] variants.
+pub const N_COLL_KINDS: usize = 9;
+
+/// Names aligned with [`CollKind`] discriminants.
+pub const COLL_KIND_NAMES: [&str; N_COLL_KINDS] = [
+    "barrier",
+    "bcast",
+    "reduce",
+    "allreduce",
+    "alltoall",
+    "gather",
+    "scatter",
+    "allgather",
+    "scan",
+];
+
+/// Shared atomic counters for one world.
+#[derive(Debug)]
+pub struct WorldStats {
+    n: usize,
+    /// User-class messages deposited.
+    pub user_msgs: AtomicU64,
+    /// User-class bytes deposited.
+    pub user_bytes: AtomicU64,
+    /// Internal-class messages deposited.
+    pub internal_msgs: AtomicU64,
+    /// Internal-class bytes deposited.
+    pub internal_bytes: AtomicU64,
+    /// Per-rank-entry counts of each collective kind (a collective on a
+    /// communicator of size k adds k).
+    pub collectives: [AtomicU64; N_COLL_KINDS],
+    /// Successful message matches (receives completed).
+    pub matches: AtomicU64,
+    /// `iprobe`/`probe` calls.
+    pub probes: AtomicU64,
+    /// User bytes sent per (src,dst) world-rank pair, row-major `src*n+dst`.
+    pair_bytes: Vec<AtomicU64>,
+}
+
+impl WorldStats {
+    /// Fresh counters for a world of `n` ranks.
+    pub fn new(n: usize) -> Self {
+        WorldStats {
+            n,
+            user_msgs: AtomicU64::new(0),
+            user_bytes: AtomicU64::new(0),
+            internal_msgs: AtomicU64::new(0),
+            internal_bytes: AtomicU64::new(0),
+            collectives: std::array::from_fn(|_| AtomicU64::new(0)),
+            matches: AtomicU64::new(0),
+            probes: AtomicU64::new(0),
+            pair_bytes: (0..n * n).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Record a deposited user message.
+    pub fn record_user_send(&self, src: usize, dst: usize, bytes: usize) {
+        self.user_msgs.fetch_add(1, Ordering::Relaxed);
+        self.user_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.pair_bytes[src * self.n + dst].fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Record a deposited internal message.
+    pub fn record_internal_send(&self, bytes: usize) {
+        self.internal_msgs.fetch_add(1, Ordering::Relaxed);
+        self.internal_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Record one rank entering a collective.
+    pub fn record_collective(&self, kind: CollKind) {
+        self.collectives[kind as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// User bytes sent from `src` to `dst` so far.
+    pub fn pair_bytes(&self, src: usize, dst: usize) -> u64 {
+        self.pair_bytes[src * self.n + dst].load(Ordering::Relaxed)
+    }
+
+    /// A plain-data copy of the counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            n: self.n,
+            user_msgs: self.user_msgs.load(Ordering::Relaxed),
+            user_bytes: self.user_bytes.load(Ordering::Relaxed),
+            internal_msgs: self.internal_msgs.load(Ordering::Relaxed),
+            internal_bytes: self.internal_bytes.load(Ordering::Relaxed),
+            collectives: std::array::from_fn(|i| self.collectives[i].load(Ordering::Relaxed)),
+            matches: self.matches.load(Ordering::Relaxed),
+            probes: self.probes.load(Ordering::Relaxed),
+            pair_bytes: self
+                .pair_bytes
+                .iter()
+                .map(|a| a.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// Plain-data snapshot of [`WorldStats`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// World size the counters were built for.
+    pub n: usize,
+    /// User-class messages deposited.
+    pub user_msgs: u64,
+    /// User-class bytes deposited.
+    pub user_bytes: u64,
+    /// Internal-class messages deposited.
+    pub internal_msgs: u64,
+    /// Internal-class bytes deposited.
+    pub internal_bytes: u64,
+    /// Per-kind collective entries (see [`COLL_KIND_NAMES`]).
+    pub collectives: [u64; N_COLL_KINDS],
+    /// Completed receives.
+    pub matches: u64,
+    /// Probe calls.
+    pub probes: u64,
+    /// Row-major per-pair user bytes.
+    pub pair_bytes: Vec<u64>,
+}
+
+impl StatsSnapshot {
+    /// Total collective entries across kinds.
+    pub fn total_collectives(&self) -> u64 {
+        self.collectives.iter().sum()
+    }
+
+    /// User bytes sent from `src` to `dst`.
+    pub fn pair(&self, src: usize, dst: usize) -> u64 {
+        self.pair_bytes[src * self.n + dst]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate() {
+        let s = WorldStats::new(3);
+        s.record_user_send(0, 2, 100);
+        s.record_user_send(0, 2, 50);
+        s.record_user_send(1, 0, 7);
+        s.record_internal_send(32);
+        s.record_collective(CollKind::Bcast);
+        s.record_collective(CollKind::Bcast);
+        s.record_collective(CollKind::Barrier);
+        let snap = s.snapshot();
+        assert_eq!(snap.user_msgs, 3);
+        assert_eq!(snap.user_bytes, 157);
+        assert_eq!(snap.internal_msgs, 1);
+        assert_eq!(snap.pair(0, 2), 150);
+        assert_eq!(snap.pair(1, 0), 7);
+        assert_eq!(snap.pair(2, 1), 0);
+        assert_eq!(snap.collectives[CollKind::Bcast as usize], 2);
+        assert_eq!(snap.total_collectives(), 3);
+    }
+
+    #[test]
+    fn kind_names_align() {
+        assert_eq!(COLL_KIND_NAMES[CollKind::Scan as usize], "scan");
+        assert_eq!(COLL_KIND_NAMES[CollKind::Barrier as usize], "barrier");
+    }
+}

@@ -1,0 +1,303 @@
+//! World lifecycle: spawn one thread per rank, run an SPMD closure, join.
+//!
+//! A [`World`] is disposable by design: MANA-2.0's restart path tears the
+//! whole lower half down and builds a fresh one (split-process model,
+//! paper §II-A) — in this simulator that is literally dropping one `World`
+//! and constructing another.
+
+use crate::comm::CommRegistry;
+use crate::costmodel::MachineProfile;
+use crate::error::MpiError;
+use crate::network::Network;
+use crate::onesided::WinRegistry;
+use crate::proc_::Proc;
+use crate::stats::{StatsSnapshot, WorldStats};
+use crate::tools::{RankActivity, ToolsState};
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Configuration for a world run.
+#[derive(Debug, Clone)]
+pub struct WorldCfg {
+    /// Machine cost profile.
+    pub profile: MachineProfile,
+    /// Watchdog: blocking calls poison the world and fail with
+    /// [`MpiError::Timeout`] once this much wall time has elapsed since
+    /// launch. `None` disables the watchdog (production default); tests of
+    /// deadlock scenarios set it.
+    pub watchdog: Option<Duration>,
+    /// Stack size per rank thread. Ranks are plentiful and mostly blocked,
+    /// so the default is small (512 KiB).
+    pub stack_size: usize,
+    /// Seed for any randomized behaviour in workloads (plumbed through,
+    /// unused by the runtime itself).
+    pub seed: u64,
+}
+
+impl Default for WorldCfg {
+    fn default() -> Self {
+        WorldCfg {
+            profile: MachineProfile::zero(),
+            watchdog: None,
+            stack_size: 512 * 1024,
+            seed: 0,
+        }
+    }
+}
+
+/// Shared state of one world (the "fabric"): network, communicator
+/// registry, statistics, configuration.
+pub(crate) struct Fabric {
+    pub n: usize,
+    pub cfg: WorldCfg,
+    pub net: Network,
+    pub comms: CommRegistry,
+    pub wins: WinRegistry,
+    pub stats: WorldStats,
+    pub tools: ToolsState,
+    pub deadline: Option<Instant>,
+}
+
+/// Failure of a world run.
+#[derive(Debug)]
+pub enum WorldError {
+    /// One or more ranks panicked; payload lists their world ranks.
+    Panicked(Vec<usize>),
+    /// One or more ranks returned an MPI error; payload lists (rank, error).
+    RankErrors(Vec<(usize, MpiError)>),
+}
+
+impl fmt::Display for WorldError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorldError::Panicked(ranks) => write!(f, "ranks panicked: {ranks:?}"),
+            WorldError::RankErrors(errs) => write!(f, "rank errors: {errs:?}"),
+        }
+    }
+}
+
+impl std::error::Error for WorldError {}
+
+/// A simulated MPI world.
+pub struct World {
+    fabric: Arc<Fabric>,
+}
+
+impl World {
+    /// Build a world of `n` ranks (threads are spawned by [`World::launch`]).
+    pub fn new(n: usize, cfg: WorldCfg) -> World {
+        assert!(n > 0, "world must have at least one rank");
+        let deadline = cfg.watchdog.map(|d| Instant::now() + d);
+        World {
+            fabric: Arc::new(Fabric {
+                n,
+                net: Network::new(n),
+                comms: CommRegistry::new(n),
+                wins: WinRegistry::new(),
+                stats: WorldStats::new(n),
+                tools: ToolsState::new(n),
+                deadline,
+                cfg,
+            }),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.fabric.n
+    }
+
+    /// Run `f` as rank `r` on `n` threads and join. Each rank's return value
+    /// is collected in rank order.
+    ///
+    /// If any rank panics, the world is poisoned (so blocked peers unblock
+    /// with [`MpiError::Poisoned`]) and `Err(WorldError::Panicked)` is
+    /// returned.
+    pub fn launch<T, F>(&self, f: F) -> Result<Vec<T>, WorldError>
+    where
+        T: Send,
+        F: Fn(&mut Proc) -> T + Send + Sync,
+    {
+        let fabric = &self.fabric;
+        let f = &f;
+        let results: Vec<std::thread::Result<T>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..fabric.n)
+                .map(|rank| {
+                    let fab = Arc::clone(fabric);
+                    std::thread::Builder::new()
+                        .name(format!("rank-{rank}"))
+                        .stack_size(fabric.cfg.stack_size)
+                        .spawn_scoped(s, move || {
+                            let mut proc = Proc::new(rank, fab.clone());
+                            let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                                || f(&mut proc),
+                            ));
+                            if out.is_err() {
+                                fab.net.poison();
+                            }
+                            out
+                        })
+                        .expect("failed to spawn rank thread")
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank thread join failed"))
+                .collect()
+        });
+        let mut panicked = Vec::new();
+        let mut out = Vec::with_capacity(results.len());
+        for (rank, r) in results.into_iter().enumerate() {
+            match r {
+                Ok(v) => out.push(v),
+                Err(_) => panicked.push(rank),
+            }
+        }
+        if panicked.is_empty() {
+            Ok(out)
+        } else {
+            Err(WorldError::Panicked(panicked))
+        }
+    }
+
+    /// Like [`World::launch`] for closures returning `Result`, flattening
+    /// rank-level MPI errors into [`WorldError::RankErrors`].
+    pub fn launch_result<T, F>(&self, f: F) -> Result<Vec<T>, WorldError>
+    where
+        T: Send,
+        F: Fn(&mut Proc) -> crate::error::Result<T> + Send + Sync,
+    {
+        let results = self.launch(f)?;
+        let mut errs = Vec::new();
+        let mut out = Vec::with_capacity(results.len());
+        for (rank, r) in results.into_iter().enumerate() {
+            match r {
+                Ok(v) => out.push(v),
+                Err(e) => errs.push((rank, e)),
+            }
+        }
+        if errs.is_empty() {
+            Ok(out)
+        } else {
+            Err(WorldError::RankErrors(errs))
+        }
+    }
+
+    /// Snapshot of the world's statistics counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.fabric.stats.snapshot()
+    }
+
+    /// (messages, bytes) currently in the network.
+    pub fn in_flight(&self) -> (usize, usize) {
+        self.fabric.net.in_flight()
+    }
+
+    /// Number of live communicators (including the world communicator).
+    pub fn live_comms(&self) -> usize {
+        self.fabric.comms.live_count()
+    }
+
+    /// Obtain an introspection handle usable from another thread while the
+    /// world is running (the MPI tools-interface analog; used by MANA's
+    /// deadlock detector).
+    pub fn introspect(&self) -> Introspect {
+        Introspect {
+            fabric: Arc::clone(&self.fabric),
+        }
+    }
+}
+
+/// Cross-thread introspection handle over a running world.
+#[derive(Clone)]
+pub struct Introspect {
+    fabric: Arc<Fabric>,
+}
+
+impl Introspect {
+    /// Per-rank activity snapshot.
+    pub fn activity(&self) -> Vec<RankActivity> {
+        self.fabric.tools.snapshot()
+    }
+
+    /// (messages, bytes) currently in the network.
+    pub fn in_flight(&self) -> (usize, usize) {
+        self.fabric.net.in_flight()
+    }
+
+    /// World size.
+    pub fn size(&self) -> usize {
+        self.fabric.n
+    }
+
+    /// Poison the world: every blocked call unblocks with
+    /// [`MpiError::Poisoned`]. Used by external supervisors (deadlock
+    /// detector) to convert a hang into an error.
+    pub fn poison(&self) {
+        self.fabric.net.poison();
+    }
+}
+
+/// Convenience: build a world, launch `f`, return results and stats.
+pub fn run<T, F>(n: usize, cfg: WorldCfg, f: F) -> Result<(Vec<T>, StatsSnapshot), WorldError>
+where
+    T: Send,
+    F: Fn(&mut Proc) -> T + Send + Sync,
+{
+    let w = World::new(n, cfg);
+    let out = w.launch(f)?;
+    Ok((out, w.stats()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn launch_collects_in_rank_order() {
+        let w = World::new(5, WorldCfg::default());
+        let out = w.launch(|p| p.rank() * 10).unwrap();
+        assert_eq!(out, vec![0, 10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn panic_reports_rank_and_poisons() {
+        let w = World::new(3, WorldCfg::default());
+        let r = w.launch(|p| {
+            if p.rank() == 1 {
+                panic!("boom");
+            }
+            p.rank()
+        });
+        match r {
+            Err(WorldError::Panicked(ranks)) => assert_eq!(ranks, vec![1]),
+            other => panic!("expected panic error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn launch_result_flattens_errors() {
+        let w = World::new(2, WorldCfg::default());
+        let r = w.launch_result(|p| {
+            if p.rank() == 0 {
+                Err(MpiError::Shutdown)
+            } else {
+                Ok(p.rank())
+            }
+        });
+        match r {
+            Err(WorldError::RankErrors(errs)) => {
+                assert_eq!(errs, vec![(0, MpiError::Shutdown)])
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_rank_world() {
+        let (out, stats) = run(1, WorldCfg::default(), |p| p.world_size()).unwrap();
+        assert_eq!(out, vec![1]);
+        assert_eq!(stats.user_msgs, 0);
+    }
+}

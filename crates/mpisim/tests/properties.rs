@@ -1,0 +1,156 @@
+//! Property-based tests for the simulator's pure components.
+
+use mpisim::{
+    decode_slice, encode_slice, frame_chunks, reduce_bytes, unframe_chunks, Datatype, Group,
+    GroupRelation, ReduceOp,
+};
+use proptest::prelude::*;
+
+fn distinct_ranks() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::btree_set(0usize..64, 0..16).prop_map(|s| s.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn typed_roundtrip_f64(data in proptest::collection::vec(any::<f64>(), 0..64)) {
+        let bytes = encode_slice(&data);
+        let back = decode_slice::<f64>(&bytes).unwrap();
+        // Bit-exact (NaNs included).
+        prop_assert_eq!(data.len(), back.len());
+        for (a, b) in data.iter().zip(back.iter()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn typed_roundtrip_i64(data in proptest::collection::vec(any::<i64>(), 0..64)) {
+        prop_assert_eq!(decode_slice::<i64>(&encode_slice(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn frame_roundtrip(chunks in proptest::collection::vec(
+        proptest::collection::vec(any::<u8>(), 0..32), 0..8)) {
+        prop_assert_eq!(unframe_chunks(&frame_chunks(&chunks)).unwrap(), chunks);
+    }
+
+    #[test]
+    fn reduce_sum_matches_scalar_model(
+        a in proptest::collection::vec(any::<i64>(), 1..32),
+        b_seed in any::<u64>(),
+    ) {
+        // Same-length second vector derived deterministically.
+        let b: Vec<i64> = a.iter().enumerate()
+            .map(|(i, &x)| x.wrapping_mul(3).wrapping_add(b_seed as i64).wrapping_add(i as i64))
+            .collect();
+        let mut acc = encode_slice(&a);
+        reduce_bytes(Datatype::I64, ReduceOp::Sum, &mut acc, &encode_slice(&b)).unwrap();
+        let got = decode_slice::<i64>(&acc).unwrap();
+        for i in 0..a.len() {
+            prop_assert_eq!(got[i], a[i].wrapping_add(b[i]));
+        }
+    }
+
+    #[test]
+    fn reduce_max_min_are_lattice_ops(
+        a in proptest::collection::vec(any::<i32>(), 1..32),
+        b in proptest::collection::vec(any::<i32>(), 1..32),
+    ) {
+        let n = a.len().min(b.len());
+        let (a, b) = (&a[..n], &b[..n]);
+        let mut mx = encode_slice(a);
+        reduce_bytes(Datatype::I32, ReduceOp::Max, &mut mx, &encode_slice(b)).unwrap();
+        let mut mn = encode_slice(a);
+        reduce_bytes(Datatype::I32, ReduceOp::Min, &mut mn, &encode_slice(b)).unwrap();
+        let mx = decode_slice::<i32>(&mx).unwrap();
+        let mn = decode_slice::<i32>(&mn).unwrap();
+        for i in 0..n {
+            prop_assert_eq!(mx[i], a[i].max(b[i]));
+            prop_assert_eq!(mn[i], a[i].min(b[i]));
+            prop_assert!(mn[i] <= mx[i]);
+        }
+    }
+
+    #[test]
+    fn reduce_is_commutative_for_commutative_ops(
+        a in proptest::collection::vec(any::<u64>(), 1..16),
+        b in proptest::collection::vec(any::<u64>(), 1..16),
+    ) {
+        let n = a.len().min(b.len());
+        let (a, b) = (&a[..n], &b[..n]);
+        for op in [ReduceOp::Sum, ReduceOp::Prod, ReduceOp::Max, ReduceOp::Min,
+                   ReduceOp::Band, ReduceOp::Bor, ReduceOp::Bxor] {
+            let mut ab = encode_slice(a);
+            reduce_bytes(Datatype::U64, op, &mut ab, &encode_slice(b)).unwrap();
+            let mut ba = encode_slice(b);
+            reduce_bytes(Datatype::U64, op, &mut ba, &encode_slice(a)).unwrap();
+            prop_assert_eq!(&ab, &ba, "op {:?} not commutative", op);
+        }
+    }
+
+    #[test]
+    fn group_union_contains_both(a in distinct_ranks(), b in distinct_ranks()) {
+        let ga = Group::new(a.clone()).unwrap();
+        let gb = Group::new(b.clone()).unwrap();
+        let u = ga.union(&gb);
+        for &r in a.iter().chain(b.iter()) {
+            prop_assert!(u.contains(r));
+        }
+        prop_assert!(u.size() <= a.len() + b.len());
+    }
+
+    #[test]
+    fn group_intersection_difference_partition(a in distinct_ranks(), b in distinct_ranks()) {
+        let ga = Group::new(a.clone()).unwrap();
+        let gb = Group::new(b).unwrap();
+        let inter = ga.intersection(&gb);
+        let diff = ga.difference(&gb);
+        // intersection ∪ difference = a, and they are disjoint.
+        prop_assert_eq!(inter.size() + diff.size(), ga.size());
+        for &r in &a {
+            let in_i = inter.contains(r);
+            let in_d = diff.contains(r);
+            prop_assert!(in_i ^ in_d);
+            prop_assert_eq!(in_i, gb.contains(r));
+        }
+    }
+
+    #[test]
+    fn group_translate_roundtrip(a in distinct_ranks()) {
+        prop_assume!(!a.is_empty());
+        let g = Group::new(a.clone()).unwrap();
+        // local → world → local is the identity.
+        for local in 0..g.size() {
+            let w = g.world_rank(local).unwrap();
+            prop_assert_eq!(g.local_rank(w), Some(local));
+        }
+        // Fingerprint stable under identical construction.
+        prop_assert_eq!(g.fingerprint(), Group::new(a).unwrap().fingerprint());
+    }
+
+    #[test]
+    fn group_compare_is_reflexive_and_symmetric(a in distinct_ranks(), b in distinct_ranks()) {
+        let ga = Group::new(a).unwrap();
+        let gb = Group::new(b).unwrap();
+        prop_assert_eq!(ga.compare(&ga), GroupRelation::Ident);
+        let ab = ga.compare(&gb);
+        let ba = gb.compare(&ga);
+        prop_assert_eq!(ab == GroupRelation::Unequal, ba == GroupRelation::Unequal);
+        prop_assert_eq!(ab == GroupRelation::Ident, ba == GroupRelation::Ident);
+    }
+
+    #[test]
+    fn incl_excl_are_complements(a in distinct_ranks(), pick in any::<u64>()) {
+        prop_assume!(!a.is_empty());
+        let g = Group::new(a).unwrap();
+        let chosen: Vec<usize> = (0..g.size()).filter(|i| (pick >> (i % 64)) & 1 == 1).collect();
+        let incl = g.incl(&chosen).unwrap();
+        let excl = g.excl(&chosen).unwrap();
+        prop_assert_eq!(incl.size() + excl.size(), g.size());
+        for local in 0..g.size() {
+            let w = g.world_rank(local).unwrap();
+            prop_assert!(incl.contains(w) ^ excl.contains(w));
+        }
+    }
+}

@@ -1,0 +1,399 @@
+//! Versioned binary serialization for checkpoint images.
+//!
+//! The offline dependency set has no serde *format* crate, so checkpoint
+//! serialization is a small hand-rolled codec: little-endian, length-
+//! prefixed, no self-description. Every MANA table that must survive the
+//! checkpoint-restart barrier implements [`Encode`]/[`Decode`].
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Codec failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Ran out of bytes mid-value.
+    UnexpectedEof {
+        /// Bytes needed by the failing read.
+        needed: usize,
+        /// Bytes remaining.
+        remaining: usize,
+    },
+    /// An enum discriminant or sentinel byte was invalid.
+    InvalidTag(u8),
+    /// A declared length was implausible for the remaining input.
+    BadLength(u64),
+    /// A string was not valid UTF-8.
+    BadUtf8,
+    /// Trailing bytes remained after a complete decode.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnexpectedEof { needed, remaining } => {
+                write!(f, "unexpected EOF: needed {needed} bytes, {remaining} remain")
+            }
+            CodecError::InvalidTag(t) => write!(f, "invalid tag byte {t}"),
+            CodecError::BadLength(l) => write!(f, "implausible length {l}"),
+            CodecError::BadUtf8 => write!(f, "invalid UTF-8 in string"),
+            CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after decode"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Cursor over a byte buffer being decoded.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Start reading `buf` from the beginning.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Take exactly `n` bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::UnexpectedEof {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Fail if any bytes remain (top-level decode completeness check).
+    pub fn finish(self) -> Result<(), CodecError> {
+        if self.remaining() != 0 {
+            Err(CodecError::TrailingBytes(self.remaining()))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// A value that can be serialized into a checkpoint image.
+pub trait Encode {
+    /// Append this value's encoding to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+
+    /// Convenience: encode into a fresh buffer.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut v = Vec::new();
+        self.encode(&mut v);
+        v
+    }
+}
+
+/// A value that can be deserialized from a checkpoint image.
+pub trait Decode: Sized {
+    /// Read one value from the cursor.
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError>;
+
+    /// Convenience: decode a whole buffer, requiring full consumption.
+    fn from_bytes(buf: &[u8]) -> Result<Self, CodecError> {
+        let mut r = Reader::new(buf);
+        let v = Self::decode(&mut r)?;
+        r.finish()?;
+        Ok(v)
+    }
+}
+
+macro_rules! impl_codec_int {
+    ($t:ty) => {
+        impl Encode for $t {
+            fn encode(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+        }
+        impl Decode for $t {
+            fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+                Ok(<$t>::from_le_bytes(
+                    r.take(std::mem::size_of::<$t>())?.try_into().unwrap(),
+                ))
+            }
+        }
+    };
+}
+
+impl_codec_int!(u8);
+impl_codec_int!(u16);
+impl_codec_int!(u32);
+impl_codec_int!(u64);
+impl_codec_int!(i32);
+impl_codec_int!(i64);
+impl_codec_int!(f64);
+
+impl Encode for usize {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (*self as u64).encode(out);
+    }
+}
+impl Decode for usize {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(u64::decode(r)? as usize)
+    }
+}
+
+impl Encode for bool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(*self as u8);
+    }
+}
+impl Decode for bool {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.take(1)?[0] {
+            0 => Ok(false),
+            1 => Ok(true),
+            t => Err(CodecError::InvalidTag(t)),
+        }
+    }
+}
+
+impl Encode for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).encode(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+}
+impl Decode for String {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let len = u64::decode(r)?;
+        if len as usize > r.remaining() {
+            return Err(CodecError::BadLength(len));
+        }
+        std::str::from_utf8(r.take(len as usize)?)
+            .map(|s| s.to_owned())
+            .map_err(|_| CodecError::BadUtf8)
+    }
+}
+
+impl<T: Encode> Encode for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).encode(out);
+        for v in self {
+            v.encode(out);
+        }
+    }
+}
+impl<T: Decode> Decode for Vec<T> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let len = u64::decode(r)?;
+        // Each element needs ≥1 byte; reject absurd lengths early.
+        if len as usize > r.remaining() && len > 0 {
+            return Err(CodecError::BadLength(len));
+        }
+        let mut out = Vec::with_capacity(len.min(1 << 20) as usize);
+        for _ in 0..len {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Encode> Encode for Option<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+        }
+    }
+}
+impl<T: Decode> Decode for Option<T> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.take(1)?[0] {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            t => Err(CodecError::InvalidTag(t)),
+        }
+    }
+}
+
+impl<A: Encode, B: Encode> Encode for (A, B) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+    }
+}
+impl<A: Decode, B: Decode> Decode for (A, B) {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+impl<A: Encode, B: Encode, C: Encode> Encode for (A, B, C) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+        self.2.encode(out);
+    }
+}
+impl<A: Decode, B: Decode, C: Decode> Decode for (A, B, C) {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok((A::decode(r)?, B::decode(r)?, C::decode(r)?))
+    }
+}
+
+impl<K: Encode + Ord, V: Encode> Encode for BTreeMap<K, V> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).encode(out);
+        for (k, v) in self {
+            k.encode(out);
+            v.encode(out);
+        }
+    }
+}
+impl<K: Decode + Ord, V: Decode> Decode for BTreeMap<K, V> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let len = u64::decode(r)?;
+        if len as usize > r.remaining() && len > 0 {
+            return Err(CodecError::BadLength(len));
+        }
+        let mut out = BTreeMap::new();
+        for _ in 0..len {
+            let k = K::decode(r)?;
+            let v = V::decode(r)?;
+            out.insert(k, v);
+        }
+        Ok(out)
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected) — integrity check for image payloads.
+pub fn crc32(data: &[u8]) -> u32 {
+    // Nibble-table variant: tiny table, adequate speed for image sizes.
+    const TABLE: [u32; 16] = [
+        0x00000000, 0x1db71064, 0x3b6e20c8, 0x26d930ac, 0x76dc4190, 0x6b6b51f4, 0x4db26158,
+        0x5005713c, 0xedb88320, 0xf00f9344, 0xd6d6a3e8, 0xcb61b38c, 0x9b64c2b0, 0x86d3d2d4,
+        0xa00ae278, 0xbdbdf21c,
+    ];
+    let mut crc: u32 = !0;
+    for &b in data {
+        crc = (crc >> 4) ^ TABLE[((crc ^ (b as u32)) & 0xF) as usize];
+        crc = (crc >> 4) ^ TABLE[((crc ^ ((b as u32) >> 4)) & 0xF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Encode + Decode + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = v.to_bytes();
+        assert_eq!(T::from_bytes(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn primitives() {
+        roundtrip(0u8);
+        roundtrip(u16::MAX);
+        roundtrip(123456789u32);
+        roundtrip(u64::MAX);
+        roundtrip(-77i32);
+        roundtrip(i64::MIN);
+        roundtrip(3.14159f64);
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(42usize);
+    }
+
+    #[test]
+    fn strings_and_containers() {
+        roundtrip(String::from("héllo wörld"));
+        roundtrip(String::new());
+        roundtrip(vec![1u64, 2, 3]);
+        roundtrip(Vec::<u64>::new());
+        roundtrip(Some(9u32));
+        roundtrip(None::<u32>);
+        roundtrip((1u8, String::from("x")));
+        roundtrip((1u8, 2u16, 3u32));
+        let mut m = BTreeMap::new();
+        m.insert(String::from("a"), vec![1u8, 2]);
+        m.insert(String::from("b"), vec![]);
+        roundtrip(m);
+    }
+
+    #[test]
+    fn nested() {
+        roundtrip(vec![Some((1u64, String::from("s"))), None]);
+    }
+
+    #[test]
+    fn eof_detected() {
+        let bytes = 12345u64.to_bytes();
+        assert!(matches!(
+            u64::from_bytes(&bytes[..4]),
+            Err(CodecError::UnexpectedEof { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut bytes = 1u8.to_bytes();
+        bytes.push(99);
+        assert!(matches!(
+            u8::from_bytes(&bytes),
+            Err(CodecError::TrailingBytes(1))
+        ));
+    }
+
+    #[test]
+    fn hostile_length_rejected() {
+        // A Vec claiming u64::MAX elements must not attempt allocation.
+        let mut bytes = Vec::new();
+        u64::MAX.encode(&mut bytes);
+        assert!(matches!(
+            Vec::<u64>::from_bytes(&bytes),
+            Err(CodecError::BadLength(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_bool_tag() {
+        assert!(matches!(
+            bool::from_bytes(&[7]),
+            Err(CodecError::InvalidTag(7))
+        ));
+    }
+
+    #[test]
+    fn bad_utf8_rejected() {
+        let mut bytes = Vec::new();
+        2u64.encode(&mut bytes);
+        bytes.extend_from_slice(&[0xFF, 0xFE]);
+        assert!(matches!(
+            String::from_bytes(&bytes),
+            Err(CodecError::BadUtf8)
+        ));
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // CRC-32("123456789") = 0xCBF43926 (classic check value).
+        assert_eq!(crc32(b"123456789"), 0xCBF43926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn crc32_detects_flip() {
+        let a = crc32(b"checkpoint image payload");
+        let b = crc32(b"checkpoint image payloae");
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,250 @@
+//! Checkpoint image files.
+//!
+//! One image per rank, exactly as MANA writes one image per MPI process.
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic      [8]  b"MANA2CKP"
+//! version    u32
+//! rank       u64
+//! world      u64
+//! round      u64   (checkpoint round number, for Fig. 3's repeated C/R)
+//! upper_len  u64
+//! meta_len   u64
+//! upper_crc  u32
+//! meta_crc   u32
+//! upper      [upper_len]   (serialized UpperHalf — application memory)
+//! meta       [meta_len]    (serialized MANA metadata: virtual-ID tables,
+//!                           active communicator list, pending requests,
+//!                           drain buffers)
+//! ```
+
+use crate::codec::crc32;
+use std::fmt;
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 8] = b"MANA2CKP";
+const VERSION: u32 = 2;
+
+/// Errors reading or writing checkpoint images.
+#[derive(Debug)]
+pub enum ImageError {
+    /// Underlying filesystem error.
+    Io(io::Error),
+    /// The file does not start with the image magic.
+    BadMagic,
+    /// Unsupported image version.
+    BadVersion(u32),
+    /// Payload CRC mismatch (corrupt or truncated image).
+    BadCrc {
+        /// Which section failed ("upper" or "meta").
+        section: &'static str,
+    },
+    /// Header fields inconsistent with file size.
+    Truncated,
+}
+
+impl fmt::Display for ImageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImageError::Io(e) => write!(f, "image I/O error: {e}"),
+            ImageError::BadMagic => write!(f, "not a MANA-2.0 checkpoint image"),
+            ImageError::BadVersion(v) => write!(f, "unsupported image version {v}"),
+            ImageError::BadCrc { section } => write!(f, "CRC mismatch in {section} section"),
+            ImageError::Truncated => write!(f, "image truncated"),
+        }
+    }
+}
+
+impl std::error::Error for ImageError {}
+
+impl From<io::Error> for ImageError {
+    fn from(e: io::Error) -> Self {
+        ImageError::Io(e)
+    }
+}
+
+/// One rank's checkpoint image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CkptImage {
+    /// World rank this image belongs to.
+    pub rank: usize,
+    /// World size at checkpoint time (restart validates it).
+    pub world_size: usize,
+    /// Checkpoint round (0-based; Fig. 3 runs ten rounds).
+    pub round: u64,
+    /// Serialized upper-half memory.
+    pub upper: Vec<u8>,
+    /// Serialized MANA metadata.
+    pub meta: Vec<u8>,
+}
+
+impl CkptImage {
+    /// Total serialized size (header + payloads) — the per-rank number that
+    /// aggregates into Fig. 3's checkpoint-size line.
+    pub fn size_bytes(&self) -> usize {
+        8 + 4 + 8 * 5 + 4 * 2 + self.upper.len() + self.meta.len()
+    }
+
+    /// Conventional file name for a rank's image in `dir`.
+    pub fn path_for(dir: &Path, rank: usize) -> PathBuf {
+        dir.join(format!("ckpt_rank_{rank:05}.mana"))
+    }
+
+    /// Serialize to bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.size_bytes());
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.rank as u64).to_le_bytes());
+        out.extend_from_slice(&(self.world_size as u64).to_le_bytes());
+        out.extend_from_slice(&self.round.to_le_bytes());
+        out.extend_from_slice(&(self.upper.len() as u64).to_le_bytes());
+        out.extend_from_slice(&(self.meta.len() as u64).to_le_bytes());
+        out.extend_from_slice(&crc32(&self.upper).to_le_bytes());
+        out.extend_from_slice(&crc32(&self.meta).to_le_bytes());
+        out.extend_from_slice(&self.upper);
+        out.extend_from_slice(&self.meta);
+        out
+    }
+
+    /// Parse from bytes, verifying magic, version, sizes, and CRCs.
+    pub fn from_bytes(buf: &[u8]) -> Result<Self, ImageError> {
+        let header_len = 8 + 4 + 8 * 5 + 4 * 2;
+        if buf.len() < header_len {
+            return Err(ImageError::Truncated);
+        }
+        if &buf[0..8] != MAGIC {
+            return Err(ImageError::BadMagic);
+        }
+        let version = u32::from_le_bytes(buf[8..12].try_into().unwrap());
+        if version != VERSION {
+            return Err(ImageError::BadVersion(version));
+        }
+        let rd_u64 = |off: usize| u64::from_le_bytes(buf[off..off + 8].try_into().unwrap());
+        let rank = rd_u64(12) as usize;
+        let world_size = rd_u64(20) as usize;
+        let round = rd_u64(28);
+        let upper_len = rd_u64(36) as usize;
+        let meta_len = rd_u64(44) as usize;
+        let upper_crc = u32::from_le_bytes(buf[52..56].try_into().unwrap());
+        let meta_crc = u32::from_le_bytes(buf[56..60].try_into().unwrap());
+        if buf.len() != header_len + upper_len + meta_len {
+            return Err(ImageError::Truncated);
+        }
+        let upper = buf[header_len..header_len + upper_len].to_vec();
+        let meta = buf[header_len + upper_len..].to_vec();
+        if crc32(&upper) != upper_crc {
+            return Err(ImageError::BadCrc { section: "upper" });
+        }
+        if crc32(&meta) != meta_crc {
+            return Err(ImageError::BadCrc { section: "meta" });
+        }
+        Ok(CkptImage {
+            rank,
+            world_size,
+            round,
+            upper,
+            meta,
+        })
+    }
+
+    /// Write this image to its conventional file under `dir` (created if
+    /// needed). Returns the bytes written.
+    pub fn write_to_dir(&self, dir: &Path) -> Result<usize, ImageError> {
+        fs::create_dir_all(dir)?;
+        let bytes = self.to_bytes();
+        let mut f = fs::File::create(Self::path_for(dir, self.rank))?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+        Ok(bytes.len())
+    }
+
+    /// Read the image for `rank` from `dir`.
+    pub fn read_from_dir(dir: &Path, rank: usize) -> Result<Self, ImageError> {
+        let mut buf = Vec::new();
+        fs::File::open(Self::path_for(dir, rank))?.read_to_end(&mut buf)?;
+        Self::from_bytes(&buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CkptImage {
+        CkptImage {
+            rank: 3,
+            world_size: 16,
+            round: 2,
+            upper: vec![1, 2, 3, 4, 5],
+            meta: vec![9, 9],
+        }
+    }
+
+    #[test]
+    fn roundtrip_bytes() {
+        let img = sample();
+        let bytes = img.to_bytes();
+        assert_eq!(bytes.len(), img.size_bytes());
+        assert_eq!(CkptImage::from_bytes(&bytes).unwrap(), img);
+    }
+
+    #[test]
+    fn corrupt_payload_detected() {
+        let mut bytes = sample().to_bytes();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF; // flip a meta byte
+        assert!(matches!(
+            CkptImage::from_bytes(&bytes),
+            Err(ImageError::BadCrc { section: "meta" })
+        ));
+        let mut bytes2 = sample().to_bytes();
+        bytes2[61] ^= 0xFF; // flip an upper byte
+        assert!(matches!(
+            CkptImage::from_bytes(&bytes2),
+            Err(ImageError::BadCrc { section: "upper" })
+        ));
+    }
+
+    #[test]
+    fn bad_magic_and_truncation() {
+        let mut bytes = sample().to_bytes();
+        bytes[0] = b'X';
+        assert!(matches!(
+            CkptImage::from_bytes(&bytes),
+            Err(ImageError::BadMagic)
+        ));
+        let bytes = sample().to_bytes();
+        assert!(matches!(
+            CkptImage::from_bytes(&bytes[..bytes.len() - 1]),
+            Err(ImageError::Truncated)
+        ));
+        assert!(matches!(
+            CkptImage::from_bytes(&bytes[..10]),
+            Err(ImageError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("mana2_img_test_{}", std::process::id()));
+        let img = sample();
+        let written = img.write_to_dir(&dir).unwrap();
+        assert!(written > 0);
+        let back = CkptImage::read_from_dir(&dir, 3).unwrap();
+        assert_eq!(back, img);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let dir = std::env::temp_dir().join("mana2_img_test_missing");
+        assert!(matches!(
+            CkptImage::read_from_dir(&dir, 0),
+            Err(ImageError::Io(_))
+        ));
+    }
+}

@@ -1,0 +1,29 @@
+//! # splitproc — the split-process substrate for MANA-2.0
+//!
+//! Models the split-process architecture of MANA (paper §II-A) in safe
+//! Rust:
+//!
+//! * [`UpperHalf`] — the application's checkpointable memory: named byte
+//!   segments with a typed codec. A checkpoint serializes exactly this.
+//! * [`LowerHalf`] — the live MPI endpoint (an [`mpisim::Proc`]), reachable
+//!   only through a charged FS-register context switch and never saved.
+//! * [`FsMode`]/[`ContextSwitcher`] — the §III-G cost model for the
+//!   upper↔lower transition (kernel call vs workaround vs FSGSBASE).
+//! * [`codec`] — versioned binary serialization used by all checkpoint
+//!   metadata.
+//! * [`CkptImage`] — per-rank checkpoint image files with CRC'd sections.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+mod fsreg;
+mod image;
+mod lowerhalf;
+mod upperhalf;
+
+pub use codec::{crc32, CodecError, Decode, Encode, Reader};
+pub use fsreg::{ContextSwitcher, FsMode};
+pub use image::{CkptImage, ImageError};
+pub use lowerhalf::LowerHalf;
+pub use upperhalf::UpperHalf;

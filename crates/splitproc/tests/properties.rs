@@ -1,0 +1,110 @@
+//! Property-based tests for the checkpoint codec and image format.
+
+use proptest::prelude::*;
+use splitproc::{crc32, CkptImage, Decode, Encode, ImageError, UpperHalf};
+use std::collections::BTreeMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn codec_roundtrip_nested(
+        v in proptest::collection::vec(
+            (any::<u64>(), proptest::option::of(any::<i64>()),
+             proptest::collection::vec(any::<u8>(), 0..16)),
+            0..16)
+    ) {
+        let bytes = v.to_bytes();
+        let back = Vec::<(u64, Option<i64>, Vec<u8>)>::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn codec_roundtrip_strings(s in proptest::collection::vec(".*", 0..8)) {
+        let bytes = s.to_bytes();
+        prop_assert_eq!(Vec::<String>::from_bytes(&bytes).unwrap(), s);
+    }
+
+    #[test]
+    fn codec_roundtrip_map(
+        m in proptest::collection::btree_map(any::<u64>(), any::<i64>(), 0..32)
+    ) {
+        let bytes = m.to_bytes();
+        prop_assert_eq!(BTreeMap::<u64, i64>::from_bytes(&bytes).unwrap(), m);
+    }
+
+    #[test]
+    fn truncated_codec_input_never_panics(
+        v in proptest::collection::vec(any::<u64>(), 0..16),
+        cut in any::<usize>(),
+    ) {
+        let bytes = v.to_bytes();
+        let cut = cut % (bytes.len() + 1);
+        // Must return an error or a (possibly different) value — never panic.
+        let _ = Vec::<u64>::from_bytes(&bytes[..cut]);
+    }
+
+    #[test]
+    fn random_bytes_never_panic_decoders(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Vec::<String>::from_bytes(&bytes);
+        let _ = Vec::<(u64, Vec<u8>)>::from_bytes(&bytes);
+        let _ = UpperHalf::from_bytes(&bytes);
+        let _ = CkptImage::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn upperhalf_roundtrip(
+        segs in proptest::collection::btree_map(
+            "[a-z]{1,8}", proptest::collection::vec(any::<u8>(), 0..64), 0..8)
+    ) {
+        let mut uh = UpperHalf::new();
+        for (k, v) in &segs {
+            uh.write_segment(k, v.clone());
+        }
+        let back = UpperHalf::from_bytes(&uh.to_bytes()).unwrap();
+        prop_assert_eq!(&back, &uh);
+        prop_assert_eq!(back.total_bytes(), segs.values().map(|v| v.len()).sum::<usize>());
+    }
+
+    #[test]
+    fn image_roundtrip(
+        rank in 0usize..4096,
+        world in 1usize..8192,
+        round in any::<u64>(),
+        upper in proptest::collection::vec(any::<u8>(), 0..128),
+        meta in proptest::collection::vec(any::<u8>(), 0..128),
+    ) {
+        let img = CkptImage { rank, world_size: world, round, upper, meta };
+        let back = CkptImage::from_bytes(&img.to_bytes()).unwrap();
+        prop_assert_eq!(back, img);
+    }
+
+    #[test]
+    fn single_bitflip_in_payload_is_detected(
+        upper in proptest::collection::vec(any::<u8>(), 1..64),
+        meta in proptest::collection::vec(any::<u8>(), 1..64),
+        flip_byte in any::<usize>(),
+        flip_bit in 0u8..8,
+    ) {
+        let img = CkptImage { rank: 1, world_size: 2, round: 0, upper, meta };
+        let mut bytes = img.to_bytes();
+        let header = bytes.len() - img.upper.len() - img.meta.len();
+        let idx = header + flip_byte % (img.upper.len() + img.meta.len());
+        bytes[idx] ^= 1 << flip_bit;
+        let corrupt_detected = matches!(
+            CkptImage::from_bytes(&bytes),
+            Err(ImageError::BadCrc { .. })
+        );
+        prop_assert!(corrupt_detected, "bit flip went undetected");
+    }
+
+    #[test]
+    fn crc_differs_on_append(data in proptest::collection::vec(any::<u8>(), 0..128), extra in any::<u8>()) {
+        let a = crc32(&data);
+        let mut d2 = data.clone();
+        d2.push(extra);
+        // Appending a byte changes the CRC (always true for CRC-32 with
+        // nonzero init).
+        prop_assert_ne!(a, crc32(&d2));
+    }
+}

@@ -1,0 +1,26 @@
+//! # workloads — synthetic HPC applications for the MANA-2.0 reproduction
+//!
+//! The paper evaluates MANA-2.0 with GROMACS (point-to-point-intensive
+//! molecular dynamics) and VASP (collective-intensive materials science).
+//! This crate provides deterministic, resumable kernels with the same
+//! communication skeletons, written against the [`MpiFace`] trait so the
+//! *identical* workload code runs natively on `mpisim` (the Fig. 2 / Table
+//! II baselines) and under `mana-core` (the measured system):
+//!
+//! * [`gromacs`] — halo-exchange MD kernel (Fig. 2, Fig. 3).
+//! * [`vasp`] — SCF kernel with the nine Table I cases (Table I, Table II,
+//!   Fig. 4).
+//! * [`cg`] — a conjugate-gradient solver whose numerical convergence is
+//!   an end-to-end correctness oracle across checkpoint/restart.
+//! * [`scenarios`] — the §III-E deadlock pattern and the §III-J straggler.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cg;
+pub mod face;
+pub mod gromacs;
+pub mod scenarios;
+pub mod vasp;
+
+pub use face::{CommH, ManaFace, MpiFace, NativeFace, ReqH, WlError, WlResult, COMM_WORLD};

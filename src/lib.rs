@@ -1,0 +1,4 @@
+pub use mana_core;
+pub use mpisim;
+pub use splitproc;
+pub use workloads;

@@ -1,0 +1,209 @@
+//! Repo-level integration tests spanning all crates: the full stack of
+//! simulator → split-process → MANA layer → workloads.
+
+use mana2::mana_core::{
+    CallbackStyle, DrainMode, ManaConfig, ManaRuntime, RestartMode, TpcMode, VtBackend,
+};
+use mana2::mpisim::WorldCfg;
+use mana2::splitproc::FsMode;
+use mana2::workloads::{gromacs, ManaFace};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn ckpt_dir(name: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("mana2_fs_{}_{}", name, std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn wcfg() -> WorldCfg {
+    WorldCfg {
+        watchdog: Some(Duration::from_secs(120)),
+        ..WorldCfg::default()
+    }
+}
+
+fn md_cfg(steps: u64) -> gromacs::GromacsConfig {
+    gromacs::GromacsConfig {
+        atoms_per_rank: 64,
+        steps,
+        compute_per_step: 0,
+        energy_interval: 3,
+        halo: 8,
+        ckpt_at_step: None,
+        ckpt_round: 0,
+    }
+}
+
+#[test]
+fn ten_checkpoint_rounds_like_fig3() {
+    // The paper checkpoints GROMACS ten times in a row (Fig. 3). Here:
+    // ten resume-mode rounds over a longer MD run, all transparent.
+    let n = 4;
+    let dir = ckpt_dir("ten_rounds");
+    let cfg = ManaConfig {
+        ckpt_dir: dir.clone(),
+        ..ManaConfig::default()
+    };
+    let md = md_cfg(40);
+    let report = ManaRuntime::new(n, cfg)
+        .with_world_cfg(wcfg())
+        .run_fresh(move |m| {
+            let world = m.comm_world();
+            let mut f = ManaFace::new(m);
+            // Interleave: request a checkpoint every 4 steps from inside
+            // the workload by running it in 10 chunks.
+            let mut cfg = md.clone();
+            for chunk in 0..10u64 {
+                cfg.steps = (chunk + 1) * 4;
+                cfg.ckpt_at_step = Some(chunk * 4 + 1);
+                cfg.ckpt_round = chunk;
+                gromacs::run(&mut f, &cfg).map_err(|e| e.into_mana())?;
+            }
+            let _ = world;
+            gromacs::run(&mut f, &md_cfg(40)).map_err(|e| e.into_mana())
+        })
+        .unwrap();
+    assert_eq!(report.coord.rounds.len(), 10, "ten checkpoint rounds");
+    // Every round produced images; sizes are stable across rounds (state
+    // size does not change).
+    let sizes: Vec<u64> = report
+        .coord
+        .rounds
+        .iter()
+        .map(|r| r.total_image_bytes)
+        .collect();
+    assert!(sizes.iter().all(|&s| s > 0));
+    let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+    assert!(
+        *max < min + min / 2,
+        "image sizes should be stable across rounds: {sizes:?}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn image_size_scales_with_application_state() {
+    let n = 2;
+    let mut sizes = Vec::new();
+    for atoms in [64usize, 256, 1024] {
+        let dir = ckpt_dir(&format!("size_{atoms}"));
+        let cfg = ManaConfig {
+            ckpt_dir: dir.clone(),
+            ..ManaConfig::default()
+        };
+        let md = gromacs::GromacsConfig {
+            atoms_per_rank: atoms,
+            steps: 4,
+            compute_per_step: 0,
+            energy_interval: 2,
+            halo: 8,
+            ckpt_at_step: Some(1),
+            ckpt_round: 0,
+        };
+        let report = ManaRuntime::new(n, cfg)
+            .with_world_cfg(wcfg())
+            .run_fresh(move |m| {
+                let mut f = ManaFace::new(m);
+                gromacs::run(&mut f, &md).map_err(|e| e.into_mana())
+            })
+            .unwrap();
+        sizes.push(report.coord.rounds[0].total_image_bytes);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    assert!(
+        sizes[0] < sizes[1] && sizes[1] < sizes[2],
+        "checkpoint size must grow with state: {sizes:?}"
+    );
+}
+
+#[test]
+fn configuration_matrix_smoke() {
+    // Representative corners of the configuration space all survive a
+    // checkpoint+resume round of the MD workload.
+    let combos: Vec<(&str, ManaConfig)> = vec![
+        (
+            "modern",
+            ManaConfig {
+                ckpt_dir: ckpt_dir("cfg_modern"),
+                ..ManaConfig::default()
+            },
+        ),
+        (
+            "master",
+            ManaConfig {
+                ckpt_dir: ckpt_dir("cfg_master"),
+                ..ManaConfig::master_branch()
+            },
+        ),
+        (
+            "legacy_drain",
+            ManaConfig {
+                drain: DrainMode::Coordinator,
+                ckpt_dir: ckpt_dir("cfg_ldrain"),
+                ..ManaConfig::default()
+            },
+        ),
+        (
+            "linear_vtable_lambda",
+            ManaConfig {
+                vtable: VtBackend::Linear,
+                callback_style: CallbackStyle::Lambda,
+                ckpt_dir: ckpt_dir("cfg_linlam"),
+                ..ManaConfig::default()
+            },
+        ),
+        (
+            "fsgsbase_replaylog",
+            ManaConfig {
+                fs_mode: FsMode::Fsgsbase,
+                restart_mode: RestartMode::ReplayLog,
+                ckpt_dir: ckpt_dir("cfg_fsgr"),
+                ..ManaConfig::default()
+            },
+        ),
+        (
+            "original_btree",
+            ManaConfig {
+                tpc: TpcMode::Original,
+                vtable: VtBackend::BTree,
+                ckpt_dir: ckpt_dir("cfg_origbt"),
+                ..ManaConfig::default()
+            },
+        ),
+    ];
+    let mut energies = Vec::new();
+    for (name, cfg) in combos {
+        let dir = cfg.ckpt_dir.clone();
+        let md = gromacs::GromacsConfig {
+            ckpt_at_step: Some(2),
+            ..md_cfg(6)
+        };
+        let report = ManaRuntime::new(3, cfg)
+            .with_world_cfg(wcfg())
+            .run_fresh(move |m| {
+                let mut f = ManaFace::new(m);
+                gromacs::run(&mut f, &md).map_err(|e| e.into_mana())
+            })
+            .unwrap_or_else(|e| panic!("config {name} failed: {e}"));
+        let vals = report.values();
+        energies.push((name, vals[0].energy));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    // Transparency across configurations: every config computes the same
+    // physics.
+    let first = energies[0].1;
+    for (name, e) in &energies {
+        assert_eq!(*e, first, "config {name} changed application results");
+    }
+}
+
+#[test]
+fn facade_reexports_work() {
+    // The facade crate exposes all four layers.
+    let _ = mana2::mpisim::MachineProfile::haswell();
+    let _ = mana2::splitproc::FsMode::Workaround;
+    let _ = mana2::mana_core::VCOMM_WORLD;
+    let cases = mana2::workloads::vasp::table1_cases();
+    assert_eq!(cases.len(), 9);
+}
