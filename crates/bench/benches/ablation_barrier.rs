@@ -10,7 +10,6 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use mana_bench::{scratch_dir, world_cfg};
 use mana_core::{ManaConfig, ManaRuntime, TpcMode};
 use mpisim::{MachineProfile, ReduceOp};
-use std::hint::black_box;
 
 fn bcast_loop(tpc: TpcMode, ranks: usize, iters: u64) {
     let cfg = ManaConfig {
@@ -62,10 +61,10 @@ fn bench(c: &mut Criterion) {
     let ranks = 4;
     for tpc in [TpcMode::Hybrid, TpcMode::Original] {
         g.bench_function(format!("bcast_{tpc:?}"), |b| {
-            b.iter(|| black_box(bcast_loop(tpc, ranks, 20)))
+            b.iter(|| bcast_loop(tpc, ranks, 20))
         });
         g.bench_function(format!("allreduce_{tpc:?}"), |b| {
-            b.iter(|| black_box(allreduce_loop(tpc, ranks, 20)))
+            b.iter(|| allreduce_loop(tpc, ranks, 20))
         });
     }
     g.finish();

@@ -8,7 +8,6 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use mana_bench::{scratch_dir, world_cfg};
 use mana_core::{DrainMode, ManaConfig, ManaRuntime};
 use mpisim::MachineProfile;
-use std::hint::black_box;
 
 /// One checkpoint with in-flight p2p traffic, under the given drain mode.
 fn ckpt_with_traffic(drain: DrainMode, ranks: usize) {
@@ -46,7 +45,7 @@ fn bench(c: &mut Criterion) {
         ("alltoall", DrainMode::Alltoall),
         ("coordinator", DrainMode::Coordinator),
     ] {
-        g.bench_function(name, |b| b.iter(|| black_box(ckpt_with_traffic(mode, 4))));
+        g.bench_function(name, |b| b.iter(|| ckpt_with_traffic(mode, 4)));
     }
     g.finish();
 }

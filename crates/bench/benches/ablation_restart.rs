@@ -9,7 +9,6 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mana_bench::world_cfg;
 use mana_core::{ManaConfig, ManaRuntime, RestartMode};
 use mpisim::{MachineProfile, ReduceOp};
-use std::hint::black_box;
 use std::path::PathBuf;
 
 /// Prepare images for a run that created (and freed) `churn` communicators,
@@ -25,7 +24,11 @@ fn prepare(churn: u64, mode: RestartMode, tag: &str) -> (PathBuf, ManaConfig) {
     let rt = ManaRuntime::new(4, cfg.clone()).with_world_cfg(world_cfg(MachineProfile::zero()));
     rt.run_fresh(move |m| {
         let w = m.comm_world();
-        let done = m.upper().read_value::<u64>("done").transpose()?.unwrap_or(0);
+        let done = m
+            .upper()
+            .read_value::<u64>("done")
+            .transpose()?
+            .unwrap_or(0);
         if done == 0 {
             for _ in 0..churn {
                 let d = m.comm_dup(w)?;
@@ -61,17 +64,13 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     for churn in [4u64, 16] {
         let (dir_a, cfg_a) = prepare(churn, RestartMode::ActiveList, "abl_rs_active");
-        g.bench_with_input(
-            BenchmarkId::new("active_list", churn),
-            &churn,
-            |b, _| b.iter(|| black_box(restart_once(&cfg_a))),
-        );
+        g.bench_with_input(BenchmarkId::new("active_list", churn), &churn, |b, _| {
+            b.iter(|| restart_once(&cfg_a))
+        });
         let (dir_b, cfg_b) = prepare(churn, RestartMode::ReplayLog, "abl_rs_replay");
-        g.bench_with_input(
-            BenchmarkId::new("replay_log", churn),
-            &churn,
-            |b, _| b.iter(|| black_box(restart_once(&cfg_b))),
-        );
+        g.bench_with_input(BenchmarkId::new("replay_log", churn), &churn, |b, _| {
+            b.iter(|| restart_once(&cfg_b))
+        });
         let _ = std::fs::remove_dir_all(dir_a);
         let _ = std::fs::remove_dir_all(dir_b);
     }

@@ -5,7 +5,6 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use mana_bench::{scratch_dir, world_cfg};
 use mana_core::{ManaConfig, ManaRuntime};
 use mpisim::MachineProfile;
-use std::hint::black_box;
 use workloads::{gromacs, ManaFace};
 
 fn md(ckpt: Option<u64>) -> gromacs::GromacsConfig {
@@ -63,11 +62,9 @@ fn restart_cycle(ranks: usize) {
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig3_ckpt_restart");
     g.sample_size(10);
-    g.bench_function("checkpoint_resume_run", |b| {
-        b.iter(|| black_box(ckpt_round(4)))
-    });
+    g.bench_function("checkpoint_resume_run", |b| b.iter(|| ckpt_round(4)));
     g.bench_function("checkpoint_kill_restart_cycle", |b| {
-        b.iter(|| black_box(restart_cycle(4)))
+        b.iter(|| restart_cycle(4))
     });
     g.finish();
 }

@@ -116,6 +116,7 @@ fn clone_coord(c: &mana_core::CoordReport) -> mana_core::CoordReport {
     mana_core::CoordReport {
         rounds: c.rounds.clone(),
         skipped_requests: c.skipped_requests,
+        invariant_violations: c.invariant_violations.clone(),
     }
 }
 

@@ -1,0 +1,84 @@
+//! The seeded chaos suite: sweep deterministic fault plans across the
+//! (workload × drain-mode) matrix and demand transparency — identical
+//! results to the native run — under every plan.
+//!
+//! Each sweep uses a disjoint seed range, so the four matrix tests cover
+//! 36 distinct seeds. A failure shrinks itself to a minimal fault spec
+//! and prints a one-line repro:
+//!
+//! ```text
+//! CHAOS_SEED=<seed> cargo test -p chaos --test chaos_suite seed_replay -- --nocapture
+//! ```
+
+use chaos::{check_case, env_base_seed, env_seed, env_sweep_count, ChaosCase, Workload};
+use mana_core::DrainMode;
+
+fn sweep(base: u64, count: u64, workload: Workload, drain: DrainMode) {
+    let mut triggered = 0usize;
+    for seed in base..base + count {
+        let case = ChaosCase::derive(seed, workload, drain);
+        match check_case(&case) {
+            Ok(report) => {
+                if report.rounds > 0 {
+                    triggered += 1;
+                }
+            }
+            Err(msg) => panic!("{msg}"),
+        }
+    }
+    // The sweep is only meaningful if the adversarial trigger actually
+    // lands checkpoints; an all-quiet sweep means the plan generator broke.
+    assert!(
+        triggered > 0,
+        "no seed in {base}..{} produced a checkpoint round",
+        base + count
+    );
+}
+
+#[test]
+fn gromacs_alltoall_seeds() {
+    sweep(1_000, 9, Workload::Gromacs, DrainMode::Alltoall);
+}
+
+#[test]
+fn gromacs_coordinator_seeds() {
+    sweep(2_000, 9, Workload::Gromacs, DrainMode::Coordinator);
+}
+
+#[test]
+fn cg_alltoall_seeds() {
+    sweep(3_000, 9, Workload::Cg, DrainMode::Alltoall);
+}
+
+#[test]
+fn cg_coordinator_seeds() {
+    sweep(4_000, 9, Workload::Cg, DrainMode::Coordinator);
+}
+
+/// Replay hook: `CHAOS_SEED=<seed>` reruns exactly one failing scenario
+/// (workload, drain mode, world size, restart mode, and every per-message
+/// decision are all functions of the seed).
+#[test]
+fn seed_replay() {
+    let seed = env_seed().unwrap_or(0x00C0_FFEE);
+    let case = ChaosCase::from_seed(seed);
+    eprintln!("seed_replay: {case:?}");
+    if let Err(msg) = check_case(&case) {
+        panic!("{msg}");
+    }
+}
+
+/// CI fresh-seed sweep: `CHAOS_BASE_SEED` (the nightly job passes its run
+/// id) selects a window of brand-new seeds, `CHAOS_SWEEP_COUNT` its width.
+/// Defaults keep routine runs fast; nightly asks for 32.
+#[test]
+fn fresh_sweep() {
+    let base = env_base_seed();
+    let count = env_sweep_count();
+    for i in 0..count {
+        let case = ChaosCase::from_seed(base.wrapping_add(i));
+        if let Err(msg) = check_case(&case) {
+            panic!("{msg}");
+        }
+    }
+}

@@ -313,7 +313,12 @@ impl CollOp {
 
     fn frame_collected(&mut self, n: usize) -> Vec<u8> {
         let chunks: Vec<Vec<u8>> = (0..n)
-            .map(|i| self.collected.get(i).and_then(|c| c.clone()).unwrap_or_default())
+            .map(|i| {
+                self.collected
+                    .get(i)
+                    .and_then(|c| c.clone())
+                    .unwrap_or_default()
+            })
             .collect();
         mpisim::frame_chunks(&chunks)
     }
@@ -427,7 +432,8 @@ impl CollOp {
                 return Ok(false);
             }
             let part = self.slots[0].data.take().unwrap_or_default();
-            reduce_bytes(self.dt, self.op, &mut self.acc, &part).map_err(crate::error::ManaError::Mpi)?;
+            reduce_bytes(self.dt, self.op, &mut self.acc, &part)
+                .map_err(crate::error::ManaError::Mpi)?;
             self.slots.clear();
             self.phase += 1;
         }
@@ -717,8 +723,7 @@ impl Decode for CollOp {
         Ok(CollOp {
             id: u64::decode(r)?,
             vcomm: VComm::decode(r)?,
-            kind: EmuKind::from_code(u8::decode(r)?)
-                .map_err(|_| CodecError::InvalidTag(255))?,
+            kind: EmuKind::from_code(u8::decode(r)?).map_err(|_| CodecError::InvalidTag(255))?,
             seq: u64::decode(r)?,
             root: usize::decode(r)?,
             dt: dt_from(u8::decode(r)?).map_err(|_| CodecError::InvalidTag(254))?,
@@ -766,8 +771,11 @@ mod tests {
     /// In-memory multi-rank fabric for driving state machines.
     #[derive(Default)]
     struct MockNet {
-        boxes: RefCell<std::collections::HashMap<(usize, usize, i32), VecDeque<Vec<u8>>>>,
+        boxes: RefCell<Boxes>,
     }
+
+    /// (src, dst, tag) -> queued payloads.
+    type Boxes = std::collections::HashMap<(usize, usize, i32), VecDeque<Vec<u8>>>;
 
     struct MockIo {
         me: usize,
@@ -838,8 +846,7 @@ mod tests {
     fn barrier_completes_all_sizes() {
         for n in [1, 2, 3, 4, 5, 8, 13] {
             let (mut ios, _) = world(n);
-            let mut ops: Vec<CollOp> =
-                (0..n).map(|_| CollOp::barrier(0, VCOMM_WORLD, 7)).collect();
+            let mut ops: Vec<CollOp> = (0..n).map(|_| CollOp::barrier(0, VCOMM_WORLD, 7)).collect();
             drive(&mut ops, &mut ios);
             assert!(ops.iter().all(|o| o.done), "n={n}");
         }
@@ -971,8 +978,7 @@ mod tests {
         let (mut ios, _) = world(n);
         let mut ops: Vec<CollOp> = (0..n)
             .map(|me| {
-                let inputs: Vec<Vec<u8>> =
-                    (0..n).map(|j| vec![(me * 10 + j) as u8]).collect();
+                let inputs: Vec<Vec<u8>> = (0..n).map(|j| vec![(me * 10 + j) as u8]).collect();
                 CollOp::alltoall(0, VCOMM_WORLD, 0, inputs)
             })
             .collect();
@@ -1066,7 +1072,10 @@ mod tests {
         let d = emu_tag(EmuKind::Allreduce, 1, 1);
         let e = emu_tag(EmuKind::Allreduce, 0, 1);
         for t in [a, b, c, d, e] {
-            assert!(t >= MANA_TAG_BASE && t < mpisim::MAX_USER_TAG, "tag {t}");
+            assert!(
+                (MANA_TAG_BASE..mpisim::MAX_USER_TAG).contains(&t),
+                "tag {t}"
+            );
         }
         assert_ne!(a, b);
         assert_ne!(a, c);

@@ -59,7 +59,10 @@ impl Decode for CommRecord {
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
         Ok(CommRecord {
             vid: u64::decode(r)?,
-            world_ranks: Vec::<u64>::decode(r)?.into_iter().map(|v| v as usize).collect(),
+            world_ranks: Vec::<u64>::decode(r)?
+                .into_iter()
+                .map(|v| v as usize)
+                .collect(),
             gid: u64::decode(r)?,
             freed: bool::decode(r)?,
         })
@@ -111,7 +114,10 @@ impl Decode for CommCall {
         match u8::decode(r)? {
             1 => Ok(CommCall::Create {
                 vid: u64::decode(r)?,
-                world_ranks: Vec::<u64>::decode(r)?.into_iter().map(|v| v as usize).collect(),
+                world_ranks: Vec::<u64>::decode(r)?
+                    .into_iter()
+                    .map(|v| v as usize)
+                    .collect(),
             }),
             2 => Ok(CommCall::Free {
                 vid: u64::decode(r)?,
@@ -249,6 +255,40 @@ impl CommManager {
         self.table.len()
     }
 
+    /// Checkpoint-window invariant (§III-C): the active-communicator list
+    /// and the live virtual→real bindings must agree. Every active record
+    /// this rank belongs to needs a real communicator behind it (it is
+    /// what restart will recreate, so it must exist now), and every live
+    /// binding needs an active record (a binding without a record would be
+    /// invisible to restart — a silent leak). `me` is this rank's world
+    /// rank.
+    pub fn check_active_bound(&self, me: usize) -> std::result::Result<(), String> {
+        for rec in self.active_records() {
+            if rec.world_ranks.contains(&me) && self.real(VComm(rec.vid)).is_none() {
+                return Err(format!(
+                    "active communicator {} (gid {:#x}) has no real binding on rank {me}",
+                    rec.vid, rec.gid
+                ));
+            }
+        }
+        for vid in self.table.sorted_vids() {
+            match self.records.get(&vid) {
+                None => {
+                    return Err(format!(
+                        "live communicator binding {vid} has no record (leak on rank {me})"
+                    ));
+                }
+                Some(rec) if rec.freed => {
+                    return Err(format!(
+                        "freed communicator {vid} still has a live binding on rank {me}"
+                    ));
+                }
+                Some(_) => {}
+            }
+        }
+        Ok(())
+    }
+
     /// Length of the replay log (ablation metric).
     pub fn replay_log_len(&self) -> usize {
         self.replay_log.len()
@@ -322,6 +362,25 @@ mod tests {
         let rec = m.record(VCOMM_WORLD).unwrap();
         assert_eq!(rec.world_ranks, vec![0, 1, 2, 3]);
         assert!(!rec.freed);
+    }
+
+    #[test]
+    fn active_bound_invariant_catches_leaks() {
+        let mut m = mgr();
+        assert!(m.check_active_bound(0).is_ok());
+        let vc = m.register(vec![0, 2], Comm::from_ctx(5));
+        assert!(m.check_active_bound(0).is_ok());
+        // Rank 1 is not a member of {0, 2}; the missing binding there is
+        // legal.
+        assert!(m.check_active_bound(1).is_ok());
+        m.free(vc);
+        assert!(m.check_active_bound(0).is_ok());
+        // Re-registering then tampering: an active record with no binding
+        // is a violation for its members.
+        let vc2 = m.register(vec![0, 1], Comm::from_ctx(9));
+        m.table.remove(vc2.0);
+        let err = m.check_active_bound(0).unwrap_err();
+        assert!(err.contains("no real binding"), "{err}");
     }
 
     #[test]

@@ -72,6 +72,11 @@ pub struct ManaConfig {
     /// [`crate::runtime::RuntimeError::Deadlock`] carrying a per-rank
     /// blocked-state report instead of hanging.
     pub deadlock_timeout: Option<Duration>,
+    /// Deterministic fault plan for chaos testing. Threads the same seeded
+    /// plan through the fabric (delays/reordering), the coordinator
+    /// channel (latency), and the MANA layer (checkpoint triggers, ready
+    /// stalls). `None` disables all injection.
+    pub fault: Option<std::sync::Arc<mpisim::FaultPlan>>,
 }
 
 impl Default for ManaConfig {
@@ -87,6 +92,7 @@ impl Default for ManaConfig {
             ckpt_dir: std::env::temp_dir().join("mana2_ckpt"),
             poll_interval: Duration::from_micros(500),
             deadlock_timeout: None,
+            fault: None,
         }
     }
 }

@@ -103,6 +103,10 @@ pub struct CoordHandle {
     round: Arc<AtomicU64>,
     to_coord: Sender<RankMsg>,
     from_coord: Receiver<CoordMsg>,
+    /// Fault plan injecting latency into rank→coordinator messages.
+    fault: Option<Arc<mpisim::FaultPlan>>,
+    /// Per-rank counter identifying each sent message to the fault plan.
+    sent_msgs: Arc<AtomicU64>,
 }
 
 impl CoordHandle {
@@ -122,8 +126,18 @@ impl CoordHandle {
         self.rank
     }
 
-    /// Send a message to the coordinator.
+    /// Send a message to the coordinator. Under a fault plan, a seeded
+    /// subset of messages is delayed first — modelling a slow control
+    /// network between a rank and the DMTCP-style coordinator, which
+    /// widens the window between a rank parking and the coordinator
+    /// noticing.
     pub fn send(&self, msg: RankMsg) -> crate::error::Result<()> {
+        if let Some(fp) = &self.fault {
+            let k = self.sent_msgs.fetch_add(1, Ordering::Relaxed);
+            if let Some(d) = fp.coord_delay(self.rank, k) {
+                std::thread::sleep(d);
+            }
+        }
         self.to_coord
             .send(msg)
             .map_err(|_| crate::error::ManaError::CoordinatorGone)
@@ -169,7 +183,18 @@ pub struct CoordReport {
     pub rounds: Vec<CkptRoundStats>,
     /// Checkpoint requests ignored because ranks had already finished.
     pub skipped_requests: u64,
+    /// Commit-time invariant violations, one entry per failing round. A
+    /// non-empty list means a checkpoint committed over a broken global
+    /// state (e.g. user traffic still in flight after the drain); the
+    /// runtime converts it into an error.
+    pub invariant_violations: Vec<String>,
 }
+
+/// Global invariant checker run by the coordinator at the commit point of
+/// every round — after all `CkptDone`, before intent drops and `Resume`/
+/// `Exit` is broadcast. Receives the round number; returns a description
+/// of the violation if the committed global state is inconsistent.
+pub type CommitCheck = Box<dyn Fn(u64) -> std::result::Result<(), String> + Send>;
 
 /// Spawn the coordinator thread for a world of `n` ranks.
 ///
@@ -178,6 +203,21 @@ pub struct CoordReport {
 pub fn spawn_coordinator(
     n: usize,
     exit_after_ckpt: bool,
+) -> (
+    Vec<CoordHandle>,
+    CkptTrigger,
+    std::thread::JoinHandle<CoordReport>,
+) {
+    spawn_coordinator_ext(n, exit_after_ckpt, None, None)
+}
+
+/// [`spawn_coordinator`] with fault injection and a commit-time invariant
+/// checker.
+pub fn spawn_coordinator_ext(
+    n: usize,
+    exit_after_ckpt: bool,
+    fault: Option<Arc<mpisim::FaultPlan>>,
+    commit_check: Option<CommitCheck>,
 ) -> (
     Vec<CoordHandle>,
     CkptTrigger,
@@ -197,6 +237,8 @@ pub fn spawn_coordinator(
             round: round.clone(),
             to_coord: to_coord.clone(),
             from_coord: rx,
+            fault: fault.clone(),
+            sent_msgs: Arc::new(AtomicU64::new(0)),
         });
     }
     let trigger = CkptTrigger {
@@ -204,7 +246,17 @@ pub fn spawn_coordinator(
     };
     let join = std::thread::Builder::new()
         .name("mana-coordinator".into())
-        .spawn(move || coordinator_loop(n, exit_after_ckpt, intent, round, from_ranks, rank_txs))
+        .spawn(move || {
+            coordinator_loop(
+                n,
+                exit_after_ckpt,
+                intent,
+                round,
+                from_ranks,
+                rank_txs,
+                commit_check,
+            )
+        })
         .expect("spawn coordinator");
     (handles, trigger, join)
 }
@@ -216,6 +268,7 @@ fn coordinator_loop(
     round_ctr: Arc<AtomicU64>,
     from_ranks: Receiver<RankMsg>,
     rank_txs: Vec<Sender<CoordMsg>>,
+    commit_check: Option<CommitCheck>,
 ) -> CoordReport {
     let mut report = CoordReport::default();
     let mut finished = vec![false; n];
@@ -323,6 +376,18 @@ fn coordinator_loop(
                     }
                 }
                 let write = t1.elapsed();
+
+                // Commit point: every rank drained and wrote its image,
+                // none has resumed. This is the only instant where the
+                // global quiesced state is observable — run the invariant
+                // checker here, before intent drops.
+                if let Some(check) = &commit_check {
+                    if let Err(v) = check(round) {
+                        report
+                            .invariant_violations
+                            .push(format!("round {round}: {v}"));
+                    }
+                }
 
                 // Phase 4: resume or kill. Intent must drop *before* the
                 // broadcast: the channel receive synchronizes-with the
@@ -501,10 +566,7 @@ mod tests {
                         recvd: if h.rank() == 1 { 10 } else { 0 },
                     })
                     .unwrap();
-                    assert_eq!(
-                        h.recv().unwrap(),
-                        CoordMsg::DrainVerdict { balanced: true }
-                    );
+                    assert_eq!(h.recv().unwrap(), CoordMsg::DrainVerdict { balanced: true });
                     h.send(RankMsg::CkptDone {
                         rank: h.rank(),
                         image_bytes: 1,
@@ -524,6 +586,46 @@ mod tests {
         // Legacy drain cost shows up in the message counter: 2 reports + 2
         // verdicts per round × 2 rounds on top of the base 3-per-rank.
         assert!(report.rounds[0].coord_msgs > 3 * n as u64);
+    }
+
+    #[test]
+    fn commit_check_failure_is_recorded() {
+        let n = 2;
+        let check: CommitCheck =
+            Box::new(|round| Err(format!("synthetic violation in round {round}")));
+        let (handles, trigger, join) = spawn_coordinator_ext(n, false, None, Some(check));
+        trigger.checkpoint();
+        let threads: Vec<_> = handles
+            .into_iter()
+            .map(|h| {
+                std::thread::spawn(move || {
+                    while !h.intent() {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    h.send(RankMsg::Ready {
+                        rank: h.rank(),
+                        in_collective: None,
+                    })
+                    .unwrap();
+                    assert!(matches!(h.recv().unwrap(), CoordMsg::Go { .. }));
+                    h.send(RankMsg::CkptDone {
+                        rank: h.rank(),
+                        image_bytes: 1,
+                    })
+                    .unwrap();
+                    assert_eq!(h.recv().unwrap(), CoordMsg::Resume);
+                    h.send(RankMsg::Finishing { rank: h.rank() }).unwrap();
+                    assert_eq!(h.recv().unwrap(), CoordMsg::FinishAck);
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let report = join.join().unwrap();
+        assert_eq!(report.rounds.len(), 1);
+        assert_eq!(report.invariant_violations.len(), 1);
+        assert!(report.invariant_violations[0].contains("round 0"));
     }
 
     #[test]

@@ -28,6 +28,12 @@ pub enum ManaError {
     CoordinatorGone,
     /// Restart-time inconsistency (e.g. image world size mismatch).
     RestartMismatch(String),
+    /// A checkpoint-window invariant was violated: the drain left traffic
+    /// in flight, a request is in an illegal retirement state, or the
+    /// active-communicator list disagrees with the live bindings. Always a
+    /// bug in the checkpoint protocol, never an application error — the
+    /// chaos suite exists to surface these.
+    InvariantViolation(String),
 }
 
 impl fmt::Display for ManaError {
@@ -44,6 +50,9 @@ impl fmt::Display for ManaError {
             ManaError::CkptExit => write!(f, "checkpoint written; exiting as configured"),
             ManaError::CoordinatorGone => write!(f, "checkpoint coordinator disappeared"),
             ManaError::RestartMismatch(s) => write!(f, "restart mismatch: {s}"),
+            ManaError::InvariantViolation(s) => {
+                write!(f, "checkpoint invariant violated: {s}")
+            }
         }
     }
 }

@@ -1,0 +1,69 @@
+//! Per-rank checkpoint-window invariant checks.
+//!
+//! The drain algorithm (paper §III-B) ends with a *claim*: every byte this
+//! rank was owed has been pulled out of the network, every request it
+//! drained is parked for two-step retirement (§III-A), and the
+//! active-communicator list (§III-C) describes exactly the communicators a
+//! restart must rebuild. These checks turn the claim into an assertion,
+//! executed after every drain and before the image is written — so a
+//! protocol bug fails the checkpoint loudly instead of writing an image
+//! that replays wrong.
+//!
+//! The coordinator runs a complementary *global* check at the commit point
+//! (all `CkptDone` received, no rank resumed): user-class in-flight
+//! traffic across the whole fabric must be `(0, 0)`. See
+//! [`crate::coordinator::CommitCheck`].
+
+use crate::error::{ManaError, Result};
+use crate::ids::VComm;
+use crate::mana::Mana;
+
+impl Mana<'_> {
+    /// Assert the per-rank checkpoint-window invariants. Called after the
+    /// drain in the checkpoint body; any violation aborts the checkpoint
+    /// with [`ManaError::InvariantViolation`].
+    ///
+    /// 1. **Drain completeness** — no user-class message is still owed to
+    ///    this rank (mailbox or fault-injection limbo). The alltoall row
+    ///    exchange said our deficits were zero; the network must agree.
+    /// 2. **Request legality** — every live request is in a state two-step
+    ///    retirement can handle (see
+    ///    [`crate::requests::RequestManager::check_retirement_invariants`]).
+    /// 3. **Active-list consistency** — the active-communicator records and
+    ///    the live virtual→real bindings describe the same set (see
+    ///    [`crate::comm_mgr::CommManager::check_active_bound`]).
+    pub(crate) fn check_ckpt_invariants(&mut self) -> Result<()> {
+        let me = self.rank();
+        let queued = self.lh.call(|p| p.queued_user_msgs());
+        if queued != 0 {
+            return Err(ManaError::InvariantViolation(format!(
+                "rank {me}: drain finished with {queued} user message(s) still owed"
+            )));
+        }
+        self.reqs
+            .check_retirement_invariants()
+            .map_err(|v| ManaError::InvariantViolation(format!("rank {me}: {v}")))?;
+        self.comms
+            .check_active_bound(me)
+            .map_err(|v| ManaError::InvariantViolation(format!("rank {me}: {v}")))?;
+        // Every in-flight emulated collective must reference an active
+        // communicator: the restart path replays it over the rebuilt
+        // communicator, which only exists if the record is active.
+        for id in self.collops.sorted_ids() {
+            if let Some(op) = self.collops.get(id) {
+                let vc: VComm = op.vcomm;
+                match self.comms.record(vc) {
+                    Some(rec) if !rec.freed => {}
+                    _ => {
+                        return Err(ManaError::InvariantViolation(format!(
+                            "rank {me}: in-flight collective {id} references \
+                             inactive communicator {}",
+                            vc.0
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}

@@ -58,6 +58,7 @@ pub mod error;
 pub mod fortran;
 pub mod fxhash;
 pub mod ids;
+mod invariants;
 mod mana;
 mod mana_ckpt;
 mod mana_coll;
@@ -72,7 +73,10 @@ pub use callbacks::{CallbackStyle, CommitState};
 pub use collective_emu::{emu_tag, CollOp, CollOpTable, EmuIo, EmuKind, IRecvSlot, MANA_TAG_BASE};
 pub use comm_mgr::{global_comm_id, CommManager, CommRecord};
 pub use config::{DrainMode, ManaConfig, RestartMode, TpcMode};
-pub use coordinator::{spawn_coordinator, CkptRoundStats, CkptTrigger, CoordHandle, CoordReport};
+pub use coordinator::{
+    spawn_coordinator, spawn_coordinator_ext, CkptRoundStats, CkptTrigger, CommitCheck,
+    CoordHandle, CoordReport,
+};
 pub use error::{ManaError, Result};
 pub use fortran::{FortranConstants, NamedConstant};
 pub use ids::{VComm, VReq, VCOMM_NULL, VCOMM_WORLD, VREQ_NULL};

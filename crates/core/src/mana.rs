@@ -74,6 +74,10 @@ pub struct Mana<'p> {
     pub(crate) cur_collective_gid: Option<u64>,
     pub(crate) round: u64,
     pub(crate) stats: ManaStats,
+    /// Whether this rank's fault-plan checkpoint trigger already fired
+    /// (once per process lifetime; restarts reset it but the round guard
+    /// keeps the trigger from re-firing).
+    pub(crate) fault_triggered: bool,
 }
 
 impl<'p> Mana<'p> {
@@ -96,6 +100,7 @@ impl<'p> Mana<'p> {
             cur_collective_gid: None,
             round: 0,
             stats: ManaStats::default(),
+            fault_triggered: false,
             cfg,
         }
     }
@@ -237,17 +242,15 @@ impl<'p> Mana<'p> {
         let style = self.cfg.callback_style;
         self.commit.enter(style);
         let real = self.real_comm(vc)?;
-        let out = (|| {
-            match self.lh.call(|p| p.comm_split(real, color, key))? {
-                None => Ok(None),
-                Some(new_real) => {
-                    let ranks = self
-                        .lh
-                        .call(|p| p.group_of(new_real))?
-                        .translate_all()
-                        .to_vec();
-                    Ok(Some(self.comms.register(ranks, new_real)))
-                }
+        let out = (|| match self.lh.call(|p| p.comm_split(real, color, key))? {
+            None => Ok(None),
+            Some(new_real) => {
+                let ranks = self
+                    .lh
+                    .call(|p| p.group_of(new_real))?
+                    .translate_all()
+                    .to_vec();
+                Ok(Some(self.comms.register(ranks, new_real)))
             }
         })();
         self.commit.exit(style);
@@ -394,10 +397,7 @@ impl<'p> Mana<'p> {
     }
 
     fn test_inner(&mut self, req: &mut VReq) -> Result<Option<Completion>> {
-        let entry = self
-            .reqs
-            .entry(*req)
-            .ok_or(ManaError::InvalidVReq(req.0))?;
+        let entry = self.reqs.entry(*req).ok_or(ManaError::InvalidVReq(req.0))?;
         let kind = entry.kind.clone();
         let binding = entry.binding.clone();
         match (kind, binding) {
@@ -435,7 +435,14 @@ impl<'p> Mana<'p> {
                 *req = VREQ_NULL;
                 Ok(Some(c))
             }
-            (VReqKind::SendP2p { dst_world, tag, len }, Binding::Real(raw)) => {
+            (
+                VReqKind::SendP2p {
+                    dst_world,
+                    tag,
+                    len,
+                },
+                Binding::Real(raw),
+            ) => {
                 // Eager sends: the lower half completes them at post time.
                 let res = self.lh.call(|p| p.test(RReq::from_raw(raw)))?;
                 debug_assert!(res.is_some(), "eager send must be complete");
@@ -625,7 +632,8 @@ impl<'p> Mana<'p> {
     /// `MPI_Free_mem`.
     pub fn free_mem(&mut self, handle: u64) -> bool {
         self.stats.wrapper_calls += 1;
-        self.upper.remove_segment(&format!("mana_mem_{handle:016x}"))
+        self.upper
+            .remove_segment(&format!("mana_mem_{handle:016x}"))
     }
 
     // ---- compute & lifecycle ---------------------------------------------
@@ -668,8 +676,7 @@ impl<'p> Mana<'p> {
             return Ok(());
         }
         let bit = (self.coord.intent() && !self.in_ckpt && !self.commit.ckpt_disabled()) as u64;
-        let agreed =
-            self.allreduce_t(crate::ids::VCOMM_WORLD, mpisim::ReduceOp::Lor, &[bit])?;
+        let agreed = self.allreduce_t(crate::ids::VCOMM_WORLD, mpisim::ReduceOp::Lor, &[bit])?;
         if agreed[0] != 0 {
             self.enter_checkpoint()
         } else {
@@ -808,13 +815,13 @@ impl Mana<'_> {
             return Err(ManaError::InvalidVReq(0));
         }
         loop {
-            for i in 0..reqs.len() {
-                if reqs[i].is_null() {
+            for (i, req) in reqs.iter_mut().enumerate() {
+                if req.is_null() {
                     continue;
                 }
-                let mut r = reqs[i];
+                let mut r = *req;
                 if let Some(c) = self.test(&mut r)? {
-                    reqs[i] = r; // VREQ_NULL after retirement
+                    *req = r; // VREQ_NULL after retirement
                     return Ok((i, c));
                 }
             }

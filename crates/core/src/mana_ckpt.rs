@@ -26,7 +26,7 @@ use crate::error::{ManaError, Result};
 use crate::ids::{VComm, VCOMM_WORLD};
 use crate::mana::Mana;
 use crate::p2p_log::{DrainBuffer, DrainedMsg, P2pLog};
-use crate::requests::{Binding, RequestMeta, RequestManager, StoredCompletion, VReqKind};
+use crate::requests::{Binding, RequestManager, RequestMeta, StoredCompletion, VReqKind};
 use mpisim::{fnv1a_usizes, Comm, Group, Proc, RReq, SrcSel, TagSel};
 use splitproc::{CkptImage, Decode, Encode, LowerHalf, Reader, UpperHalf};
 
@@ -80,6 +80,23 @@ impl<'p> Mana<'p> {
     /// step boundaries act on intent, so restart re-enters the application
     /// at a committed step.
     pub(crate) fn maybe_checkpoint(&mut self, at_step: bool) -> Result<()> {
+        // Fault-plan checkpoint trigger: the chosen rank requests a round
+        // once its wrapper-call counter crosses the plan's threshold. That
+        // lands the intent at whatever the plan picked — possibly
+        // mid-collective or with requests pending. Fires once, on the
+        // first pass only (round 0): a restarted run resumes at round ≥ 1
+        // and must not re-trigger forever.
+        if let Some(fp) = self.cfg.fault.clone() {
+            if !self.fault_triggered
+                && self.round == 0
+                && !self.in_ckpt
+                && !self.exited
+                && fp.should_trigger(self.rank(), self.stats.wrapper_calls)
+            {
+                self.fault_triggered = true;
+                self.coord.request_checkpoint()?;
+            }
+        }
         if !self.coord.intent() || self.in_ckpt || self.commit.ckpt_disabled() || self.exited {
             return Ok(());
         }
@@ -104,6 +121,17 @@ impl<'p> Mana<'p> {
     pub(crate) fn enter_checkpoint(&mut self) -> Result<()> {
         self.in_ckpt = true;
         let res = (|| {
+            // Fault-plan ready stall: the chosen straggler sleeps inside
+            // the intent window, stretching the coordinator's quiesce the
+            // way a slow rank would at scale (§III-J pressure).
+            if let Some(d) = self
+                .cfg
+                .fault
+                .as_ref()
+                .and_then(|fp| fp.ready_stall(self.rank()))
+            {
+                std::thread::sleep(d);
+            }
             self.coord.send(RankMsg::Ready {
                 rank: self.rank(),
                 in_collective: self.cur_collective_gid,
@@ -132,6 +160,11 @@ impl<'p> Mana<'p> {
             DrainMode::Alltoall => self.drain_alltoall()?,
             DrainMode::Coordinator => self.drain_coordinator()?,
         }
+        // The drain just claimed the network is empty for this rank and
+        // every request is parked in a legal state — assert it before the
+        // image is written, so a protocol bug fails the checkpoint instead
+        // of poisoning the image.
+        self.check_ckpt_invariants()?;
         // Serialize and write the image.
         let meta = ManaMeta {
             comm: self.comms.to_meta(),
@@ -420,7 +453,8 @@ impl<'p> Mana<'p> {
                         continue;
                     }
                     let group = Group::new(rec.world_ranks.clone())?;
-                    let tag = fnv1a_usizes(&[0x7E57A7_usize, rec.gid as usize, image.round as usize]);
+                    let tag =
+                        fnv1a_usizes(&[0x7E57A7_usize, rec.gid as usize, image.round as usize]);
                     let real = lh.call(|p| p.comm_create_from_group(&group, tag))?;
                     comms.rebind(rec.vid, real);
                     stats.restored_comms += 1;
@@ -437,11 +471,8 @@ impl<'p> Mana<'p> {
                             }
                             let group = Group::new(world_ranks.clone())?;
                             let gid = crate::comm_mgr::global_comm_id(world_ranks);
-                            let tag = fnv1a_usizes(&[
-                                0x7E57A7_usize,
-                                gid as usize,
-                                image.round as usize,
-                            ]);
+                            let tag =
+                                fnv1a_usizes(&[0x7E57A7_usize, gid as usize, image.round as usize]);
                             let real = lh.call(|p| p.comm_create_from_group(&group, tag))?;
                             comms.rebind(*vid, real);
                             stats.replayed_calls += 1;
@@ -471,6 +502,7 @@ impl<'p> Mana<'p> {
             cur_collective_gid: None,
             round: image.round + 1,
             stats,
+            fault_triggered: false,
             cfg,
         };
         mana.restore_wins(&meta.wins)?;

@@ -144,7 +144,8 @@ impl Mana<'_> {
         let me = self.comm_rank(vc)?;
         let seq = self.comms.next_emu_seq(vc);
         let id = self.collops.next_id();
-        let out = self.run_collective(CollOp::reduce(id, vc, seq, root, dt, op, contrib.to_vec()))?;
+        let out =
+            self.run_collective(CollOp::reduce(id, vc, seq, root, dt, op, contrib.to_vec()))?;
         Ok((me == root).then_some(out))
     }
 
@@ -204,7 +205,7 @@ impl Mana<'_> {
         contrib: &[T],
     ) -> Result<Vec<T>> {
         let bytes = self.allreduce(vc, T::DATATYPE, op, &mpisim::encode_slice(contrib))?;
-        Ok(mpisim::decode_slice(&bytes).map_err(ManaError::Mpi)?)
+        mpisim::decode_slice(&bytes).map_err(ManaError::Mpi)
     }
 
     /// Typed `MPI_Bcast`.
@@ -259,7 +260,8 @@ impl Mana<'_> {
 
     /// `MPI_Ibarrier`.
     pub fn ibarrier(&mut self, vc: VComm) -> Result<VReq> {
-        self.lh.call(|p| p.record_collective_public(CollKind::Barrier));
+        self.lh
+            .call(|p| p.record_collective_public(CollKind::Barrier));
         let seq = self.comms.next_emu_seq(vc);
         let id = self.collops.next_id();
         self.nb_collective(CollOp::barrier(id, vc, seq))
@@ -268,7 +270,8 @@ impl Mana<'_> {
     /// `MPI_Ibcast`; the payload arrives in the completion's `data` on
     /// every rank.
     pub fn ibcast(&mut self, vc: VComm, root: usize, data: Vec<u8>) -> Result<VReq> {
-        self.lh.call(|p| p.record_collective_public(CollKind::Bcast));
+        self.lh
+            .call(|p| p.record_collective_public(CollKind::Bcast));
         let me = self.comm_rank(vc)?;
         let seq = self.comms.next_emu_seq(vc);
         let id = self.collops.next_id();

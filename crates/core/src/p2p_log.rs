@@ -35,14 +35,22 @@ impl P2pLog {
     }
 
     /// Count an outgoing user message.
+    ///
+    /// Each message is charged `bytes + 1`: one virtual header byte on top
+    /// of the payload. Zero-byte messages (an emulated barrier's chunks,
+    /// an empty user send) would otherwise be invisible to the deficit
+    /// computation and could survive a "complete" drain inside the
+    /// network. Both sides of every pair charge the same way, so deficits
+    /// reach zero exactly when byte counts *and* message counts agree.
     pub fn count_send(&mut self, dst_world: usize, bytes: usize) {
-        self.sent[dst_world] += bytes as u64;
+        self.sent[dst_world] += bytes as u64 + 1;
         self.msgs_sent += 1;
     }
 
-    /// Count a completed incoming user message.
+    /// Count a completed incoming user message (same `bytes + 1` charge
+    /// as [`P2pLog::count_send`]).
     pub fn count_recv(&mut self, src_world: usize, bytes: usize) {
-        self.recvd[src_world] += bytes as u64;
+        self.recvd[src_world] += bytes as u64 + 1;
         self.msgs_recvd += 1;
     }
 
@@ -168,7 +176,7 @@ impl DrainBuffer {
     ) -> Option<DrainedMsg> {
         let pos = self.msgs.iter().position(|m| {
             m.vcomm == vcomm
-                && src_world.map_or(true, |s| m.src_world == s)
+                && src_world.is_none_or(|s| m.src_world == s)
                 && match tag {
                     TagSel::Tag(t) => m.tag == t,
                     TagSel::Any => true,
@@ -179,10 +187,15 @@ impl DrainBuffer {
     }
 
     /// Peek (iprobe against the buffer).
-    pub fn peek_match(&self, vcomm: VComm, src_world: Option<usize>, tag: TagSel) -> Option<&DrainedMsg> {
+    pub fn peek_match(
+        &self,
+        vcomm: VComm,
+        src_world: Option<usize>,
+        tag: TagSel,
+    ) -> Option<&DrainedMsg> {
         self.msgs.iter().find(|m| {
             m.vcomm == vcomm
-                && src_world.map_or(true, |s| m.src_world == s)
+                && src_world.is_none_or(|s| m.src_world == s)
                 && match tag {
                     TagSel::Tag(t) => m.tag == t,
                     TagSel::Any => true,
@@ -225,14 +238,30 @@ mod tests {
         log.count_send(1, 100);
         log.count_send(1, 50);
         log.count_recv(2, 30);
-        assert_eq!(log.sent_row(), &[0, 150, 0]);
-        assert_eq!(log.recvd_row(), &[0, 0, 30]);
-        assert_eq!(log.totals(), (150, 30));
+        // Each message is charged payload + 1 virtual header byte.
+        assert_eq!(log.sent_row(), &[0, 152, 0]);
+        assert_eq!(log.recvd_row(), &[0, 0, 31]);
+        assert_eq!(log.totals(), (152, 31));
         assert_eq!(log.msg_counts(), (2, 1));
         // Peers claim: rank0 sent me 0, rank1 sent me 20, rank2 sent me 80.
-        assert_eq!(log.deficits(&[0, 20, 80]), vec![0, 20, 50]);
+        assert_eq!(log.deficits(&[0, 20, 80]), vec![0, 20, 49]);
         log.reset();
         assert_eq!(log.totals(), (0, 0));
+    }
+
+    #[test]
+    fn zero_byte_messages_create_deficits() {
+        // An empty payload (emulated-barrier chunk, zero-length user send)
+        // must still show up in the row exchange, or the drain would leave
+        // it in the network and it would be lost across an exit-restart.
+        let mut sender = P2pLog::new(2);
+        sender.count_send(1, 0);
+        assert_eq!(sender.sent_row(), &[0, 1]);
+        let receiver = P2pLog::new(2);
+        assert_eq!(receiver.deficits(&[1, 0]), vec![1, 0]);
+        let mut receiver = receiver;
+        receiver.count_recv(0, 0);
+        assert_eq!(receiver.deficits(&[1, 0]), vec![0, 0]);
     }
 
     #[test]

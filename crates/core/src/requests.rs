@@ -164,6 +164,54 @@ impl RequestManager {
         self.table.len()
     }
 
+    /// Checkpoint-window invariant: every live request must be in a legal
+    /// retirement state once the drain has finished. Returns a description
+    /// of the first violation found.
+    ///
+    /// Legal states after a drain:
+    /// * sends are eager, so a `SendP2p` is complete the moment it is
+    ///   posted — it is either still `Real` (complete, unretired) or has
+    ///   been collapsed to `NullPending(None)`. `Unbound` would mean a
+    ///   send lost its lower-half object while the process was alive, and
+    ///   a parked completion payload on a send is nonsense;
+    /// * receives may be in any state (`Real`/`Unbound` pending,
+    ///   `NullPending` drained);
+    /// * emulated collectives track their state in the CollOp table, never
+    ///   in a lower-half request — a `Real` binding on a `Coll` entry is a
+    ///   leak.
+    ///
+    /// The lifecycle counters must also balance the table.
+    pub fn check_retirement_invariants(&self) -> std::result::Result<(), String> {
+        for vid in self.table.sorted_vids() {
+            let e = self.table.lookup(vid).expect("sorted vid is live");
+            match (&e.kind, &e.binding) {
+                (VReqKind::SendP2p { .. }, Binding::Unbound) => {
+                    return Err(format!("send request {vid} lost its binding (Unbound)"));
+                }
+                (VReqKind::SendP2p { .. }, Binding::NullPending(Some(_))) => {
+                    return Err(format!(
+                        "send request {vid} has a parked receive completion"
+                    ));
+                }
+                (VReqKind::Coll { op_id }, Binding::Real(raw)) => {
+                    return Err(format!(
+                        "collective request {vid} (op {op_id}) bound to raw request {raw}"
+                    ));
+                }
+                _ => {}
+            }
+        }
+        let (created, retired) = self.lifecycle_counts();
+        if created - retired != self.live() as u64 {
+            return Err(format!(
+                "request lifecycle out of balance: created {created} - retired {retired} \
+                 != live {}",
+                self.live()
+            ));
+        }
+        Ok(())
+    }
+
     /// (created, retired) counters.
     pub fn lifecycle_counts(&self) -> (u64, u64) {
         (self.created, self.retired)
@@ -250,7 +298,11 @@ fn decode_tagsel(r: &mut Reader<'_>) -> Result<TagSel, CodecError> {
 impl Encode for VReqKind {
     fn encode(&self, out: &mut Vec<u8>) {
         match self {
-            VReqKind::SendP2p { dst_world, tag, len } => {
+            VReqKind::SendP2p {
+                dst_world,
+                tag,
+                len,
+            } => {
                 0u8.encode(out);
                 dst_world.encode(out);
                 tag.encode(out);
@@ -452,11 +504,14 @@ mod tests {
             Binding::Real(100),
         );
         let r = m.create(recv_kind(), Binding::Real(200));
-        let nulled = m.create(recv_kind(), Binding::NullPending(Some(StoredCompletion {
-            src_world: 2,
-            tag: 5,
-            payload: vec![1],
-        })));
+        let nulled = m.create(
+            recv_kind(),
+            Binding::NullPending(Some(StoredCompletion {
+                src_world: 2,
+                tag: 5,
+                payload: vec![1],
+            })),
+        );
 
         let meta = m.to_meta();
         let bytes = meta.to_bytes();
@@ -481,6 +536,44 @@ mod tests {
         let mut restored = restored;
         let fresh = restored.create(recv_kind(), Binding::Unbound);
         assert!(fresh.0 > nulled.0);
+    }
+
+    #[test]
+    fn retirement_invariants_catch_illegal_states() {
+        let mut m = RequestManager::new(VtBackend::FxHash);
+        let send = m.create(
+            VReqKind::SendP2p {
+                dst_world: 1,
+                tag: 0,
+                len: 4,
+            },
+            Binding::Real(1),
+        );
+        m.create(recv_kind(), Binding::Unbound);
+        m.create(recv_kind(), Binding::NullPending(None));
+        assert!(m.check_retirement_invariants().is_ok());
+
+        // A send with a parked receive completion is illegal.
+        m.mark_null(
+            send,
+            Some(StoredCompletion {
+                src_world: 0,
+                tag: 0,
+                payload: vec![],
+            }),
+        );
+        let err = m.check_retirement_invariants().unwrap_err();
+        assert!(err.contains("parked receive completion"), "{err}");
+
+        m.retire(send);
+        assert!(m.check_retirement_invariants().is_ok());
+
+        // A collective bound to a raw lower-half request is a leak.
+        let c = m.create(VReqKind::Coll { op_id: 3 }, Binding::Real(9));
+        let err = m.check_retirement_invariants().unwrap_err();
+        assert!(err.contains("collective request"), "{err}");
+        m.retire(c);
+        assert!(m.check_retirement_invariants().is_ok());
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! re-entered — it finds its position in upper-half memory and continues.
 
 use crate::config::ManaConfig;
-use crate::coordinator::{spawn_coordinator, CkptTrigger, CoordReport};
+use crate::coordinator::{spawn_coordinator_ext, CkptTrigger, CommitCheck, CoordReport};
 use crate::error::{ManaError, Result};
 use crate::mana::{Mana, ManaStats};
 use mpisim::{StatsSnapshot, World, WorldCfg};
@@ -85,6 +85,10 @@ pub enum RuntimeError {
     /// The tools-interface deadlock detector fired; the payload is the
     /// per-rank blocked-state report.
     Deadlock(String),
+    /// The coordinator's commit-time invariant checker found the global
+    /// quiesced state inconsistent (e.g. user traffic still in flight when
+    /// a checkpoint round committed). The payload lists the violations.
+    Invariant(String),
 }
 
 impl fmt::Display for RuntimeError {
@@ -93,6 +97,9 @@ impl fmt::Display for RuntimeError {
             RuntimeError::World(s) => write!(f, "world failure: {s}"),
             RuntimeError::Rank(r, e) => write!(f, "rank {r}: {e}"),
             RuntimeError::Deadlock(report) => write!(f, "deadlock detected:\n{report}"),
+            RuntimeError::Invariant(s) => {
+                write!(f, "checkpoint commit invariant violated: {s}")
+            }
         }
     }
 }
@@ -177,12 +184,36 @@ impl ManaRuntime {
         F: Fn(&mut Mana<'_>) -> Result<T> + Send + Sync,
         G: FnOnce(CkptTrigger) + Send + 'static,
     {
-        let (handles, trigger, coord_join) = spawn_coordinator(self.n, self.cfg.exit_after_ckpt);
+        // The world must exist before the coordinator: the commit-time
+        // invariant checker captures an introspection handle over it.
+        let mut world_cfg = self.world_cfg.clone();
+        if world_cfg.fault.is_none() {
+            world_cfg.fault = self.cfg.fault.clone();
+        }
+        let world = World::new(self.n, world_cfg);
+        let commit_check: CommitCheck = {
+            let intro = world.introspect();
+            Box::new(move |round| {
+                let (msgs, bytes) = intro.user_in_flight();
+                if msgs != 0 || bytes != 0 {
+                    return Err(format!(
+                        "round {round} committed with user traffic in flight: \
+                         {msgs} message(s) / {bytes} byte(s)"
+                    ));
+                }
+                Ok(())
+            })
+        };
+        let (handles, trigger, coord_join) = spawn_coordinator_ext(
+            self.n,
+            self.cfg.exit_after_ckpt,
+            self.cfg.fault.clone(),
+            Some(commit_check),
+        );
         let driver_join = driver.map(|d| {
             let t = trigger.clone();
             std::thread::spawn(move || d(t))
         });
-        let world = World::new(self.n, self.world_cfg.clone());
         // Optional tools-interface deadlock detector (paper conclusion).
         let detector = self.cfg.deadlock_timeout.map(|window| {
             let intro = world.introspect();
@@ -194,10 +225,18 @@ impl ManaRuntime {
                 let mut stuck_since: Option<std::time::Instant> = None;
                 let mut last: Option<Vec<mpisim::RankActivity>> = None;
                 loop {
-                    if stop2.load(Ordering::Relaxed) {
-                        return None;
+                    // Sleep one sampling slice, but in small chunks: the
+                    // teardown path joins this thread, so a coarse sleep
+                    // would stall every run's shutdown by up to a slice.
+                    let mut slept = std::time::Duration::ZERO;
+                    while slept < slice {
+                        if stop2.load(Ordering::Relaxed) {
+                            return None;
+                        }
+                        let step = std::time::Duration::from_millis(20).min(slice - slept);
+                        std::thread::sleep(step);
+                        slept += step;
                     }
-                    std::thread::sleep(slice);
                     let snap = intro.activity();
                     let all_blocked = snap.iter().all(|a| a.blocked.is_some());
                     let unchanged = last.as_ref() == Some(&snap);
@@ -302,6 +341,11 @@ impl ManaRuntime {
                 }
                 Err(e) => return Err(RuntimeError::Rank(rank, e)),
             }
+        }
+        if !coord.invariant_violations.is_empty() {
+            return Err(RuntimeError::Invariant(
+                coord.invariant_violations.join("; "),
+            ));
         }
         Ok(RunReport {
             outcomes,

@@ -156,7 +156,7 @@ fn iprobe_sees_drain_buffer_after_checkpoint() {
                 Ok(0)
             } else {
                 m.barrier(w)?; // message drained during the checkpoint here
-                // iprobe must surface the buffered message.
+                               // iprobe must surface the buffered message.
                 let st = m.iprobe(w, SrcSel::Rank(0), TagSel::Tag(6))?;
                 let st = st.expect("drained message visible to iprobe");
                 assert_eq!(st.len, 3);

@@ -164,11 +164,7 @@ fn step_workload(m: &mut mana_core::Mana<'_>, total_steps: u64) -> mana_core::Re
         .read_value::<u64>("step")
         .transpose()?
         .unwrap_or(0);
-    let mut acc = m
-        .upper()
-        .read_value::<u64>("acc")
-        .transpose()?
-        .unwrap_or(0);
+    let mut acc = m.upper().read_value::<u64>("acc").transpose()?.unwrap_or(0);
     while step < total_steps {
         if step == 3 && m.round() == 0 && m.rank() == 0 {
             m.request_checkpoint()?;
@@ -303,12 +299,7 @@ fn replay_log_restart_recreates_freed_comms() {
             }
             m.step_commit()?;
         }
-        let keep = mana_core::VComm(
-            m.upper()
-                .read_value::<u64>("keep")
-                .transpose()?
-                .unwrap(),
-        );
+        let keep = mana_core::VComm(m.upper().read_value::<u64>("keep").transpose()?.unwrap());
         let sum = m.allreduce_t(keep, ReduceOp::Sum, &[1u64])?;
         let stats = m.stats();
         Ok((sum[0], stats.replayed_calls))
@@ -371,7 +362,10 @@ fn original_tpc_deadlocks_hybrid_does_not() {
         .with_world_cfg(deadline)
         .run_fresh(scenario);
     assert!(
-        matches!(res, Err(RuntimeError::Rank(_, _)) | Err(RuntimeError::World(_))),
+        matches!(
+            res,
+            Err(RuntimeError::Rank(_, _)) | Err(RuntimeError::World(_))
+        ),
         "original 2PC must deadlock here"
     );
 }
@@ -519,12 +513,7 @@ fn pending_irecv_reposts_after_restart() {
             m.send_t(w, 1, 5, &[77u64])?;
             Ok(0)
         } else {
-            let mut req = VReq(
-                m.upper()
-                    .read_value::<u64>("req")
-                    .transpose()?
-                    .unwrap(),
-            );
+            let mut req = VReq(m.upper().read_value::<u64>("req").transpose()?.unwrap());
             let c = m.wait(&mut req)?;
             Ok(mpisim::decode_slice::<u64>(&c.data).unwrap()[0])
         }
@@ -540,6 +529,73 @@ fn pending_irecv_reposts_after_restart() {
         .run_restart(work)
         .unwrap();
     assert_eq!(pass2.values(), vec![0, 77]);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn drained_irecv_completion_survives_restart() {
+    // §III-A two-step retirement split across an exit-restart cycle.
+    // Step one happens before the exit: the drain completes the posted
+    // irecv and parks the payload as a stored completion inside the
+    // image. Step two happens in the *restarted* process: the
+    // application's wait observes the nulled binding, hands the stored
+    // payload over, and retires the virtual request.
+    let n = 2;
+    let mut config = cfg("two_step_restart");
+    config.exit_after_ckpt = true;
+    let dir = config.ckpt_dir.clone();
+
+    let work = |m: &mut mana_core::Mana<'_>| -> mana_core::Result<u64> {
+        let w = m.comm_world();
+        let phase = m
+            .upper()
+            .read_value::<u64>("phase")
+            .transpose()?
+            .unwrap_or(0);
+        if phase == 0 {
+            if m.rank() == 1 {
+                let req = m.irecv(w, SrcSel::Rank(0), TagSel::Tag(9))?;
+                m.upper_mut().write_value("req", &req.0);
+            } else {
+                // Counted in the sent row before the trigger, so rank 1's
+                // drain cannot finish without claiming this message.
+                m.send_t(w, 1, 9, &[0xBEEFu64, 0xCAFE])?;
+                m.request_checkpoint()?;
+            }
+            m.upper_mut().write_value("phase", &1u64);
+            m.step_commit()?; // checkpoint-and-exit happens here
+        }
+        if m.rank() == 1 {
+            let mut req = VReq(
+                m.upper()
+                    .read_value::<u64>("req")
+                    .transpose()?
+                    .expect("saved request id"),
+            );
+            let c = m.wait(&mut req)?;
+            assert!(req.is_null(), "step two must null the request variable");
+            assert_eq!(m.live_requests(), 0, "table fully pruned after step two");
+            Ok(mpisim::decode_slice::<u64>(&c.data).unwrap()[0])
+        } else {
+            Ok(0)
+        }
+    };
+
+    let pass1 = ManaRuntime::new(n, config.clone())
+        .with_world_cfg(wcfg())
+        .run_fresh(work)
+        .unwrap();
+    assert!(pass1.all_checkpointed(), "{:?}", pass1.outcomes);
+    assert!(
+        pass1.rank_stats[1].drained_msgs >= 1,
+        "the irecv must be completed by the drain (step one), not the app"
+    );
+
+    let pass2 = ManaRuntime::new(n, config)
+        .with_world_cfg(wcfg())
+        .run_restart(work)
+        .unwrap();
+    assert_eq!(pass2.values(), vec![0, 0xBEEF]);
     std::fs::remove_dir_all(&dir).ok();
 }
 
@@ -607,7 +663,10 @@ fn master_branch_config_smoke() {
         })
         .unwrap();
     assert!(report.all_finished());
-    assert!(report.rank_stats[0].tpc_barriers > 0, "original 2PC barriers ran");
+    assert!(
+        report.rank_stats[0].tpc_barriers > 0,
+        "original 2PC barriers ran"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
 

@@ -71,7 +71,7 @@ fn window_contents_survive_resume_checkpoint() {
                 m.request_checkpoint()?;
             }
             m.barrier(w)?; // checkpoint lands here
-            // Post-resume: contents intact, RMA still works.
+                           // Post-resume: contents intact, RMA still works.
             let mine = m.win_get(win, m.rank(), 0, 1)?[0];
             assert_eq!(mine, 0xC0 | m.rank() as u8);
             m.win_accumulate(

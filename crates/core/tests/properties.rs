@@ -215,8 +215,11 @@ mod emu_resume {
     /// persist across "restarts" exactly like drained messages do.
     #[derive(Default)]
     struct MockNet {
-        boxes: RefCell<std::collections::HashMap<(usize, usize, i32), VecDeque<Vec<u8>>>>,
+        boxes: RefCell<Boxes>,
     }
+
+    /// (src, dst, tag) -> queued payloads.
+    type Boxes = std::collections::HashMap<(usize, usize, i32), VecDeque<Vec<u8>>>;
 
     struct MockIo {
         me: usize,

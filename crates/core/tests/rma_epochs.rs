@@ -21,13 +21,23 @@ fn accumulate_epochs_across_restart() {
     };
     let app = |m: &mut mana_core::Mana<'_>| -> mana_core::Result<u64> {
         let w = m.comm_world();
-        let phase = m.upper().read_value::<u64>("phase").transpose()?.unwrap_or(0);
+        let phase = m
+            .upper()
+            .read_value::<u64>("phase")
+            .transpose()?
+            .unwrap_or(0);
         if phase == 0 {
             let win = m.win_create(w, 8)?;
             m.win_fence(win)?;
             for t in 0..m.world_size() {
-                m.win_accumulate(win, t, 0, Datatype::U64, ReduceOp::Sum,
-                    &mpisim::encode_slice(&[(m.rank() + 1) as u64]))?;
+                m.win_accumulate(
+                    win,
+                    t,
+                    0,
+                    Datatype::U64,
+                    ReduceOp::Sum,
+                    &mpisim::encode_slice(&[(m.rank() + 1) as u64]),
+                )?;
             }
             m.win_fence(win)?;
             m.upper_mut().write_value("win", &win.0);
@@ -42,8 +52,14 @@ fn accumulate_epochs_across_restart() {
         // guarantees every restarted rank has its window rebuilt).
         m.win_fence(win)?;
         for t in 0..m.world_size() {
-            m.win_accumulate(win, t, 0, Datatype::U64, ReduceOp::Sum,
-                &mpisim::encode_slice(&[(m.rank() + 1) as u64]))?;
+            m.win_accumulate(
+                win,
+                t,
+                0,
+                Datatype::U64,
+                ReduceOp::Sum,
+                &mpisim::encode_slice(&[(m.rank() + 1) as u64]),
+            )?;
         }
         m.win_fence(win)?;
         let bytes = m.win_get(win, m.rank(), 0, 8)?;
@@ -51,9 +67,15 @@ fn accumulate_epochs_across_restart() {
         m.win_free(win)?;
         Ok(u64::from_le_bytes(bytes[..8].try_into().unwrap()))
     };
-    let pass1 = ManaRuntime::new(n, cfg.clone()).with_world_cfg(wcfg.clone()).run_fresh(app).unwrap();
+    let pass1 = ManaRuntime::new(n, cfg.clone())
+        .with_world_cfg(wcfg.clone())
+        .run_fresh(app)
+        .unwrap();
     assert!(pass1.all_checkpointed());
-    let pass2 = ManaRuntime::new(n, cfg).with_world_cfg(wcfg).run_restart(app).unwrap();
+    let pass2 = ManaRuntime::new(n, cfg)
+        .with_world_cfg(wcfg)
+        .run_restart(app)
+        .unwrap();
     assert_eq!(pass2.values(), vec![20, 20, 20, 20]);
     let _ = std::fs::remove_dir_all(&dir);
 }

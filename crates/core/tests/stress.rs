@@ -38,11 +38,11 @@ fn randomized_traffic_conserved_across_checkpoint() {
                     .map(|_| (0..n).map(|_| rng.gen_range(0..5u64)).collect())
                     .collect();
                 // Phase 1: fire all sends.
-                for dst in 0..n {
+                for (dst, &planned) in plan[me].iter().enumerate() {
                     if dst == me {
                         continue;
                     }
-                    for k in 0..plan[me][dst] {
+                    for k in 0..planned {
                         let body = vec![(me * 13 + dst * 7 + k as usize) as u8; 16];
                         m.send(w, dst, k as i32, &body)?;
                     }
@@ -54,11 +54,11 @@ fn randomized_traffic_conserved_across_checkpoint() {
                 m.barrier(w)?;
                 // Phase 2: receive everything, verifying content.
                 let mut got = 0u64;
-                for src in 0..n {
+                for (src, row) in plan.iter().enumerate() {
                     if src == me {
                         continue;
                     }
-                    for k in 0..plan[src][me] {
+                    for k in 0..row[me] {
                         let (st, data) = m.recv(w, SrcSel::Rank(src), TagSel::Tag(k as i32))?;
                         assert_eq!(st.source, src);
                         assert_eq!(data, vec![(src * 13 + me * 7 + k as usize) as u8; 16]);

@@ -80,7 +80,14 @@ impl Proc {
         Ok((g, me, n))
     }
 
-    fn coll_send(&self, comm: Comm, group: &Group, dst_local: usize, tag: i32, data: &[u8]) -> Result<()> {
+    fn coll_send(
+        &self,
+        comm: Comm,
+        group: &Group,
+        dst_local: usize,
+        tag: i32,
+        data: &[u8],
+    ) -> Result<()> {
         debug_assert!(group.world_rank(dst_local).is_ok());
         let r = self.isend_class(comm, dst_local, tag, data, MsgClass::Internal)?;
         self.wait(r)?;
@@ -131,7 +138,10 @@ impl Proc {
     ) -> Result<()> {
         let (group, me, n) = self.coll_ctx(comm)?;
         if root >= n {
-            return Err(MpiError::InvalidRank { rank: root, size: n });
+            return Err(MpiError::InvalidRank {
+                rank: root,
+                size: n,
+            });
         }
         let seq = self.next_coll_seq(comm.ctx());
         if n == 1 {
@@ -188,7 +198,10 @@ impl Proc {
     ) -> Result<Option<Vec<u8>>> {
         let (group, me, n) = self.coll_ctx(comm)?;
         if root >= n {
-            return Err(MpiError::InvalidRank { rank: root, size: n });
+            return Err(MpiError::InvalidRank {
+                rank: root,
+                size: n,
+            });
         }
         dt.check_len(contrib.len())?;
         let seq = self.next_coll_seq(comm.ctx());
@@ -273,16 +286,19 @@ impl Proc {
     ) -> Result<Option<Vec<Vec<u8>>>> {
         let (group, me, n) = self.coll_ctx(comm)?;
         if root >= n {
-            return Err(MpiError::InvalidRank { rank: root, size: n });
+            return Err(MpiError::InvalidRank {
+                rank: root,
+                size: n,
+            });
         }
         let seq = self.next_coll_seq(comm.ctx());
         let tag = itag(kind, seq);
         if me == root {
             let mut out = vec![Vec::new(); n];
             out[me] = data.to_vec();
-            for r in 0..n {
+            for (r, slot) in out.iter_mut().enumerate() {
                 if r != root {
-                    out[r] = self.coll_recv(comm, &group, r, tag)?;
+                    *slot = self.coll_recv(comm, &group, r, tag)?;
                 }
             }
             Ok(Some(out))
@@ -308,7 +324,10 @@ impl Proc {
     ) -> Result<Vec<u8>> {
         let (group, me, n) = self.coll_ctx(comm)?;
         if root >= n {
-            return Err(MpiError::InvalidRank { rank: root, size: n });
+            return Err(MpiError::InvalidRank {
+                rank: root,
+                size: n,
+            });
         }
         let seq = self.next_coll_seq(comm.ctx());
         let tag = itag(kind, seq);
@@ -323,9 +342,9 @@ impl Proc {
                     got: chunks.len(),
                 });
             }
-            for r in 0..n {
+            for (r, chunk) in chunks.iter().enumerate() {
                 if r != root {
-                    self.coll_send(comm, &group, r, tag, &chunks[r])?;
+                    self.coll_send(comm, &group, r, tag, chunk)?;
                 }
             }
             Ok(chunks[me].clone())
@@ -388,11 +407,7 @@ impl Proc {
                 }
                 // Stable partition: per color, order by (key, parent local rank).
                 let mut lists = vec![Vec::new(); n];
-                let mut colors: Vec<i64> = rows
-                    .iter()
-                    .map(|r| r.0)
-                    .filter(|&c| c >= 0)
-                    .collect();
+                let mut colors: Vec<i64> = rows.iter().map(|r| r.0).filter(|&c| c >= 0).collect();
                 colors.sort_unstable();
                 colors.dedup();
                 for c in colors {
@@ -423,11 +438,8 @@ impl Proc {
             world_ranks.push(u64::from_le_bytes(mine[off..off + 8].try_into().unwrap()) as usize);
         }
         let new_group = Group::new(world_ranks)?;
-        let tag = crate::group::fnv1a_usizes(&[
-            0x5B117_usize,
-            comm.ctx() as usize,
-            split_seq as usize,
-        ]);
+        let tag =
+            crate::group::fnv1a_usizes(&[0x5B117_usize, comm.ctx() as usize, split_seq as usize]);
         Ok(Some(self.comm_create_from_group(&new_group, tag)?))
     }
 
@@ -444,46 +456,9 @@ impl Proc {
     }
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn frame_roundtrip() {
-        let chunks = vec![vec![1u8, 2], vec![], vec![9u8; 5]];
-        let framed = frame_chunks(&chunks);
-        assert_eq!(unframe_chunks(&framed).unwrap(), chunks);
-    }
-
-    #[test]
-    fn frame_rejects_garbage() {
-        assert!(unframe_chunks(&[1, 2, 3]).is_err());
-        // count says 1 chunk of absurd length
-        let mut bad = Vec::new();
-        bad.extend_from_slice(&1u64.to_le_bytes());
-        bad.extend_from_slice(&1000u64.to_le_bytes());
-        assert!(unframe_chunks(&bad).is_err());
-    }
-
-    #[test]
-    fn itag_is_internal_and_distinct() {
-        let a = itag(CollKind::Barrier, 0);
-        let b = itag(CollKind::Barrier, 1);
-        let c = itag(CollKind::Bcast, 0);
-        assert!(a >= INTERNAL_TAG_BIT);
-        assert_ne!(a, b);
-        assert_ne!(a, c);
-    }
-}
-
 impl Proc {
     /// `MPI_Scatterv`: root supplies variable-size chunks.
-    pub fn scatterv(
-        &self,
-        comm: Comm,
-        root: usize,
-        chunks: Option<&[Vec<u8>]>,
-    ) -> Result<Vec<u8>> {
+    pub fn scatterv(&self, comm: Comm, root: usize, chunks: Option<&[Vec<u8>]>) -> Result<Vec<u8>> {
         // Identical wire protocol to scatter (chunks already carry sizes).
         self.record(CollKind::Scatter);
         self.scatter_impl(comm, root, chunks, CollKind::Scatter)
@@ -527,7 +502,13 @@ impl Proc {
 
     /// `MPI_Exscan` (exclusive prefix): rank 0 receives an empty buffer;
     /// rank *k* receives the reduction of ranks `0..k`.
-    pub fn exscan(&self, comm: Comm, dt: Datatype, op: ReduceOp, contrib: &[u8]) -> Result<Vec<u8>> {
+    pub fn exscan(
+        &self,
+        comm: Comm,
+        dt: Datatype,
+        op: ReduceOp,
+        contrib: &[u8],
+    ) -> Result<Vec<u8>> {
         let (group, me, n) = self.coll_ctx(comm)?;
         self.record(CollKind::Scan);
         dt.check_len(contrib.len())?;
@@ -552,5 +533,37 @@ impl Proc {
             next.clear();
         }
         Ok(before)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let chunks = vec![vec![1u8, 2], vec![], vec![9u8; 5]];
+        let framed = frame_chunks(&chunks);
+        assert_eq!(unframe_chunks(&framed).unwrap(), chunks);
+    }
+
+    #[test]
+    fn frame_rejects_garbage() {
+        assert!(unframe_chunks(&[1, 2, 3]).is_err());
+        // count says 1 chunk of absurd length
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&1u64.to_le_bytes());
+        bad.extend_from_slice(&1000u64.to_le_bytes());
+        assert!(unframe_chunks(&bad).is_err());
+    }
+
+    #[test]
+    fn itag_is_internal_and_distinct() {
+        let a = itag(CollKind::Barrier, 0);
+        let b = itag(CollKind::Barrier, 1);
+        let c = itag(CollKind::Bcast, 0);
+        assert!(a >= INTERNAL_TAG_BIT);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
     }
 }

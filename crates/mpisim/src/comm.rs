@@ -119,9 +119,7 @@ impl CommRegistry {
             None => {
                 let ctx = self.next_ctx.fetch_add(1, Ordering::Relaxed);
                 // Register eagerly so early joiners can use the comm at once.
-                self.map
-                    .lock()
-                    .insert(ctx, (group.clone(), group.size()));
+                self.map.lock().insert(ctx, (group.clone(), group.size()));
                 queue.push_back(PendingCreate {
                     ctx,
                     joined: Vec::with_capacity(group.size()),

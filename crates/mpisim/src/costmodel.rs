@@ -120,9 +120,7 @@ mod tests {
 
     #[test]
     fn knl_compute_slower_than_haswell() {
-        assert!(
-            MachineProfile::knl().compute_ns(100) > MachineProfile::haswell().compute_ns(100)
-        );
+        assert!(MachineProfile::knl().compute_ns(100) > MachineProfile::haswell().compute_ns(100));
     }
 
     #[test]

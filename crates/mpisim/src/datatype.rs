@@ -39,7 +39,7 @@ impl Datatype {
     /// Checks that `bytes` holds a whole number of elements.
     pub fn check_len(self, bytes: usize) -> Result<usize> {
         let sz = self.size();
-        if bytes % sz != 0 {
+        if !bytes.is_multiple_of(sz) {
             Err(MpiError::TypeMismatch {
                 expected_multiple: sz,
                 got: bytes,

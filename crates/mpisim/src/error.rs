@@ -67,7 +67,10 @@ impl fmt::Display for MpiError {
             MpiError::Poisoned => write!(f, "world poisoned by a rank panic"),
             MpiError::InvalidComm(c) => write!(f, "invalid communicator context {c}"),
             MpiError::InvalidRank { rank, size } => {
-                write!(f, "rank {rank} out of range for communicator of size {size}")
+                write!(
+                    f,
+                    "rank {rank} out of range for communicator of size {size}"
+                )
             }
             MpiError::InvalidRequest(r) => write!(f, "invalid or stale request handle {r}"),
             MpiError::TagOutOfRange(t) => write!(f, "tag {t} outside user tag range"),

@@ -278,7 +278,10 @@ mod tests {
         let a = Group::new(vec![0, 1]).unwrap();
         let b = Group::new(vec![1, 0]).unwrap();
         assert_ne!(a.fingerprint(), b.fingerprint());
-        assert_eq!(a.fingerprint(), Group::new(vec![0, 1]).unwrap().fingerprint());
+        assert_eq!(
+            a.fingerprint(),
+            Group::new(vec![0, 1]).unwrap().fingerprint()
+        );
     }
 
     #[test]

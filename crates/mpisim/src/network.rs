@@ -4,11 +4,30 @@
 //! A message deposited by a send stays in its destination mailbox until a
 //! matching receive removes it. [`Network::in_flight`] therefore reports
 //! exactly the state MANA's drain algorithm must empty before a checkpoint.
+//!
+//! # Fault injection
+//!
+//! When built with [`Network::with_fault`], user-class envelopes may be
+//! parked in a per-destination *limbo* buffer instead of being queued
+//! immediately. Limbo'd envelopes are still in flight (the drain algorithm
+//! must account for them) but are invisible to matching until released.
+//! Release happens whenever the destination mailbox is locked — receives
+//! re-lock at least every `PARK_SLICE`, so a held envelope is delivered
+//! within one poll slice of its deadline.
+//!
+//! Matching scans the mailbox queue in arrival order and never consults
+//! the per-pair sequence number, so MPI's non-overtaking guarantee rests
+//! entirely on insertion order. The limbo preserves it two ways: an
+//! envelope whose (src, dst) pair already has a held predecessor is
+//! always held behind it, and the release scan walks entries in insertion
+//! order, skipping every source that still has an earlier held entry.
 
 use crate::envelope::{Envelope, MsgClass};
+use crate::fault::{FaultPlan, Perturb};
 use parking_lot::{Condvar, Mutex, MutexGuard};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// One rank's incoming message queue. Arrival order is preserved; matching
 /// scans in arrival order, which combined with per-(src,dst) sequencing
@@ -24,11 +43,27 @@ pub struct Mailbox {
     pub arrivals: u64,
 }
 
+/// An envelope held back by the fault plan. Every entry carries a
+/// wall-clock deadline so a quiet destination cannot starve it; reorder
+/// entries additionally release early once enough later deliveries have
+/// overtaken them.
+#[derive(Debug)]
+struct LimboEntry {
+    env: Envelope,
+    deadline: Instant,
+    /// Absolute `Mailbox::arrivals` target for reorder releases.
+    release_arrivals: Option<u64>,
+}
+
 /// The fabric shared by all ranks of a world.
 #[derive(Debug)]
 pub struct Network {
     boxes: Vec<Mutex<Mailbox>>,
     cvs: Vec<Condvar>,
+    /// Per-destination limbo for fault-held envelopes. Lock order is
+    /// always mailbox → limbo.
+    limbo: Vec<Mutex<Vec<LimboEntry>>>,
+    fault: Option<Arc<FaultPlan>>,
     arrival: AtomicU64,
     in_flight_msgs: AtomicUsize,
     in_flight_bytes: AtomicUsize,
@@ -36,11 +71,18 @@ pub struct Network {
 }
 
 impl Network {
-    /// Fabric for `n` ranks.
+    /// Fabric for `n` ranks with no fault injection.
     pub fn new(n: usize) -> Self {
+        Self::with_fault(n, None)
+    }
+
+    /// Fabric for `n` ranks, perturbed by `fault` when given.
+    pub fn with_fault(n: usize, fault: Option<Arc<FaultPlan>>) -> Self {
         Network {
             boxes: (0..n).map(|_| Mutex::new(Mailbox::default())).collect(),
             cvs: (0..n).map(|_| Condvar::new()).collect(),
+            limbo: (0..n).map(|_| Mutex::new(Vec::new())).collect(),
+            fault,
             arrival: AtomicU64::new(0),
             in_flight_msgs: AtomicUsize::new(0),
             in_flight_bytes: AtomicUsize::new(0),
@@ -53,41 +95,135 @@ impl Network {
         self.boxes.len()
     }
 
+    /// The active fault plan, if any.
+    pub fn fault(&self) -> Option<&Arc<FaultPlan>> {
+        self.fault.as_ref()
+    }
+
     /// Deposit a message into its destination mailbox and wake the receiver.
-    /// The envelope's `arrival` stamp is assigned here.
+    /// The envelope's `arrival` stamp is assigned at the moment it becomes
+    /// visible to matching — which, under a fault plan, may be after a stay
+    /// in limbo.
     pub fn deposit(&self, mut env: Envelope) {
-        env.arrival = self.arrival.fetch_add(1, Ordering::Relaxed);
         let dst = env.dst;
+        // In-flight accounting happens at send time: a limbo'd envelope is
+        // in the network as far as the drain algorithm is concerned.
         self.in_flight_msgs.fetch_add(1, Ordering::Relaxed);
         self.in_flight_bytes
             .fetch_add(env.payload.len(), Ordering::Relaxed);
         let mut mb = self.boxes[dst].lock();
+        let mut released_held = false;
+        if let Some(fp) = self.fault.clone() {
+            released_held = self.flush_limbo_locked(dst, &mut mb, false);
+            if env.class == MsgClass::User {
+                let mut limbo = self.limbo[dst].lock();
+                let behind_held_pred = limbo.iter().any(|h| h.env.src == env.src);
+                let hold = match fp.perturb(env.src, env.dst, env.seq) {
+                    Perturb::None if !behind_held_pred => None,
+                    // A held predecessor of the same pair forces this
+                    // envelope into limbo too — releasing it first would
+                    // break non-overtaking.
+                    Perturb::None => Some((Instant::now() + fp.hold_deadline(), None)),
+                    Perturb::Delay(d) => Some((Instant::now() + d, None)),
+                    Perturb::Reorder { arrivals } => Some((
+                        Instant::now() + fp.hold_deadline(),
+                        Some(mb.arrivals + arrivals),
+                    )),
+                };
+                if let Some((deadline, release_arrivals)) = hold {
+                    limbo.push(LimboEntry {
+                        env,
+                        deadline,
+                        release_arrivals,
+                    });
+                    drop(limbo);
+                    drop(mb);
+                    if released_held {
+                        self.cvs[dst].notify_all();
+                    }
+                    return;
+                }
+            }
+        }
+        env.arrival = self.arrival.fetch_add(1, Ordering::Relaxed);
         mb.queue.push(env);
         mb.arrivals += 1;
         drop(mb);
+        let _ = released_held;
         self.cvs[dst].notify_all();
     }
 
-    /// Lock rank `dst`'s mailbox for matching.
+    /// Lock rank `dst`'s mailbox for matching. Under a fault plan this is
+    /// also a limbo pump: envelopes whose hold has expired are moved into
+    /// the queue before the guard is returned, so every matching attempt
+    /// sees the freshest legal queue.
     pub fn lock_box(&self, dst: usize) -> MutexGuard<'_, Mailbox> {
-        self.boxes[dst].lock()
+        let mut mb = self.boxes[dst].lock();
+        if self.fault.is_some() {
+            self.flush_limbo_locked(dst, &mut mb, false);
+        }
+        mb
+    }
+
+    /// Move due limbo entries into the mailbox queue. Returns true when at
+    /// least one envelope was released. With `force`, every entry is
+    /// released regardless of deadlines (used by [`Network::poison`] so no
+    /// envelope is stranded). The scan preserves per-(src,dst) FIFO: an
+    /// entry is only released if no earlier entry of the same source is
+    /// still held.
+    fn flush_limbo_locked(&self, dst: usize, mb: &mut Mailbox, force: bool) -> bool {
+        let mut limbo = self.limbo[dst].lock();
+        if limbo.is_empty() {
+            return false;
+        }
+        let now = Instant::now();
+        let mut held_srcs: Vec<usize> = Vec::new();
+        let mut released = false;
+        let mut i = 0;
+        while i < limbo.len() {
+            let e = &limbo[i];
+            let blocked = held_srcs.contains(&e.env.src);
+            let due = now >= e.deadline || e.release_arrivals.is_some_and(|t| mb.arrivals >= t);
+            if force || (!blocked && due) {
+                let mut entry = limbo.remove(i);
+                entry.env.arrival = self.arrival.fetch_add(1, Ordering::Relaxed);
+                mb.queue.push(entry.env);
+                mb.arrivals += 1;
+                released = true;
+            } else {
+                held_srcs.push(e.env.src);
+                i += 1;
+            }
+        }
+        released
     }
 
     /// Account for an envelope removed from a mailbox by a match. The caller
     /// holds the mailbox lock and has already taken the envelope out.
     pub fn note_removed(&self, payload_len: usize) {
         self.in_flight_msgs.fetch_sub(1, Ordering::Relaxed);
-        self.in_flight_bytes.fetch_sub(payload_len, Ordering::Relaxed);
+        self.in_flight_bytes
+            .fetch_sub(payload_len, Ordering::Relaxed);
     }
 
     /// Block on rank `dst`'s mailbox condvar until new mail (or a poison
     /// notification) arrives, or `timeout` elapses. The caller re-checks its
     /// predicate after return — the wait carries no payload information.
+    ///
+    /// A poisoned fabric returns immediately instead of parking: the caller
+    /// holds the mailbox lock while this check runs, and [`Network::poison`]
+    /// takes that same lock before notifying, so a waiter either sees the
+    /// flag here or is already parked when the notification lands — the
+    /// wakeup cannot be lost between check and park.
     pub fn wait_on(&self, dst: usize, guard: &mut MutexGuard<'_, Mailbox>, timeout: Duration) {
+        if self.is_poisoned() {
+            return;
+        }
         self.cvs[dst].wait_for(guard, timeout);
     }
 
-    /// (messages, bytes) currently in the network — sent but not received.
+    /// (messages, bytes) currently in the network — sent but not received,
+    /// including fault-held envelopes.
     pub fn in_flight(&self) -> (usize, usize) {
         (
             self.in_flight_msgs.load(Ordering::Relaxed),
@@ -95,22 +231,64 @@ impl Network {
         )
     }
 
-    /// In-flight user-class messages destined for `dst` (diagnostic; used by
-    /// drain tests to verify emptiness per rank).
+    /// (messages, bytes) of *user-class* traffic currently in the network,
+    /// counted by walking every mailbox and limbo. This is the quantity
+    /// MANA's drain must bring to zero before a checkpoint commits;
+    /// internal-class traffic (coordination chatter) is legitimately alive
+    /// at that point and excluded.
+    pub fn user_in_flight(&self) -> (usize, usize) {
+        let mut msgs = 0;
+        let mut bytes = 0;
+        for dst in 0..self.boxes.len() {
+            let mb = self.boxes[dst].lock();
+            for e in mb.queue.iter().filter(|e| e.class == MsgClass::User) {
+                msgs += 1;
+                bytes += e.payload.len();
+            }
+            let limbo = self.limbo[dst].lock();
+            for e in limbo.iter().filter(|e| e.env.class == MsgClass::User) {
+                msgs += 1;
+                bytes += e.env.payload.len();
+            }
+        }
+        (msgs, bytes)
+    }
+
+    /// In-flight messages destined for `dst` (diagnostic; used by drain
+    /// tests and checkpoint invariants to verify emptiness per rank).
+    /// Fault-held envelopes count: they are owed to `dst` even though
+    /// matching cannot see them yet.
     pub fn queued_for(&self, dst: usize, class: Option<MsgClass>) -> usize {
-        let mb = self.boxes[dst].lock();
-        mb.queue
+        let mut mb = self.boxes[dst].lock();
+        if self.fault.is_some() {
+            self.flush_limbo_locked(dst, &mut mb, false);
+        }
+        let queued = mb
+            .queue
             .iter()
-            .filter(|e| class.map_or(true, |c| e.class == c))
-            .count()
+            .filter(|e| class.is_none_or(|c| e.class == c))
+            .count();
+        let held = self.limbo[dst]
+            .lock()
+            .iter()
+            .filter(|e| class.is_none_or(|c| e.env.class == c))
+            .count();
+        queued + held
     }
 
     /// Mark the world poisoned (a rank panicked or timed out) and wake every
-    /// waiter so blocking calls can error out instead of hanging.
+    /// waiter so blocking calls can error out instead of hanging. Locks each
+    /// mailbox before notifying: a waiter that checked the poison flag under
+    /// its mailbox lock is guaranteed to be parked by the time the
+    /// notification is sent, so the wakeup is never lost. Limbo'd envelopes
+    /// are force-released so post-mortem inspection sees the full queue.
     pub fn poison(&self) {
         self.poisoned.store(true, Ordering::SeqCst);
-        for cv in &self.cvs {
-            cv.notify_all();
+        for dst in 0..self.boxes.len() {
+            let mut mb = self.boxes[dst].lock();
+            self.flush_limbo_locked(dst, &mut mb, true);
+            drop(mb);
+            self.cvs[dst].notify_all();
         }
     }
 
@@ -123,14 +301,19 @@ impl Network {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultSpec;
 
     fn env(src: usize, dst: usize, tag: i32, len: usize) -> Envelope {
+        env_seq(src, dst, tag, 0, len)
+    }
+
+    fn env_seq(src: usize, dst: usize, tag: i32, seq: u64, len: usize) -> Envelope {
         Envelope {
             src,
             dst,
             ctx: 0,
             tag,
-            seq: 0,
+            seq,
             arrival: 0,
             class: MsgClass::User,
             payload: vec![0u8; len].into_boxed_slice(),
@@ -191,5 +374,149 @@ mod tests {
         std::thread::sleep(Duration::from_millis(30));
         net.deposit(env(0, 1, 9, 4));
         assert_eq!(h.join().unwrap(), 1);
+    }
+
+    /// Regression: a rank parked in `wait_on` with a long timeout must
+    /// observe `poison()` promptly instead of sleeping the timeout out.
+    #[test]
+    fn poison_wakes_parked_waiter_promptly() {
+        let net = Arc::new(Network::new(1));
+        let n2 = net.clone();
+        let h = std::thread::spawn(move || {
+            let start = Instant::now();
+            let mut guard = n2.lock_box(0);
+            while guard.queue.is_empty() && !n2.is_poisoned() {
+                n2.wait_on(0, &mut guard, Duration::from_secs(30));
+            }
+            start.elapsed()
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        net.poison();
+        let waited = h.join().unwrap();
+        assert!(
+            waited < Duration::from_secs(5),
+            "waiter slept {waited:?} after poison instead of waking promptly"
+        );
+    }
+
+    /// Once poisoned, `wait_on` must not park at all — even with no
+    /// notification pending.
+    #[test]
+    fn wait_on_after_poison_returns_immediately() {
+        let net = Network::new(1);
+        net.poison();
+        let mut guard = net.lock_box(0);
+        let start = Instant::now();
+        net.wait_on(0, &mut guard, Duration::from_secs(30));
+        assert!(start.elapsed() < Duration::from_secs(1));
+    }
+
+    fn delay_all_plan() -> Arc<FaultPlan> {
+        Arc::new(FaultPlan::new(
+            11,
+            FaultSpec {
+                delay_pct: 100,
+                max_delay_us: 500,
+                ..FaultSpec::quiet()
+            },
+        ))
+    }
+
+    #[test]
+    fn delayed_envelope_counts_in_flight_and_delivers_after_deadline() {
+        let net = Network::with_fault(2, Some(delay_all_plan()));
+        net.deposit(env(0, 1, 7, 16));
+        // Held in limbo: in flight and owed to rank 1, but invisible to
+        // matching.
+        assert_eq!(net.in_flight(), (1, 16));
+        assert_eq!(net.user_in_flight(), (1, 16));
+        assert_eq!(net.queued_for(1, Some(MsgClass::User)), 1);
+        // The deadline is at most 2ms (hold_deadline floor); poll the box
+        // the way a receiver would.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let mb = net.lock_box(1);
+            if !mb.queue.is_empty() {
+                assert_eq!(mb.queue[0].tag, 7);
+                break;
+            }
+            drop(mb);
+            assert!(Instant::now() < deadline, "held envelope never released");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(net.in_flight(), (1, 16));
+    }
+
+    /// Envelopes of one (src, dst) pair are never reordered against each
+    /// other, whatever the plan decides per message.
+    #[test]
+    fn same_pair_fifo_survives_fault_plan() {
+        let plan = Arc::new(FaultPlan::new(
+            1234,
+            FaultSpec {
+                delay_pct: 40,
+                max_delay_us: 800,
+                reorder_pct: 40,
+                max_reorder_arrivals: 3,
+                ..FaultSpec::quiet()
+            },
+        ));
+        let net = Network::with_fault(2, Some(plan));
+        for seq in 0..32u64 {
+            net.deposit(env_seq(0, 1, seq as i32, seq, 1));
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let mb = net.lock_box(1);
+            if mb.queue.len() == 32 {
+                let tags: Vec<i32> = mb.queue.iter().map(|e| e.tag).collect();
+                let expect: Vec<i32> = (0..32).collect();
+                assert_eq!(tags, expect, "same-pair envelopes were reordered");
+                break;
+            }
+            drop(mb);
+            assert!(Instant::now() < deadline, "limbo never fully drained");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// Internal-class traffic is never perturbed and is excluded from the
+    /// user in-flight count.
+    #[test]
+    fn internal_class_bypasses_faults() {
+        let net = Network::with_fault(2, Some(delay_all_plan()));
+        let mut e = env(0, 1, 3, 8);
+        e.class = MsgClass::Internal;
+        net.deposit(e);
+        let mb = net.lock_box(1);
+        assert_eq!(mb.queue.len(), 1, "internal envelope was held in limbo");
+        drop(mb);
+        assert_eq!(net.user_in_flight(), (0, 0));
+        assert_eq!(net.in_flight(), (1, 8));
+    }
+
+    /// Poison force-releases limbo so post-mortem inspection sees every
+    /// envelope.
+    #[test]
+    fn poison_force_flushes_limbo() {
+        let net = Network::with_fault(
+            2,
+            Some(Arc::new(FaultPlan::new(
+                5,
+                FaultSpec {
+                    delay_pct: 100,
+                    max_delay_us: 60_000_000,
+                    ..FaultSpec::quiet()
+                },
+            ))),
+        );
+        net.deposit(env(0, 1, 1, 4));
+        {
+            let mb = net.boxes[1].lock();
+            assert!(mb.queue.is_empty(), "envelope should still be in limbo");
+        }
+        net.poison();
+        let mb = net.boxes[1].lock();
+        assert_eq!(mb.queue.len(), 1);
     }
 }

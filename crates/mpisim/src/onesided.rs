@@ -115,13 +115,10 @@ impl WinRegistry {
     ) -> Result<R> {
         let wins = self.wins.lock();
         let st = wins.get(&win.id).ok_or(MpiError::InvalidComm(win.id))?;
-        let region = st
-            .regions
-            .get(local)
-            .ok_or(MpiError::InvalidRank {
-                rank: local,
-                size: st.regions.len(),
-            })?;
+        let region = st.regions.get(local).ok_or(MpiError::InvalidRank {
+            rank: local,
+            size: st.regions.len(),
+        })?;
         let mut guard = region.lock();
         f(&mut guard)
     }

@@ -11,9 +11,7 @@
 
 use crate::comm::Comm;
 use crate::costmodel::{spin_ns, MachineProfile};
-use crate::envelope::{
-    Envelope, MatchSpec, MsgClass, SrcSel, TagSel, MAX_USER_TAG,
-};
+use crate::envelope::{Envelope, MatchSpec, MsgClass, SrcSel, TagSel, MAX_USER_TAG};
 use crate::error::{MpiError, Result};
 use crate::group::Group;
 use crate::request::{Completion, RReq, ReqSlab, ReqState, Status};
@@ -111,11 +109,7 @@ impl Proc {
     pub fn comm_dup(&self, comm: Comm) -> Result<Comm> {
         let group = self.group_of(comm)?;
         let seq = self.next_coll_seq(comm.ctx());
-        let tag = crate::group::fnv1a_usizes(&[
-            0xD0B1_usize,
-            comm.ctx() as usize,
-            seq as usize,
-        ]);
+        let tag = crate::group::fnv1a_usizes(&[0xD0B1_usize, comm.ctx() as usize, seq as usize]);
         self.comm_create_from_group(&group, tag)
     }
 
@@ -180,11 +174,10 @@ impl Proc {
             v
         };
         match class {
-            MsgClass::User => {
-                self.fabric
-                    .stats
-                    .record_user_send(self.rank, dst_world, data.len())
-            }
+            MsgClass::User => self
+                .fabric
+                .stats
+                .record_user_send(self.rank, dst_world, data.len()),
             MsgClass::Internal => self.fabric.stats.record_internal_send(data.len()),
         }
         self.fabric.tools.bump(self.rank);
@@ -289,7 +282,7 @@ impl Proc {
                         Ok(group) => {
                             let source = group.local_rank(env.src).unwrap_or(usize::MAX);
                             let len = env.payload.len();
-                            if cap.map_or(false, |c| len > c) {
+                            if cap.is_some_and(|c| len > c) {
                                 ReqState::Failed(MpiError::Truncated {
                                     message_len: len,
                                     buffer_len: cap.unwrap(),
@@ -328,7 +321,11 @@ impl Proc {
 
     fn consume(&self, req: RReq) -> Result<Completion> {
         match self.slab.borrow_mut().take(req)? {
-            ReqState::SendDone { dst_local, tag, len } => Ok(Completion {
+            ReqState::SendDone {
+                dst_local,
+                tag,
+                len,
+            } => Ok(Completion {
                 status: Status {
                     source: dst_local,
                     tag,
@@ -348,10 +345,7 @@ impl Proc {
         let still_pending = {
             let mut mb = self.fabric.net.lock_box(self.rank);
             self.progress_locked(&mut mb);
-            matches!(
-                self.slab.borrow().peek(req)?,
-                ReqState::RecvPending { .. }
-            )
+            matches!(self.slab.borrow().peek(req)?, ReqState::RecvPending { .. })
         };
         if still_pending {
             self.check_alive()?;
@@ -370,7 +364,11 @@ impl Proc {
         drop(mb);
         match self.slab.borrow().peek(req)? {
             ReqState::RecvPending { .. } => Ok(None),
-            ReqState::SendDone { dst_local, tag, len } => Ok(Some(Status {
+            ReqState::SendDone {
+                dst_local,
+                tag,
+                len,
+            } => Ok(Some(Status {
                 source: *dst_local,
                 tag: *tag,
                 len: *len,
@@ -541,6 +539,15 @@ impl Proc {
     /// (messages, bytes) currently in the network, world-wide.
     pub fn in_flight(&self) -> (usize, usize) {
         self.fabric.net.in_flight()
+    }
+
+    /// User-class messages still owed to this rank (mailbox queue plus any
+    /// fault-injection limbo). MANA's per-rank checkpoint invariant asserts
+    /// this is zero after a drain.
+    pub fn queued_user_msgs(&self) -> usize {
+        self.fabric
+            .net
+            .queued_for(self.rank, Some(crate::envelope::MsgClass::User))
     }
 
     /// Live request count in this rank's slab (leak checks).

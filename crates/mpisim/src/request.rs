@@ -60,7 +60,11 @@ pub struct Completion {
 #[derive(Debug)]
 pub(crate) enum ReqState {
     /// Sends complete eagerly at post time in this simulator.
-    SendDone { dst_local: usize, tag: i32, len: usize },
+    SendDone {
+        dst_local: usize,
+        tag: i32,
+        len: usize,
+    },
     /// A posted receive awaiting a match.
     RecvPending {
         spec: MatchSpec,

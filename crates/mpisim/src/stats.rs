@@ -97,7 +97,8 @@ impl WorldStats {
     /// Record a deposited internal message.
     pub fn record_internal_send(&self, bytes: usize) {
         self.internal_msgs.fetch_add(1, Ordering::Relaxed);
-        self.internal_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.internal_bytes
+            .fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
     /// Record one rank entering a collective.

@@ -56,7 +56,12 @@ impl Proc {
     }
 
     /// Typed `MPI_Allreduce`.
-    pub fn allreduce_t<T: Scalar>(&self, comm: Comm, op: ReduceOp, contrib: &[T]) -> Result<Vec<T>> {
+    pub fn allreduce_t<T: Scalar>(
+        &self,
+        comm: Comm,
+        op: ReduceOp,
+        contrib: &[T],
+    ) -> Result<Vec<T>> {
         let bytes = self.allreduce(comm, T::DATATYPE, op, &encode_slice(contrib))?;
         decode_slice(&bytes)
     }
@@ -75,12 +80,14 @@ impl Proc {
         let chunks: Vec<Vec<u8>> = vals.iter().map(|v| v.to_le_bytes().to_vec()).collect();
         let out = self.alltoall(comm, &chunks)?;
         out.into_iter()
-            .map(|c| Ok(u64::from_le_bytes(c[..8].try_into().map_err(|_| {
-                crate::error::MpiError::LengthMismatch {
-                    expected: 8,
-                    got: c.len(),
-                }
-            })?)))
+            .map(|c| {
+                Ok(u64::from_le_bytes(c[..8].try_into().map_err(|_| {
+                    crate::error::MpiError::LengthMismatch {
+                        expected: 8,
+                        got: c.len(),
+                    }
+                })?))
+            })
             .collect()
     }
 

@@ -33,6 +33,9 @@ pub struct WorldCfg {
     /// Seed for any randomized behaviour in workloads (plumbed through,
     /// unused by the runtime itself).
     pub seed: u64,
+    /// Deterministic fault plan perturbing user traffic on the fabric.
+    /// `None` (the default) leaves the network unperturbed.
+    pub fault: Option<Arc<crate::fault::FaultPlan>>,
 }
 
 impl Default for WorldCfg {
@@ -42,6 +45,7 @@ impl Default for WorldCfg {
             watchdog: None,
             stack_size: 512 * 1024,
             seed: 0,
+            fault: None,
         }
     }
 }
@@ -92,7 +96,7 @@ impl World {
         World {
             fabric: Arc::new(Fabric {
                 n,
-                net: Network::new(n),
+                net: Network::with_fault(n, cfg.fault.clone()),
                 comms: CommRegistry::new(n),
                 wins: WinRegistry::new(),
                 stats: WorldStats::new(n),
@@ -130,9 +134,10 @@ impl World {
                         .stack_size(fabric.cfg.stack_size)
                         .spawn_scoped(s, move || {
                             let mut proc = Proc::new(rank, fab.clone());
-                            let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
-                                || f(&mut proc),
-                            ));
+                            let out =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    f(&mut proc)
+                                }));
                             if out.is_err() {
                                 fab.net.poison();
                             }
@@ -224,6 +229,14 @@ impl Introspect {
     /// (messages, bytes) currently in the network.
     pub fn in_flight(&self) -> (usize, usize) {
         self.fabric.net.in_flight()
+    }
+
+    /// (messages, bytes) of user-class traffic currently in the network,
+    /// including fault-held envelopes. This is the quantity MANA's drain
+    /// must bring to zero before a checkpoint commits; the coordinator's
+    /// commit-time invariant checker reads it through this handle.
+    pub fn user_in_flight(&self) -> (usize, usize) {
+        self.fabric.net.user_in_flight()
     }
 
     /// World size.

@@ -179,36 +179,36 @@ fn randomized_p2p_conservation() {
     let world = World::new(n, cfg());
     world
         .launch(move |p| {
-        let w = p.comm_world();
-        let me = p.rank();
-        // Deterministic shared plan: plan[i][j] = messages i sends to j.
-        let mut rng = StdRng::seed_from_u64(seed);
-        let plan: Vec<Vec<u64>> = (0..n)
-            .map(|_| (0..n).map(|_| rng.gen_range(0..6u64)).collect())
-            .collect();
-        // Sends.
-        for dst in 0..n {
-            if dst == me {
-                continue;
+            let w = p.comm_world();
+            let me = p.rank();
+            // Deterministic shared plan: plan[i][j] = messages i sends to j.
+            let mut rng = StdRng::seed_from_u64(seed);
+            let plan: Vec<Vec<u64>> = (0..n)
+                .map(|_| (0..n).map(|_| rng.gen_range(0..6u64)).collect())
+                .collect();
+            // Sends.
+            for (dst, &planned) in plan[me].iter().enumerate() {
+                if dst == me {
+                    continue;
+                }
+                for k in 0..planned {
+                    let payload = vec![(me * 31 + k as usize) as u8; (k as usize % 7) + 1];
+                    p.send(w, dst, k as i32, &payload).unwrap();
+                }
             }
-            for k in 0..plan[me][dst] {
-                let payload = vec![(me * 31 + k as usize) as u8; (k as usize % 7) + 1];
-                p.send(w, dst, k as i32, &payload).unwrap();
+            // Receives: from each source, the planned number, any order of tags.
+            for (src, row) in plan.iter().enumerate() {
+                if src == me {
+                    continue;
+                }
+                for _ in 0..row[me] {
+                    let (st, _data) = p.recv(w, SrcSel::Rank(src), TagSel::Any).unwrap();
+                    assert_eq!(st.source, src);
+                }
             }
-        }
-        // Receives: from each source, the planned number, any order of tags.
-        for src in 0..n {
-            if src == me {
-                continue;
-            }
-            for _ in 0..plan[src][me] {
-                let (st, _data) = p.recv(w, SrcSel::Rank(src), TagSel::Any).unwrap();
-                assert_eq!(st.source, src);
-            }
-        }
-        p.barrier(w).unwrap();
-    })
-    .unwrap();
+            p.barrier(w).unwrap();
+        })
+        .unwrap();
     // After every rank returned, nothing may remain in the network
     // (user messages all received; collective plumbing all consumed).
     assert_eq!(world.in_flight(), (0, 0), "network fully drained");
@@ -218,10 +218,10 @@ fn randomized_p2p_conservation() {
     let plan: Vec<Vec<u64>> = (0..n)
         .map(|_| (0..n).map(|_| rng.gen_range(0..6u64)).collect())
         .collect();
-    for i in 0..n {
-        for j in 0..n {
+    for (i, row) in plan.iter().enumerate() {
+        for (j, &planned) in row.iter().enumerate() {
             if i != j {
-                assert_eq!(stats.pair(i, j) > 0, plan[i][j] > 0, "pair {i}->{j}");
+                assert_eq!(stats.pair(i, j) > 0, planned > 0, "pair {i}->{j}");
             }
         }
     }

@@ -20,7 +20,9 @@ fn ring_send_recv() {
         let right = (p.rank() + 1) % n;
         let left = (p.rank() + n - 1) % n;
         p.send_t(w, right, 1, &[p.rank() as u64]).unwrap();
-        let (st, data) = p.recv_t::<u64>(w, SrcSel::Rank(left), TagSel::Tag(1)).unwrap();
+        let (st, data) = p
+            .recv_t::<u64>(w, SrcSel::Rank(left), TagSel::Tag(1))
+            .unwrap();
         assert_eq!(st.source, left);
         data[0]
     })
@@ -127,7 +129,11 @@ fn iprobe_invisible_after_irecv_posted() {
             true
         } else {
             // Wait until the message is visible to iprobe.
-            while p.iprobe(w, SrcSel::Rank(0), TagSel::Tag(9)).unwrap().is_none() {
+            while p
+                .iprobe(w, SrcSel::Rank(0), TagSel::Tag(9))
+                .unwrap()
+                .is_none()
+            {
                 p.park(Duration::from_millis(1)).unwrap();
             }
             let r = p.irecv(w, SrcSel::Rank(0), TagSel::Tag(9)).unwrap();
@@ -135,7 +141,9 @@ fn iprobe_invisible_after_irecv_posted() {
             while p.test(r).unwrap().is_none() {
                 p.park(Duration::from_millis(1)).unwrap();
             }
-            p.iprobe(w, SrcSel::Rank(0), TagSel::Tag(9)).unwrap().is_none()
+            p.iprobe(w, SrcSel::Rank(0), TagSel::Tag(9))
+                .unwrap()
+                .is_none()
         }
     })
     .unwrap();
@@ -150,14 +158,19 @@ fn truncation_error() {
             p.send(w, 1, 0, &[0u8; 64]).unwrap();
             None
         } else {
-            let r = p.irecv_cap(w, SrcSel::Rank(0), TagSel::Tag(0), Some(16)).unwrap();
+            let r = p
+                .irecv_cap(w, SrcSel::Rank(0), TagSel::Tag(0), Some(16))
+                .unwrap();
             Some(p.wait(r))
         }
     })
     .unwrap();
     assert!(matches!(
         out[1],
-        Some(Err(MpiError::Truncated { message_len: 64, buffer_len: 16 }))
+        Some(Err(MpiError::Truncated {
+            message_len: 64,
+            buffer_len: 16
+        }))
     ));
 }
 
@@ -300,7 +313,9 @@ fn comm_split_colors_and_keys() {
         let size = p.comm_size(sub).unwrap();
         let local = p.comm_rank(sub).unwrap();
         // Group sums confirm disjointness.
-        let total = p.allreduce_t(sub, ReduceOp::Sum, &[p.rank() as u64]).unwrap()[0];
+        let total = p
+            .allreduce_t(sub, ReduceOp::Sum, &[p.rank() as u64])
+            .unwrap()[0];
         (size, local, total)
     })
     .unwrap();
@@ -334,7 +349,9 @@ fn comm_dup_isolates_traffic() {
             0
         } else {
             // Same src+tag, different communicators: matching must respect ctx.
-            let (_, on_dup) = p.recv_t::<u64>(dup, SrcSel::Rank(0), TagSel::Tag(4)).unwrap();
+            let (_, on_dup) = p
+                .recv_t::<u64>(dup, SrcSel::Rank(0), TagSel::Tag(4))
+                .unwrap();
             let (_, on_w) = p.recv_t::<u64>(w, SrcSel::Rank(0), TagSel::Tag(4)).unwrap();
             assert_eq!((on_w[0], on_dup[0]), (1, 2));
             1
@@ -448,7 +465,10 @@ fn collective_counters_count_entries() {
         p.allreduce_t(w, ReduceOp::Sum, &[1u64]).unwrap();
     })
     .unwrap();
-    assert_eq!(stats.collectives[mpisim::CollKind::Barrier as usize], n as u64);
+    assert_eq!(
+        stats.collectives[mpisim::CollKind::Barrier as usize],
+        n as u64
+    );
     assert_eq!(
         stats.collectives[mpisim::CollKind::Allreduce as usize],
         2 * n as u64
@@ -484,7 +504,8 @@ fn reduce_f64_on_subcomm() {
     let (out, _) = run(n, cfg(), |p| {
         let w = p.comm_world();
         let sub = p.comm_split(w, (p.rank() / 2) as i32, 0).unwrap().unwrap();
-        p.allreduce_t(sub, ReduceOp::Sum, &[p.rank() as f64]).unwrap()[0]
+        p.allreduce_t(sub, ReduceOp::Sum, &[p.rank() as f64])
+            .unwrap()[0]
     })
     .unwrap();
     assert_eq!(out, vec![1.0, 1.0, 5.0, 5.0]);

@@ -1,0 +1,500 @@
+//! Minimal `proptest`-compatible property-testing harness for offline
+//! builds.
+//!
+//! The build container has no crates.io access, so the workspace vendors
+//! the exact API subset its property tests use: the `proptest!` macro,
+//! `Strategy` + `prop_map`, `any::<T>()`, range/tuple/collection/string
+//! strategies, `prop_oneof!`, and the `prop_assert*` family.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case prints the generated inputs and a
+//!   `PROPTEST_SEED=<seed>` environment line that deterministically
+//!   replays the exact failing case.
+//! * **Deterministic by default.** The base seed is derived from the test
+//!   name, so runs are reproducible without any configuration;
+//!   `PROPTEST_SEED` overrides it.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::Strategy;
+
+/// `any::<T>()` and the [`Arbitrary`](arbitrary::ArbitraryValue) machinery.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::fmt;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "any value" generator.
+    pub trait ArbitraryValue: fmt::Debug + Sized {
+        /// Produce one arbitrary value.
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    /// Strategy producing arbitrary values of `T`.
+    pub struct AnyStrategy<T>(PhantomData<T>);
+
+    impl<T> Clone for AnyStrategy<T> {
+        fn clone(&self) -> Self {
+            AnyStrategy(PhantomData)
+        }
+    }
+
+    impl<T: ArbitraryValue> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+
+    /// The full-range strategy for `T` (mirrors `proptest::arbitrary::any`).
+    pub fn any<T: ArbitraryValue>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl ArbitraryValue for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl ArbitraryValue for u128 {
+        fn arbitrary_value(rng: &mut TestRng) -> Self {
+            ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+        }
+    }
+
+    impl ArbitraryValue for i128 {
+        fn arbitrary_value(rng: &mut TestRng) -> Self {
+            u128::arbitrary_value(rng) as i128
+        }
+    }
+
+    impl ArbitraryValue for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl ArbitraryValue for f64 {
+        fn arbitrary_value(rng: &mut TestRng) -> Self {
+            // Mostly raw bit patterns (hits subnormals and NaNs), with the
+            // interesting specials forced in occasionally.
+            match rng.next_u64() % 16 {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                2 => f64::NEG_INFINITY,
+                3 => 0.0,
+                4 => -0.0,
+                _ => f64::from_bits(rng.next_u64()),
+            }
+        }
+    }
+
+    impl ArbitraryValue for f32 {
+        fn arbitrary_value(rng: &mut TestRng) -> Self {
+            f64::arbitrary_value(rng) as f32
+        }
+    }
+}
+
+/// Collection strategies (`vec`, `btree_set`, `btree_map`).
+pub mod collection {
+    use crate::strategy::{SizeRange, Strategy};
+    use crate::test_runner::TestRng;
+    use std::collections::{BTreeMap, BTreeSet};
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy: `size` lengths of `element` values.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>`.
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `BTreeSet` strategy; duplicates are retried a bounded number of
+    /// times, so the set may come out smaller than the drawn size.
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            let want = self.size.pick(rng);
+            let mut out = BTreeSet::new();
+            for _ in 0..want * 4 + 8 {
+                if out.len() >= want {
+                    break;
+                }
+                out.insert(self.element.new_value(rng));
+            }
+            out
+        }
+    }
+
+    /// Strategy for `BTreeMap<K::Value, V::Value>`.
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    /// `BTreeMap` strategy; duplicate keys are retried a bounded number of
+    /// times, so the map may come out smaller than the drawn size.
+    pub fn btree_map<K, V>(key: K, value: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        BTreeMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            let want = self.size.pick(rng);
+            let mut out = BTreeMap::new();
+            for _ in 0..want * 4 + 8 {
+                if out.len() >= want {
+                    break;
+                }
+                out.insert(self.key.new_value(rng), self.value.new_value(rng));
+            }
+            out
+        }
+    }
+}
+
+/// Boolean strategies.
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy producing `true` with a fixed probability.
+    pub struct Weighted {
+        p: f64,
+    }
+
+    /// `true` with probability `p`.
+    pub fn weighted(p: f64) -> Weighted {
+        Weighted { p }
+    }
+
+    impl Strategy for Weighted {
+        type Value = bool;
+        fn new_value(&self, rng: &mut TestRng) -> bool {
+            rng.unit_f64() < self.p
+        }
+    }
+}
+
+/// `Option` strategies.
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy wrapping another in `Option`.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `Some(inner)` most of the time, `None` for the rest.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.next_u64().is_multiple_of(4) {
+                None
+            } else {
+                Some(self.inner.new_value(rng))
+            }
+        }
+    }
+}
+
+/// String generation from regex-like patterns (`&str` strategies).
+pub mod string {
+    use crate::test_runner::TestRng;
+
+    enum Atom {
+        Any,
+        Class(Vec<char>),
+        Literal(char),
+    }
+
+    /// Generate a string matching a small regex subset: literal chars,
+    /// `.`, `[a-z0-9_]`-style classes, and the quantifiers `* + ? {m} {m,n}`.
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '.' => {
+                    i += 1;
+                    Atom::Any
+                }
+                '[' => {
+                    let mut class = Vec::new();
+                    i += 1;
+                    while i < chars.len() && chars[i] != ']' {
+                        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                            let (lo, hi) = (chars[i] as u32, chars[i + 2] as u32);
+                            for c in lo..=hi {
+                                if let Some(c) = char::from_u32(c) {
+                                    class.push(c);
+                                }
+                            }
+                            i += 3;
+                        } else {
+                            class.push(chars[i]);
+                            i += 1;
+                        }
+                    }
+                    i += 1; // closing ']'
+                    Atom::Class(class)
+                }
+                '\\' if i + 1 < chars.len() => {
+                    i += 2;
+                    Atom::Literal(chars[i - 1])
+                }
+                c => {
+                    i += 1;
+                    Atom::Literal(c)
+                }
+            };
+            // Quantifier, if any.
+            let (lo, hi) = match chars.get(i) {
+                Some('*') => {
+                    i += 1;
+                    (0usize, 7usize)
+                }
+                Some('+') => {
+                    i += 1;
+                    (1, 7)
+                }
+                Some('?') => {
+                    i += 1;
+                    (0, 1)
+                }
+                Some('{') => {
+                    let close = chars[i..].iter().position(|&c| c == '}').unwrap_or(0) + i;
+                    let spec: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match spec.split_once(',') {
+                        Some((m, n)) => {
+                            (m.trim().parse().unwrap_or(0), n.trim().parse().unwrap_or(7))
+                        }
+                        None => {
+                            let m = spec.trim().parse().unwrap_or(1);
+                            (m, m)
+                        }
+                    }
+                }
+                _ => (1, 1),
+            };
+            let count = lo + (rng.next_u64() as usize) % (hi - lo + 1);
+            for _ in 0..count {
+                match &atom {
+                    Atom::Any => {
+                        // Printable ASCII plus the occasional multibyte char
+                        // to keep codecs honest.
+                        let c = if rng.next_u64().is_multiple_of(8) {
+                            char::from_u32(0x80 + (rng.next_u64() as u32) % 0x2000)
+                                .unwrap_or('\u{00e9}')
+                        } else {
+                            (0x20u8 + (rng.next_u64() as u8) % 0x5f) as char
+                        };
+                        out.push(c);
+                    }
+                    Atom::Class(class) if !class.is_empty() => {
+                        out.push(class[(rng.next_u64() as usize) % class.len()]);
+                    }
+                    Atom::Class(_) => {}
+                    Atom::Literal(c) => out.push(*c),
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One-stop imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Define property tests: `proptest! { #[test] fn f(x in strat) { .. } }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg = $cfg;
+                let __strats = ($(&$strat,)+);
+                let ($($arg,)+) = __strats;
+                $crate::test_runner::run(&__cfg, stringify!($name), |__rng, __inputs| {
+                    $(let $arg = $crate::strategy::Strategy::new_value($arg, __rng);)+
+                    {
+                        use ::std::fmt::Write as _;
+                        $(let _ = ::core::write!(
+                            __inputs, concat!(stringify!($arg), " = {:?}; "), &$arg);)+
+                    }
+                    let __case = || -> $crate::test_runner::TestCaseResult {
+                        { $body }
+                        ::std::result::Result::Ok(())
+                    };
+                    __case()
+                });
+            }
+        )*
+    };
+}
+
+/// Assert inside a property body; failure records the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `assert_eq!` for property bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__l, __r) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($a), stringify!($b), __l, __r
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n {}",
+            stringify!($a), stringify!($b), __l, __r, format!($($fmt)+)
+        );
+    }};
+}
+
+/// `assert_ne!` for property bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__l, __r) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($a), stringify!($b), __l
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{} != {}`\n  both: {:?}\n {}",
+            stringify!($a), stringify!($b), __l, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Discard the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Uniform choice among strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($strat)),+])
+    };
+}

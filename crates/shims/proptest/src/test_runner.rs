@@ -1,0 +1,164 @@
+//! Seeded case loop: configuration, RNG, and the panic-capturing runner
+//! behind the `proptest!` macro.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Runner configuration (subset of real proptest's).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The property was violated.
+    Fail(String),
+    /// The inputs did not meet a `prop_assume!` precondition.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A property violation.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A discarded case.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Result of one property-case execution.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Deterministic generator handed to strategies (xoshiro256**).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl TestRng {
+    /// Seed a generator.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut sm = seed;
+        TestRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform sample in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Drive `case` until `cfg.cases` successes, panicking with the inputs
+/// and a replay seed on the first failure.
+///
+/// The base seed defaults to a hash of the test name (deterministic runs)
+/// and can be overridden with `PROPTEST_SEED=<u64>`.
+pub fn run<F>(cfg: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng, &mut String) -> TestCaseResult,
+{
+    let base_seed: u64 = match std::env::var("PROPTEST_SEED") {
+        Ok(v) => v
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("PROPTEST_SEED must be a u64, got {v:?}")),
+        Err(_) => fnv1a(name),
+    };
+    let mut accepted: u32 = 0;
+    let mut attempt: u64 = 0;
+    let max_attempts = (cfg.cases as u64) * 16 + 64;
+    while accepted < cfg.cases {
+        attempt += 1;
+        if attempt > max_attempts {
+            panic!(
+                "[{name}] too many rejected cases: {accepted}/{} accepted after {attempt} attempts",
+                cfg.cases
+            );
+        }
+        let case_seed = base_seed ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = TestRng::from_seed(case_seed);
+        let mut inputs = String::new();
+        let outcome = catch_unwind(AssertUnwindSafe(|| case(&mut rng, &mut inputs)));
+        match outcome {
+            Ok(Ok(())) => accepted += 1,
+            Ok(Err(TestCaseError::Reject(_))) => {}
+            Ok(Err(TestCaseError::Fail(msg))) => panic!(
+                "[{name}] property failed at case {attempt}: {msg}\n\
+                 inputs: {inputs}\n\
+                 replay: PROPTEST_SEED={base_seed} cargo test {name}"
+            ),
+            Err(payload) => panic!(
+                "[{name}] case {attempt} panicked: {}\n\
+                 inputs: {inputs}\n\
+                 replay: PROPTEST_SEED={base_seed} cargo test {name}",
+                panic_message(payload.as_ref())
+            ),
+        }
+    }
+}

@@ -32,7 +32,10 @@ impl fmt::Display for CodecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CodecError::UnexpectedEof { needed, remaining } => {
-                write!(f, "unexpected EOF: needed {needed} bytes, {remaining} remain")
+                write!(
+                    f,
+                    "unexpected EOF: needed {needed} bytes, {remaining} remain"
+                )
             }
             CodecError::InvalidTag(t) => write!(f, "invalid tag byte {t}"),
             CodecError::BadLength(l) => write!(f, "implausible length {l}"),
@@ -307,7 +310,7 @@ mod tests {
         roundtrip(u64::MAX);
         roundtrip(-77i32);
         roundtrip(i64::MIN);
-        roundtrip(3.14159f64);
+        roundtrip(1.234567f64);
         roundtrip(true);
         roundtrip(false);
         roundtrip(42usize);

@@ -111,7 +111,10 @@ mod tests {
         assert_eq!(v, 42);
         cs.jump(|| ());
         assert_eq!(cs.jump_count(), 2);
-        assert_eq!(cs.total_switch_ns(), 2 * 2 * FsMode::Fsgsbase.switch_cost_ns());
+        assert_eq!(
+            cs.total_switch_ns(),
+            2 * 2 * FsMode::Fsgsbase.switch_cost_ns()
+        );
     }
 
     #[test]

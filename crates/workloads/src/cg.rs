@@ -161,9 +161,9 @@ pub fn run<M: MpiFace>(m: &mut M, cfg: &CgConfig) -> WlResult<CgResult> {
         let ap = matvec(m, &st.p)?;
         let pap = dot(m, &st.p, &ap)?;
         let alpha = st.rsold / pap;
-        for i in 0..ln {
+        for (i, a) in ap.iter().enumerate().take(ln) {
             st.x[i] += alpha * st.p[i];
-            st.r[i] -= alpha * ap[i];
+            st.r[i] -= alpha * a;
         }
         let rsnew = dot(m, &st.r, &st.r)?;
         let beta = rsnew / st.rsold;

@@ -81,7 +81,7 @@ impl Encode for MdState {
         self.step.encode(out);
         self.energy.encode(out);
         self.positions.encode(out);
-        self.pending.map(|(a, b)| (a, b)).encode(out);
+        self.pending.encode(out);
     }
 }
 

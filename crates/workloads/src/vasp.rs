@@ -250,9 +250,8 @@ pub fn run<M: MpiFace>(m: &mut M, cfg: &VaspConfig) -> WlResult<VaspResult> {
     let world: CommH = COMM_WORLD;
     let n = m.size();
     let me = m.rank();
-    let state_len =
-        (((cfg.case.electrons as usize * 4) / n).max(16) as f64 * cfg.state_scale).max(8.0)
-            as usize;
+    let state_len = (((cfg.case.electrons as usize * 4) / n).max(16) as f64 * cfg.state_scale)
+        .max(8.0) as usize;
 
     let mut st = match m.load(STATE_KEY) {
         Some(bytes) => ScfState::from_bytes(&bytes)

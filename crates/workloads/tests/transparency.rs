@@ -160,7 +160,11 @@ fn vasp_all_table1_cases_survive_restart() {
                 vasp::run(&mut f, &vc1).map_err(|e| e.into_mana())
             })
             .unwrap();
-        assert!(pass1.all_checkpointed(), "case {name}: {:?}", pass1.outcomes);
+        assert!(
+            pass1.all_checkpointed(),
+            "case {name}: {:?}",
+            pass1.outcomes
+        );
 
         let vc2 = vcfg.clone();
         let pass2 = ManaRuntime::new(n, mcfg)
