@@ -115,6 +115,7 @@ pub fn gromacs_mana(
 fn clone_coord(c: &mana_core::CoordReport) -> mana_core::CoordReport {
     mana_core::CoordReport {
         rounds: c.rounds.clone(),
+        aborted_rounds: c.aborted_rounds.clone(),
         skipped_requests: c.skipped_requests,
         invariant_violations: c.invariant_violations.clone(),
     }

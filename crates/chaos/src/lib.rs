@@ -24,7 +24,7 @@
 #![warn(missing_docs)]
 
 use mana_core::{DrainMode, Mana, ManaConfig, ManaRuntime, RunReport};
-use mpisim::{FaultPlan, FaultSpec, World, WorldCfg};
+use mpisim::{FaultPlan, FaultSpec, StorageFaultKind, StorageFaultSpec, World, WorldCfg};
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
@@ -365,6 +365,347 @@ pub fn check_case(case: &ChaosCase) -> Result<CaseReport, String> {
             shrunk.minimal,
             shrunk.error,
             f.repro()
+        )
+    })
+}
+
+// ---- storage-fault chaos ---------------------------------------------------
+
+/// One storage-fault chaos scenario: a seeded checkpoint-write fault lands
+/// in the checkpoint window and the generational store protocol must never
+/// lose a previously committed generation or silently restore a damaged
+/// one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StorageCase {
+    /// The seed — drives the derived shape and the fault's byte offset.
+    pub seed: u64,
+    /// World size (derived: 2–4 ranks).
+    pub ranks: usize,
+    /// What happens to the victim's image write.
+    pub kind: StorageFaultKind,
+    /// `true`: exercise exit-and-restart around the fault. `false`: the
+    /// fault lands during a resume-mode checkpoint.
+    pub restart: bool,
+    /// Rank whose image write is damaged (derived).
+    pub victim: usize,
+}
+
+impl StorageCase {
+    /// Derive the seed-dependent shape for an explicitly chosen fault kind
+    /// and mode — the sweep matrix exercises every (kind, mode) cell.
+    pub fn derive(seed: u64, kind: StorageFaultKind, restart: bool) -> Self {
+        let h = |salt: u64| splitmix64(seed ^ splitmix64(salt));
+        let ranks = 2 + (h(0x57A6) % 3) as usize;
+        StorageCase {
+            seed,
+            ranks,
+            kind,
+            restart,
+            victim: (h(0x71C7) % ranks as u64) as usize,
+        }
+    }
+}
+
+/// What a passing storage case demonstrated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StorageReport {
+    /// Rounds committed across all legs.
+    pub committed: usize,
+    /// Rounds aborted across all legs.
+    pub aborted: usize,
+    /// Did a restart reject a damaged generation and fall back to an
+    /// older committed one?
+    pub fell_back: bool,
+}
+
+fn storage_gromacs_cfg(ckpt_at_step: Option<u64>, ckpt_round: u64) -> gromacs::GromacsConfig {
+    gromacs::GromacsConfig {
+        atoms_per_rank: 96,
+        steps: 8,
+        compute_per_step: 0,
+        energy_interval: 2,
+        halo: 8,
+        ckpt_at_step,
+        ckpt_round,
+    }
+}
+
+fn storage_run(
+    ranks: usize,
+    mcfg: &ManaConfig,
+    gcfg: gromacs::GromacsConfig,
+    restart: bool,
+) -> Result<RunReport<gromacs::GromacsResult>, String> {
+    let rt = ManaRuntime::new(ranks, mcfg.clone()).with_world_cfg(wcfg());
+    let f = move |m: &mut Mana<'_>| -> mana_core::Result<gromacs::GromacsResult> {
+        let mut face = ManaFace::new(m);
+        gromacs::run(&mut face, &gcfg).map_err(|e| e.into_mana())
+    };
+    if restart {
+        rt.run_restart(f)
+    } else {
+        rt.run_fresh(f)
+    }
+    .map_err(|e| e.to_string())
+}
+
+fn storage_plan(case: &StorageCase, round: u64) -> Arc<FaultPlan> {
+    let mut spec = FaultSpec::quiet();
+    spec.storage = Some(StorageFaultSpec {
+        rank: case.victim,
+        round,
+        kind: case.kind,
+    });
+    Arc::new(FaultPlan::new(case.seed, spec))
+}
+
+/// Run one storage-fault scenario end to end and check the durability
+/// contract for its (kind, mode) cell:
+///
+/// - `WriteError` — the round must abort via `AbortRound`, every rank must
+///   resume and finish with native-identical results, and (in restart
+///   mode) the previously committed generation must survive untouched.
+/// - `TornWrite` / `BitFlip` — the damage is silent at commit time, so the
+///   round commits; restart-time validation must reject the damaged
+///   generation, falling back to the older committed one when there is
+///   one.
+pub fn run_storage_case(case: &StorageCase) -> Result<StorageReport, CaseFailure> {
+    let fail = |stage: &str, e: String| CaseFailure {
+        case: ChaosCase {
+            seed: case.seed,
+            ranks: case.ranks,
+            workload: Workload::Gromacs,
+            drain: DrainMode::Alltoall,
+            restart: case.restart,
+        },
+        error: format!("storage[{:?}] {stage}: {e}", case.kind),
+    };
+    // Native reference: same kernel, no checkpoints.
+    let expected = {
+        let cfg = storage_gromacs_cfg(None, 0);
+        let w = World::new(case.ranks, wcfg());
+        w.launch(move |p| {
+            let mut f = NativeFace::new(p);
+            gromacs::run(&mut f, &cfg)
+        })
+        .map_err(|e| e.to_string())
+        .and_then(|outs| {
+            outs.into_iter()
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(|e| e.to_string())
+        })
+        .map_err(|e| fail("native reference", e))?
+    };
+    let dir = std::env::temp_dir().join(format!(
+        "mana2_chaos_storage_{}_{}",
+        case.seed,
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let base = ManaConfig {
+        ckpt_dir: dir.clone(),
+        deadlock_timeout: Some(Duration::from_secs(30)),
+        ..ManaConfig::default()
+    };
+    let result = storage_case_inner(case, &expected, &dir, &base, fail);
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
+fn storage_case_inner(
+    case: &StorageCase,
+    expected: &[gromacs::GromacsResult],
+    dir: &std::path::Path,
+    base: &ManaConfig,
+    fail: impl Fn(&str, String) -> CaseFailure,
+) -> Result<StorageReport, CaseFailure> {
+    use splitproc::store;
+    let n = case.ranks;
+    if !case.restart {
+        // Resume mode: the fault lands on the only checkpoint round.
+        let mcfg = ManaConfig {
+            fault: Some(storage_plan(case, 0)),
+            ..base.clone()
+        };
+        let pass = storage_run(n, &mcfg, storage_gromacs_cfg(Some(3), 0), false)
+            .map_err(|e| fail("faulted run", e))?;
+        if !pass.all_finished() {
+            return Err(fail(
+                "faulted run",
+                format!("did not finish: {:?}", pass.outcomes),
+            ));
+        }
+        let n_aborted = pass.coord.aborted_rounds.len();
+        let n_committed = pass.coord.rounds.len();
+        if pass.values() != expected {
+            return Err(fail("comparison", "diverged from native reference".into()));
+        }
+        match case.kind {
+            StorageFaultKind::WriteError => {
+                // The round must have aborted; nothing durable may remain.
+                if n_aborted != 1 || n_committed != 0 {
+                    return Err(fail(
+                        "protocol",
+                        format!("expected 1 aborted / 0 committed rounds, got {n_aborted} / {n_committed}"),
+                    ));
+                }
+                if store::select_generation(dir, Some(n)).is_ok() {
+                    return Err(fail(
+                        "store",
+                        "aborted round left a selectable generation".into(),
+                    ));
+                }
+                Ok(StorageReport {
+                    committed: 0,
+                    aborted: 1,
+                    fell_back: false,
+                })
+            }
+            StorageFaultKind::TornWrite | StorageFaultKind::BitFlip => {
+                // Silent damage: the round commits, but restart-time
+                // validation must refuse to ever restore it.
+                if n_committed != 1 {
+                    return Err(fail(
+                        "protocol",
+                        format!("expected 1 committed round, got {n_committed}"),
+                    ));
+                }
+                match store::select_generation(dir, Some(n)) {
+                    Ok(sel) => Err(fail(
+                        "store",
+                        format!("damaged generation {} passed validation", sel.round),
+                    )),
+                    Err(store::StoreError::NoUsableGeneration { rejected, .. })
+                        if rejected.iter().any(|r| r.round == 0) =>
+                    {
+                        Ok(StorageReport {
+                            committed: 1,
+                            aborted: 0,
+                            fell_back: false,
+                        })
+                    }
+                    Err(e) => Err(fail("store", format!("unexpected store error: {e}"))),
+                }
+            }
+        }
+    } else {
+        // Exit-and-restart: gen_0 commits cleanly, then the fault lands on
+        // round 1 after a restart.
+        let exit_cfg = ManaConfig {
+            exit_after_ckpt: true,
+            ..base.clone()
+        };
+        let leg1 = storage_run(n, &exit_cfg, storage_gromacs_cfg(Some(2), 0), false)
+            .map_err(|e| fail("leg 1", e))?;
+        if !leg1.all_checkpointed() {
+            return Err(fail(
+                "leg 1",
+                format!("did not checkpoint: {:?}", leg1.outcomes),
+            ));
+        }
+        let mcfg = ManaConfig {
+            fault: Some(storage_plan(case, 1)),
+            exit_after_ckpt: true,
+            ..base.clone()
+        };
+        let leg2 = storage_run(n, &mcfg, storage_gromacs_cfg(Some(5), 1), true)
+            .map_err(|e| fail("leg 2", e))?;
+        if leg2.restored_round != Some(0) {
+            return Err(fail(
+                "leg 2",
+                format!("restored {:?}, want round 0", leg2.restored_round),
+            ));
+        }
+        match case.kind {
+            StorageFaultKind::WriteError => {
+                // Round 1 aborts; ranks must resume and run to completion,
+                // and round 0 must survive the failed round untouched.
+                if !leg2.all_finished() {
+                    return Err(fail(
+                        "leg 2",
+                        format!("did not finish: {:?}", leg2.outcomes),
+                    ));
+                }
+                if leg2.coord.aborted_rounds.len() != 1 || !leg2.coord.rounds.is_empty() {
+                    return Err(fail(
+                        "protocol",
+                        "round 1 should abort, round 0 stay".into(),
+                    ));
+                }
+                if leg2.rank_stats.iter().any(|s| s.ckpt_aborts != 1) {
+                    return Err(fail("protocol", "every rank must observe the abort".into()));
+                }
+                if leg2.values() != expected {
+                    return Err(fail("comparison", "diverged from native reference".into()));
+                }
+                let sel = store::select_generation(dir, Some(n))
+                    .map_err(|e| fail("store", e.to_string()))?;
+                if sel.round != 0 {
+                    return Err(fail(
+                        "store",
+                        format!("expected round 0 to survive, got {}", sel.round),
+                    ));
+                }
+                Ok(StorageReport {
+                    committed: 1,
+                    aborted: 1,
+                    fell_back: false,
+                })
+            }
+            StorageFaultKind::TornWrite | StorageFaultKind::BitFlip => {
+                // Round 1 commits over a damaged image and the job exits;
+                // the next restart must reject gen_1 and fall back to
+                // gen_0, then finish with native-identical results.
+                if !leg2.all_checkpointed() {
+                    return Err(fail(
+                        "leg 2",
+                        format!("did not checkpoint: {:?}", leg2.outcomes),
+                    ));
+                }
+                let sel = store::select_generation(dir, Some(n))
+                    .map_err(|e| fail("store", e.to_string()))?;
+                if sel.round != 0 || !sel.rejected.iter().any(|r| r.round == 1) {
+                    return Err(fail(
+                        "store",
+                        format!(
+                            "expected fallback 1→0, got round {} (rejected {:?})",
+                            sel.round, sel.rejected
+                        ),
+                    ));
+                }
+                let leg3 = storage_run(n, base, storage_gromacs_cfg(None, 0), true)
+                    .map_err(|e| fail("leg 3", e))?;
+                if leg3.restored_round != Some(0) {
+                    return Err(fail(
+                        "leg 3",
+                        format!("restored {:?}, want round 0", leg3.restored_round),
+                    ));
+                }
+                if !leg3.all_finished() {
+                    return Err(fail(
+                        "leg 3",
+                        format!("did not finish: {:?}", leg3.outcomes),
+                    ));
+                }
+                if leg3.values() != expected {
+                    return Err(fail("comparison", "diverged from native reference".into()));
+                }
+                Ok(StorageReport {
+                    committed: 2,
+                    aborted: 0,
+                    fell_back: true,
+                })
+            }
+        }
+    }
+}
+
+/// Run a storage case, formatting failures with the case description.
+pub fn check_storage_case(case: &StorageCase) -> Result<StorageReport, String> {
+    run_storage_case(case).map_err(|f| {
+        format!(
+            "storage chaos case failed\n  seed: {}\n  case: {case:?}\n  error: {}",
+            case.seed, f.error
         )
     })
 }

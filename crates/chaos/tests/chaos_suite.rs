@@ -10,8 +10,12 @@
 //! CHAOS_SEED=<seed> cargo test -p chaos --test chaos_suite seed_replay -- --nocapture
 //! ```
 
-use chaos::{check_case, env_base_seed, env_seed, env_sweep_count, ChaosCase, Workload};
+use chaos::{
+    check_case, check_storage_case, env_base_seed, env_seed, env_sweep_count, ChaosCase,
+    StorageCase, Workload,
+};
 use mana_core::DrainMode;
+use mpisim::StorageFaultKind;
 
 fn sweep(base: u64, count: u64, workload: Workload, drain: DrainMode) {
     let mut triggered = 0usize;
@@ -53,6 +57,70 @@ fn cg_alltoall_seeds() {
 #[test]
 fn cg_coordinator_seeds() {
     sweep(4_000, 9, Workload::Cg, DrainMode::Coordinator);
+}
+
+/// Sweep one (storage-fault kind × mode) cell over a few seeds; each seed
+/// varies world size, victim rank, and the damaged byte offset.
+fn storage_sweep(base: u64, count: u64, kind: StorageFaultKind, restart: bool) {
+    for seed in base..base + count {
+        let case = StorageCase::derive(seed, kind, restart);
+        if let Err(msg) = check_storage_case(&case) {
+            panic!("{msg}");
+        }
+    }
+}
+
+#[test]
+fn storage_write_error_resume_seeds() {
+    storage_sweep(5_000, 3, StorageFaultKind::WriteError, false);
+}
+
+#[test]
+fn storage_write_error_restart_seeds() {
+    storage_sweep(5_100, 3, StorageFaultKind::WriteError, true);
+}
+
+#[test]
+fn storage_torn_write_resume_seeds() {
+    storage_sweep(5_200, 3, StorageFaultKind::TornWrite, false);
+}
+
+#[test]
+fn storage_torn_write_restart_seeds() {
+    storage_sweep(5_300, 3, StorageFaultKind::TornWrite, true);
+}
+
+#[test]
+fn storage_bit_flip_resume_seeds() {
+    storage_sweep(5_400, 3, StorageFaultKind::BitFlip, false);
+}
+
+#[test]
+fn storage_bit_flip_restart_seeds() {
+    storage_sweep(5_500, 3, StorageFaultKind::BitFlip, true);
+}
+
+/// CI fresh-seed storage sweep: like `fresh_sweep`, but cycling through
+/// every (fault kind × mode) cell so each night's window exercises the
+/// whole durability matrix on brand-new seeds.
+#[test]
+fn fresh_storage_sweep() {
+    let base = env_base_seed() ^ 0x57A6_57A6;
+    let count = env_sweep_count();
+    let kinds = [
+        StorageFaultKind::WriteError,
+        StorageFaultKind::TornWrite,
+        StorageFaultKind::BitFlip,
+    ];
+    for i in 0..count {
+        let seed = base.wrapping_add(i);
+        let kind = kinds[(i % 3) as usize];
+        let restart = (i / 3) % 2 == 0;
+        let case = StorageCase::derive(seed, kind, restart);
+        if let Err(msg) = check_storage_case(&case) {
+            panic!("{msg}");
+        }
+    }
 }
 
 /// Replay hook: `CHAOS_SEED=<seed>` reruns exactly one failing scenario

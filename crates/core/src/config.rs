@@ -62,8 +62,13 @@ pub struct ManaConfig {
     /// the mode preceding a restart). If false, ranks resume execution
     /// (the Fig. 3 "checkpoint while running" mode).
     pub exit_after_ckpt: bool,
-    /// Directory for checkpoint images.
+    /// Root directory of the generational checkpoint store: each round
+    /// writes `gen_<round>/ckpt_rank_*.mana` plus a `MANIFEST` committed
+    /// by the coordinator once every rank's image is durable.
     pub ckpt_dir: PathBuf,
+    /// How many committed checkpoint generations to keep (floor 1). Older
+    /// generations are garbage-collected after each committed round.
+    pub retain_generations: usize,
     /// Park slice used in MANA test loops.
     pub poll_interval: Duration,
     /// Enable the tools-interface deadlock detector (paper conclusion's
@@ -90,6 +95,7 @@ impl Default for ManaConfig {
             callback_style: CallbackStyle::Prepared,
             exit_after_ckpt: false,
             ckpt_dir: std::env::temp_dir().join("mana2_ckpt"),
+            retain_generations: 2,
             poll_interval: Duration::from_micros(500),
             deadlock_timeout: None,
             fault: None,

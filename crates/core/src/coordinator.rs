@@ -15,6 +15,8 @@
 //! count reports.
 
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use splitproc::store;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -41,12 +43,23 @@ pub enum RankMsg {
         /// Total user bytes received (including drained).
         recvd: u64,
     },
-    /// Image written.
+    /// Image durably written.
     CkptDone {
         /// Reporting rank.
         rank: usize,
         /// Bytes of the written image.
         image_bytes: u64,
+        /// CRC32 of the written image file — recorded in the generation
+        /// manifest so restart can detect torn or corrupt images.
+        image_crc: u32,
+    },
+    /// Image write failed (even after bounded retries). The round cannot
+    /// commit; the coordinator aborts the generation.
+    CkptFailed {
+        /// Reporting rank.
+        rank: usize,
+        /// What went wrong.
+        reason: String,
     },
     /// The application closure wants to finish; the rank blocks until the
     /// coordinator acknowledges (so a concurrent checkpoint round cannot
@@ -74,6 +87,13 @@ pub enum CoordMsg {
     Resume,
     /// Images written everywhere; exit (checkpoint-and-kill).
     Exit,
+    /// Some rank failed to write its image: the round did not commit.
+    /// Every rank discards its partial image state and resumes; prior
+    /// committed generations are untouched.
+    AbortRound {
+        /// The round that failed to commit.
+        round: u64,
+    },
     /// Acknowledge a `Finishing` rank: it may leave.
     FinishAck,
 }
@@ -176,11 +196,23 @@ impl CkptTrigger {
     }
 }
 
+/// One checkpoint round that failed to commit and was aborted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AbortedRound {
+    /// The round that was aborted.
+    pub round: u64,
+    /// Per-rank failure reasons (usually one; coordinator-side manifest
+    /// write failures are recorded under `usize::MAX`).
+    pub failures: Vec<(usize, String)>,
+}
+
 /// Coordinator outcome after all ranks finished.
 #[derive(Debug, Clone, Default)]
 pub struct CoordReport {
-    /// One entry per completed checkpoint round.
+    /// One entry per completed (committed) checkpoint round.
     pub rounds: Vec<CkptRoundStats>,
+    /// Rounds that ended in `AbortRound` instead of committing.
+    pub aborted_rounds: Vec<AbortedRound>,
     /// Checkpoint requests ignored because ranks had already finished.
     pub skipped_requests: u64,
     /// Commit-time invariant violations, one entry per failing round. A
@@ -188,6 +220,18 @@ pub struct CoordReport {
     /// state (e.g. user traffic still in flight after the drain); the
     /// runtime converts it into an error.
     pub invariant_violations: Vec<String>,
+}
+
+/// The coordinator's view of the generational checkpoint store: where the
+/// generations live and how many committed ones to retain. `None` (unit
+/// tests driving the coordinator directly) skips manifest commits, abort
+/// cleanup, and GC — the two-phase message protocol still runs.
+#[derive(Debug, Clone)]
+pub struct CoordStore {
+    /// Store root (the runtime's `ckpt_dir`).
+    pub root: PathBuf,
+    /// Committed generations to keep (floor 1).
+    pub retain: usize,
 }
 
 /// Global invariant checker run by the coordinator at the commit point of
@@ -208,16 +252,21 @@ pub fn spawn_coordinator(
     CkptTrigger,
     std::thread::JoinHandle<CoordReport>,
 ) {
-    spawn_coordinator_ext(n, exit_after_ckpt, None, None)
+    spawn_coordinator_ext(n, exit_after_ckpt, None, None, None, 0)
 }
 
-/// [`spawn_coordinator`] with fault injection and a commit-time invariant
-/// checker.
+/// [`spawn_coordinator`] with fault injection, a commit-time invariant
+/// checker, a generational store for two-phase round commit, and the
+/// first round number. A restarted world passes `restored_round + 1` so
+/// round numbers — and therefore generation directories — keep advancing
+/// across restarts instead of colliding with committed generations.
 pub fn spawn_coordinator_ext(
     n: usize,
     exit_after_ckpt: bool,
     fault: Option<Arc<mpisim::FaultPlan>>,
     commit_check: Option<CommitCheck>,
+    ckpt_store: Option<CoordStore>,
+    initial_round: u64,
 ) -> (
     Vec<CoordHandle>,
     CkptTrigger,
@@ -225,7 +274,7 @@ pub fn spawn_coordinator_ext(
 ) {
     let (to_coord, from_ranks) = unbounded::<RankMsg>();
     let intent = Arc::new(AtomicBool::new(false));
-    let round = Arc::new(AtomicU64::new(0));
+    let round = Arc::new(AtomicU64::new(initial_round));
     let mut handles = Vec::with_capacity(n);
     let mut rank_txs = Vec::with_capacity(n);
     for rank in 0..n {
@@ -255,12 +304,14 @@ pub fn spawn_coordinator_ext(
                 from_ranks,
                 rank_txs,
                 commit_check,
+                ckpt_store,
             )
         })
         .expect("spawn coordinator");
     (handles, trigger, join)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn coordinator_loop(
     n: usize,
     exit_after_ckpt: bool,
@@ -269,6 +320,7 @@ fn coordinator_loop(
     from_ranks: Receiver<RankMsg>,
     rank_txs: Vec<Sender<CoordMsg>>,
     commit_check: Option<CommitCheck>,
+    ckpt_store: Option<CoordStore>,
 ) -> CoordReport {
     let mut report = CoordReport::default();
     let mut finished = vec![false; n];
@@ -294,6 +346,9 @@ fn coordinator_loop(
                 }
                 // ---- one checkpoint round ----
                 let round = round_ctr.load(Ordering::Acquire);
+                if std::env::var("MANA2_DEBUG").is_ok() {
+                    eprintln!("mana2: coordinator starting round {round}");
+                }
                 let t0 = Instant::now();
                 let mut msgs = 0u64;
                 intent.store(true, Ordering::Release);
@@ -340,12 +395,14 @@ fn coordinator_loop(
 
                 // Phase 2b (legacy drain only): totals rounds. The ranks
                 // drive this; we answer every complete set of n reports.
-                // Phase 3: collect Done.
+                // Phase 3: collect Done/Failed from every rank.
                 let t1 = Instant::now();
-                let mut done = 0usize;
+                let mut reported = 0usize;
                 let mut total_bytes = 0u64;
+                let mut images: Vec<Option<store::ManifestEntry>> = vec![None; n];
+                let mut failures: Vec<(usize, String)> = Vec::new();
                 let mut drain_reports: Vec<(u64, u64)> = Vec::new();
-                while done < n {
+                while reported < n {
                     match from_ranks.recv_timeout(Duration::from_secs(120)) {
                         Ok(RankMsg::DrainReport { sent, recvd, .. }) => {
                             msgs += 1;
@@ -361,10 +418,24 @@ fn coordinator_loop(
                                 drain_reports.clear();
                             }
                         }
-                        Ok(RankMsg::CkptDone { image_bytes, .. }) => {
+                        Ok(RankMsg::CkptDone {
+                            rank,
+                            image_bytes,
+                            image_crc,
+                        }) => {
                             msgs += 1;
-                            done += 1;
+                            reported += 1;
                             total_bytes += image_bytes;
+                            images[rank] = Some(store::ManifestEntry {
+                                rank: rank as u64,
+                                bytes: image_bytes,
+                                crc: image_crc,
+                            });
+                        }
+                        Ok(RankMsg::CkptFailed { rank, reason }) => {
+                            msgs += 1;
+                            reported += 1;
+                            failures.push((rank, reason));
                         }
                         Ok(RankMsg::RequestCkpt) => {
                             report.skipped_requests += 1;
@@ -377,10 +448,51 @@ fn coordinator_loop(
                 }
                 let write = t1.elapsed();
 
-                // Commit point: every rank drained and wrote its image,
-                // none has resumed. This is the only instant where the
-                // global quiesced state is observable — run the invariant
-                // checker here, before intent drops.
+                // Commit point: every rank has drained and reported, none
+                // has resumed. The round commits only if *all* ranks wrote
+                // durably — then the manifest makes it restart material.
+                if failures.is_empty() {
+                    if let Some(cs) = &ckpt_store {
+                        let manifest = store::Manifest {
+                            round,
+                            world_size: n as u64,
+                            entries: images.iter().flatten().copied().collect(),
+                        };
+                        if let Err(e) = store::commit_generation(
+                            &cs.root,
+                            &manifest,
+                            &store::StoreConfig::default(),
+                        ) {
+                            // Manifest didn't land: the generation is not
+                            // committed. Treat like a rank failure.
+                            failures.push((usize::MAX, format!("manifest write failed: {e}")));
+                        }
+                    }
+                }
+
+                if !failures.is_empty() {
+                    // Abort path: scrap the partial generation, tell every
+                    // rank to discard and resume. Prior committed
+                    // generations are untouched — round N's failure never
+                    // costs round N−1.
+                    if let Some(cs) = &ckpt_store {
+                        let _ = store::abort_generation(&cs.root, round);
+                    }
+                    intent.store(false, Ordering::Release);
+                    round_ctr.store(round + 1, Ordering::Release);
+                    for tx in &rank_txs {
+                        let _ = tx.send(CoordMsg::AbortRound { round });
+                    }
+                    if std::env::var("MANA2_DEBUG").is_ok() {
+                        eprintln!("mana2: coordinator aborted round {round}: {failures:?}");
+                    }
+                    report.aborted_rounds.push(AbortedRound { round, failures });
+                    continue;
+                }
+
+                // This is the only instant where the global quiesced state
+                // is observable — run the invariant checker here, before
+                // intent drops.
                 if let Some(check) = &commit_check {
                     if let Err(v) = check(round) {
                         report
@@ -413,11 +525,20 @@ fn coordinator_loop(
                     gids_in_flight: gids,
                     coord_msgs: msgs,
                 });
+                // The committed round supersedes older generations: sweep
+                // beyond the retention window (best-effort; GC failure
+                // must not fail the job).
+                if let Some(cs) = &ckpt_store {
+                    let _ = store::gc_generations(&cs.root, cs.retain);
+                }
                 if exit_after_ckpt {
                     exited = true;
                 }
             }
-            RankMsg::Ready { .. } | RankMsg::DrainReport { .. } | RankMsg::CkptDone { .. } => {
+            RankMsg::Ready { .. }
+            | RankMsg::DrainReport { .. }
+            | RankMsg::CkptDone { .. }
+            | RankMsg::CkptFailed { .. } => {
                 debug_assert!(false, "stray message outside a round: {msg:?}");
             }
         }
@@ -471,6 +592,7 @@ mod tests {
                     h.send(RankMsg::CkptDone {
                         rank: h.rank(),
                         image_bytes: 100,
+                        image_crc: 0,
                     })
                     .unwrap();
                     assert_eq!(h.recv().unwrap(), CoordMsg::Resume);
@@ -513,6 +635,7 @@ mod tests {
                     h.send(RankMsg::CkptDone {
                         rank: h.rank(),
                         image_bytes: 10,
+                        image_crc: 0,
                     })
                     .unwrap();
                     assert_eq!(h.recv().unwrap(), CoordMsg::Exit);
@@ -570,6 +693,7 @@ mod tests {
                     h.send(RankMsg::CkptDone {
                         rank: h.rank(),
                         image_bytes: 1,
+                        image_crc: 0,
                     })
                     .unwrap();
                     assert_eq!(h.recv().unwrap(), CoordMsg::Resume);
@@ -593,7 +717,7 @@ mod tests {
         let n = 2;
         let check: CommitCheck =
             Box::new(|round| Err(format!("synthetic violation in round {round}")));
-        let (handles, trigger, join) = spawn_coordinator_ext(n, false, None, Some(check));
+        let (handles, trigger, join) = spawn_coordinator_ext(n, false, None, Some(check), None, 0);
         trigger.checkpoint();
         let threads: Vec<_> = handles
             .into_iter()
@@ -611,6 +735,7 @@ mod tests {
                     h.send(RankMsg::CkptDone {
                         rank: h.rank(),
                         image_bytes: 1,
+                        image_crc: 0,
                     })
                     .unwrap();
                     assert_eq!(h.recv().unwrap(), CoordMsg::Resume);
@@ -626,6 +751,137 @@ mod tests {
         assert_eq!(report.rounds.len(), 1);
         assert_eq!(report.invariant_violations.len(), 1);
         assert!(report.invariant_violations[0].contains("round 0"));
+    }
+
+    #[test]
+    fn ckpt_failed_aborts_round_and_all_ranks_resume() {
+        let n = 3;
+        // Even in exit-after-checkpoint mode, a failed round must NOT
+        // exit: the job resumes and may checkpoint again later.
+        let (handles, trigger, join) = spawn_coordinator(n, true);
+        trigger.checkpoint();
+        let threads: Vec<_> = handles
+            .into_iter()
+            .map(|h| {
+                std::thread::spawn(move || {
+                    while !h.intent() {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    h.send(RankMsg::Ready {
+                        rank: h.rank(),
+                        in_collective: None,
+                    })
+                    .unwrap();
+                    assert!(matches!(h.recv().unwrap(), CoordMsg::Go { .. }));
+                    if h.rank() == 1 {
+                        h.send(RankMsg::CkptFailed {
+                            rank: 1,
+                            reason: "injected storage write error".into(),
+                        })
+                        .unwrap();
+                    } else {
+                        h.send(RankMsg::CkptDone {
+                            rank: h.rank(),
+                            image_bytes: 10,
+                            image_crc: 0,
+                        })
+                        .unwrap();
+                    }
+                    // Every rank — including the successful ones — gets
+                    // AbortRound, not Exit, and resumes.
+                    assert_eq!(h.recv().unwrap(), CoordMsg::AbortRound { round: 0 });
+                    assert!(!h.intent(), "intent cleared after abort");
+                    assert_eq!(
+                        h.round(),
+                        1,
+                        "round counter advances past the aborted round"
+                    );
+                    h.send(RankMsg::Finishing { rank: h.rank() }).unwrap();
+                    assert_eq!(h.recv().unwrap(), CoordMsg::FinishAck);
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let report = join.join().unwrap();
+        assert!(
+            report.rounds.is_empty(),
+            "aborted round is not a completed round"
+        );
+        assert_eq!(report.aborted_rounds.len(), 1);
+        assert_eq!(report.aborted_rounds[0].round, 0);
+        assert_eq!(report.aborted_rounds[0].failures.len(), 1);
+        assert_eq!(report.aborted_rounds[0].failures[0].0, 1);
+    }
+
+    #[test]
+    fn committed_round_writes_manifest_and_gc_runs() {
+        let n = 2;
+        let root = std::env::temp_dir().join(format!("mana2_coord_store_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        // Pre-write the images the ranks will claim, so the manifest the
+        // coordinator commits validates against real files.
+        let mut crcs = Vec::new();
+        for rank in 0..n {
+            let img = splitproc::CkptImage {
+                rank,
+                world_size: n,
+                round: 0,
+                upper: vec![7; 32],
+                meta: vec![1; 8],
+            };
+            let out =
+                store::write_image(&root, &img, &store::StoreConfig::default(), None).unwrap();
+            crcs.push((out.bytes as u64, out.crc));
+        }
+        let (handles, trigger, join) = spawn_coordinator_ext(
+            n,
+            false,
+            None,
+            None,
+            Some(CoordStore {
+                root: root.clone(),
+                retain: 2,
+            }),
+            0,
+        );
+        trigger.checkpoint();
+        let threads: Vec<_> = handles
+            .into_iter()
+            .map(|h| {
+                let (bytes, crc) = crcs[h.rank()];
+                std::thread::spawn(move || {
+                    while !h.intent() {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    h.send(RankMsg::Ready {
+                        rank: h.rank(),
+                        in_collective: None,
+                    })
+                    .unwrap();
+                    assert!(matches!(h.recv().unwrap(), CoordMsg::Go { .. }));
+                    h.send(RankMsg::CkptDone {
+                        rank: h.rank(),
+                        image_bytes: bytes,
+                        image_crc: crc,
+                    })
+                    .unwrap();
+                    assert_eq!(h.recv().unwrap(), CoordMsg::Resume);
+                    h.send(RankMsg::Finishing { rank: h.rank() }).unwrap();
+                    assert_eq!(h.recv().unwrap(), CoordMsg::FinishAck);
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let report = join.join().unwrap();
+        assert_eq!(report.rounds.len(), 1);
+        // The generation is now committed and selectable.
+        let sel = store::select_generation(&root, Some(n)).unwrap();
+        assert_eq!(sel.round, 0);
+        std::fs::remove_dir_all(&root).ok();
     }
 
     #[test]

@@ -74,8 +74,8 @@ pub use collective_emu::{emu_tag, CollOp, CollOpTable, EmuIo, EmuKind, IRecvSlot
 pub use comm_mgr::{global_comm_id, CommManager, CommRecord};
 pub use config::{DrainMode, ManaConfig, RestartMode, TpcMode};
 pub use coordinator::{
-    spawn_coordinator, spawn_coordinator_ext, CkptRoundStats, CkptTrigger, CommitCheck,
-    CoordHandle, CoordReport,
+    spawn_coordinator, spawn_coordinator_ext, AbortedRound, CkptRoundStats, CkptTrigger,
+    CommitCheck, CoordHandle, CoordReport, CoordStore,
 };
 pub use error::{ManaError, Result};
 pub use fortran::{FortranConstants, NamedConstant};

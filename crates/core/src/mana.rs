@@ -39,6 +39,9 @@ pub struct ManaStats {
     pub tpc_barriers: u64,
     /// Checkpoints taken by this rank.
     pub ckpts: u64,
+    /// Checkpoint rounds that ended in `AbortRound` (some rank's image
+    /// write failed; partial generation discarded, execution resumed).
+    pub ckpt_aborts: u64,
     /// Messages captured by the drain.
     pub drained_msgs: u64,
     /// Bytes captured by the drain.

@@ -28,6 +28,7 @@ use crate::mana::Mana;
 use crate::p2p_log::{DrainBuffer, DrainedMsg, P2pLog};
 use crate::requests::{Binding, RequestManager, RequestMeta, StoredCompletion, VReqKind};
 use mpisim::{fnv1a_usizes, Comm, Group, Proc, RReq, SrcSel, TagSel};
+use splitproc::store;
 use splitproc::{CkptImage, Decode, Encode, LowerHalf, Reader, UpperHalf};
 
 /// Everything MANA saves alongside the upper half.
@@ -180,12 +181,54 @@ impl<'p> Mana<'p> {
             upper: self.upper.to_bytes(),
             meta: meta.to_bytes(),
         };
-        let bytes = image.write_to_dir(&self.cfg.ckpt_dir)?;
-        self.stats.ckpts += 1;
-        self.coord.send(RankMsg::CkptDone {
-            rank: self.rank(),
-            image_bytes: bytes as u64,
-        })?;
+        // Durable write into this round's generation directory. A seeded
+        // storage fault (chaos) maps onto the store's injection point:
+        // write errors surface here as CkptFailed; torn writes and bit
+        // flips corrupt the file *after* the apparent success, so the
+        // rank honestly reports Done and only restart-time validation
+        // can catch them — exactly the failure mode the manifest CRCs
+        // exist for.
+        let write_fault = self
+            .cfg
+            .fault
+            .as_ref()
+            .and_then(|fp| fp.storage_fault(self.rank(), round))
+            .map(|f| match f.kind {
+                mpisim::StorageFaultKind::WriteError => {
+                    store::WriteFault::Error { attempts: u32::MAX }
+                }
+                mpisim::StorageFaultKind::TornWrite => store::WriteFault::Torn { offset: f.offset },
+                mpisim::StorageFaultKind::BitFlip => {
+                    store::WriteFault::BitFlip { offset: f.offset }
+                }
+            });
+        if debug_enabled() {
+            eprintln!(
+                "mana2: rank {} writing image for round {round} (fault={write_fault:?})",
+                self.rank()
+            );
+        }
+        match store::write_image(
+            &self.cfg.ckpt_dir,
+            &image,
+            &store::StoreConfig::default(),
+            write_fault.as_ref(),
+        ) {
+            Ok(out) => {
+                self.stats.ckpts += 1;
+                self.coord.send(RankMsg::CkptDone {
+                    rank: self.rank(),
+                    image_bytes: out.bytes as u64,
+                    image_crc: out.crc,
+                })?;
+            }
+            Err(e) => {
+                self.coord.send(RankMsg::CkptFailed {
+                    rank: self.rank(),
+                    reason: e.to_string(),
+                })?;
+            }
+        }
         match self.coord.recv()? {
             CoordMsg::Resume => {
                 // Network empty + both sides agreed: counters restart from
@@ -196,6 +239,16 @@ impl<'p> Mana<'p> {
             CoordMsg::Exit => {
                 self.exited = true;
                 Err(ManaError::CkptExit)
+            }
+            CoordMsg::AbortRound { .. } => {
+                // Some rank's image write failed: the round did not
+                // commit, the coordinator already scrapped the partial
+                // generation. State is exactly as after Resume — the
+                // drain completed globally before any rank reported, so
+                // resetting p2p counters stays consistent on every rank.
+                self.stats.ckpt_aborts += 1;
+                self.p2p.reset();
+                Ok(())
             }
             other => {
                 debug_assert!(false, "unexpected after CkptDone: {other:?}");

@@ -8,11 +8,13 @@
 //! re-entered — it finds its position in upper-half memory and continues.
 
 use crate::config::ManaConfig;
-use crate::coordinator::{spawn_coordinator_ext, CkptTrigger, CommitCheck, CoordReport};
+use crate::coordinator::{
+    spawn_coordinator_ext, CkptTrigger, CommitCheck, CoordReport, CoordStore,
+};
 use crate::error::{ManaError, Result};
 use crate::mana::{Mana, ManaStats};
 use mpisim::{StatsSnapshot, World, WorldCfg};
-use splitproc::CkptImage;
+use splitproc::{store, CkptImage};
 use std::fmt;
 
 /// How one rank's application run ended.
@@ -51,6 +53,10 @@ pub struct RunReport<T> {
     pub rank_stats: Vec<ManaStats>,
     /// Coordinator report (one entry per checkpoint round).
     pub coord: CoordReport,
+    /// For restart runs: the committed generation the world was rebuilt
+    /// from (it may be older than the newest on disk if newer generations
+    /// failed validation). `None` for fresh runs.
+    pub restored_round: Option<u64>,
 }
 
 impl<T> RunReport<T> {
@@ -89,6 +95,9 @@ pub enum RuntimeError {
     /// quiesced state inconsistent (e.g. user traffic still in flight when
     /// a checkpoint round committed). The payload lists the violations.
     Invariant(String),
+    /// Restart found no usable checkpoint generation (or the store itself
+    /// failed); the payload names every rejected generation and why.
+    Store(store::StoreError),
 }
 
 impl fmt::Display for RuntimeError {
@@ -100,6 +109,7 @@ impl fmt::Display for RuntimeError {
             RuntimeError::Invariant(s) => {
                 write!(f, "checkpoint commit invariant violated: {s}")
             }
+            RuntimeError::Store(e) => write!(f, "checkpoint store: {e}"),
         }
     }
 }
@@ -184,6 +194,27 @@ impl ManaRuntime {
         F: Fn(&mut Mana<'_>) -> Result<T> + Send + Sync,
         G: FnOnce(CkptTrigger) + Send + 'static,
     {
+        // Restart: pick the generation *before* spawning anything — scan
+        // newest-first, validate every rank image against the manifest,
+        // fall back to the newest globally-complete generation. Failing
+        // here is cheap; failing inside the launched world is a mess.
+        let selected = if restart {
+            match store::select_generation(&self.cfg.ckpt_dir, Some(self.n)) {
+                Ok(sel) => {
+                    for rej in &sel.rejected {
+                        eprintln!(
+                            "mana2: restart skipping generation {}: {}",
+                            rej.round, rej.reason
+                        );
+                    }
+                    Some(sel)
+                }
+                Err(e) => return Err(RuntimeError::Store(e)),
+            }
+        } else {
+            None
+        };
+        let restored_round = selected.as_ref().map(|s| s.round);
         // The world must exist before the coordinator: the commit-time
         // invariant checker captures an introspection handle over it.
         let mut world_cfg = self.world_cfg.clone();
@@ -209,6 +240,14 @@ impl ManaRuntime {
             self.cfg.exit_after_ckpt,
             self.cfg.fault.clone(),
             Some(commit_check),
+            Some(CoordStore {
+                root: self.cfg.ckpt_dir.clone(),
+                retain: self.cfg.retain_generations,
+            }),
+            // Round numbers keep advancing across restarts so a new round
+            // never reuses (and on abort, never deletes) the generation
+            // directory of a previously committed round.
+            restored_round.map(|r| r + 1).unwrap_or(0),
         );
         let driver_join = driver.map(|d| {
             let t = trigger.clone();
@@ -263,10 +302,11 @@ impl ManaRuntime {
         let cfg = &self.cfg;
         let f = &f;
         let handles_ref = &handles;
+        let selected_ref = &selected;
         let launched = world.launch(move |proc| -> Result<(AppOutcome<T>, ManaStats)> {
             let coord = handles_ref[proc.rank()].clone();
-            let mut mana = if restart {
-                let image = CkptImage::read_from_dir(&cfg.ckpt_dir, proc.rank())?;
+            let mut mana = if let Some(sel) = selected_ref {
+                let image = CkptImage::read_from_dir(&sel.dir, proc.rank())?;
                 Mana::restore(proc, cfg.clone(), coord, &image)?
             } else {
                 Mana::fresh(proc, cfg.clone(), coord)
@@ -352,6 +392,7 @@ impl ManaRuntime {
             world_stats,
             rank_stats,
             coord,
+            restored_round,
         })
     }
 }

@@ -74,11 +74,13 @@ fn resume_checkpoint_mid_run() {
     // All ranks computed identical sums.
     let vals = report.values();
     assert!(vals.windows(2).all(|w| w[0] == w[1]));
-    // Exactly one checkpoint round happened, and images exist per rank.
-    // (rank_stats checked via ckpts counter.)
+    // Exactly one checkpoint round happened; the committed generation
+    // holds a valid image per rank.
+    let sel = splitproc::store::select_generation(&dir, Some(n)).expect("committed generation");
+    assert_eq!(sel.round, 0);
     for r in 0..n {
         assert!(
-            splitproc::CkptImage::read_from_dir(&dir, r).is_ok(),
+            splitproc::CkptImage::read_from_dir(&sel.dir, r).is_ok(),
             "image for rank {r}"
         );
     }
@@ -695,6 +697,184 @@ fn repeated_checkpoint_rounds() {
         assert!(r.total_image_bytes > 0);
     }
     assert!(report.values().iter().all(|&r| r == 3));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn round1_write_failure_aborts_and_restart_uses_round0() {
+    // The tentpole robustness scenario: round 0 commits and the job
+    // exits; after restart, rank 1's image write fails during round 1
+    // (seeded storage fault). The coordinator must abort round 1 — every
+    // rank resumes via AbortRound, no hang, and the job finishes — and
+    // gen_0 must survive untouched so a later restart still works.
+    let n = 3;
+    let total = 8u64;
+    let work = |m: &mut mana_core::Mana<'_>| -> mana_core::Result<u64> {
+        let w = m.comm_world();
+        let mut step = m
+            .upper()
+            .read_value::<u64>("step")
+            .transpose()?
+            .unwrap_or(0);
+        let mut acc = m.upper().read_value::<u64>("acc").transpose()?.unwrap_or(0);
+        while step < total {
+            if m.rank() == 0 && ((step == 2 && m.round() == 0) || (step == 5 && m.round() == 1)) {
+                m.request_checkpoint()?;
+            }
+            let s = m.allreduce_t(w, ReduceOp::Sum, &[step * 10 + m.rank() as u64])?;
+            acc += s[0];
+            step += 1;
+            m.upper_mut().write_value("step", &step);
+            m.upper_mut().write_value("acc", &acc);
+            m.step_commit()?;
+        }
+        Ok(acc)
+    };
+
+    // Reference: fault-free resume-mode run (it checkpoints too; resume
+    // is transparent, so values are what a native run computes).
+    let reference = ManaRuntime::new(n, cfg("r1fail_ref"))
+        .with_world_cfg(wcfg())
+        .run_fresh(work)
+        .unwrap()
+        .values();
+
+    // Pass 1: checkpoint round 0 at the step-3 boundary, exit. gen_0 is
+    // the committed baseline everything after must not lose.
+    let mut config = cfg("r1fail");
+    config.exit_after_ckpt = true;
+    let dir = config.ckpt_dir.clone();
+    let pass1 = ManaRuntime::new(n, config.clone())
+        .with_world_cfg(wcfg())
+        .run_fresh(work)
+        .unwrap();
+    assert!(pass1.all_checkpointed(), "{:?}", pass1.outcomes);
+    assert_eq!(pass1.coord.rounds.len(), 1);
+    assert_eq!(pass1.coord.rounds[0].round, 0);
+
+    // Pass 2: restart from gen_0 with a dead disk on rank 1 armed for
+    // round 1. The round must abort cleanly and the job run to the end.
+    let mut spec = mpisim::FaultSpec::quiet();
+    spec.storage = Some(mpisim::StorageFaultSpec {
+        rank: 1,
+        round: 1,
+        kind: mpisim::StorageFaultKind::WriteError,
+    });
+    config.fault = Some(std::sync::Arc::new(mpisim::FaultPlan::new(0xF417, spec)));
+    let pass2 = ManaRuntime::new(n, config)
+        .with_world_cfg(wcfg())
+        .run_restart(work)
+        .unwrap();
+    assert_eq!(pass2.restored_round, Some(0));
+    assert!(pass2.all_finished(), "{:?}", pass2.outcomes);
+    assert!(pass2.coord.rounds.is_empty(), "round 1 must not commit");
+    assert_eq!(pass2.coord.aborted_rounds.len(), 1);
+    assert_eq!(pass2.coord.aborted_rounds[0].round, 1);
+    assert_eq!(pass2.coord.aborted_rounds[0].failures[0].0, 1);
+    for (r, s) in pass2.rank_stats.iter().enumerate() {
+        assert_eq!(s.ckpt_aborts, 1, "rank {r} must see exactly one abort");
+    }
+    assert_eq!(pass2.values(), reference);
+    // On disk: round 0 committed and intact, round 1 scrapped.
+    let sel = splitproc::store::select_generation(&dir, Some(n)).unwrap();
+    assert_eq!(sel.round, 0, "round 1's failure must not cost round 0");
+    assert!(sel.rejected.is_empty(), "no partial gen_1 left behind");
+
+    // Pass 3: restart again, fault-free, from the surviving round-0
+    // generation, and finish with native-identical results.
+    let pass3 = ManaRuntime::new(
+        n,
+        ManaConfig {
+            ckpt_dir: dir.clone(),
+            ..ManaConfig::default()
+        },
+    )
+    .with_world_cfg(wcfg())
+    .run_restart(work)
+    .unwrap();
+    assert_eq!(pass3.restored_round, Some(0));
+    assert!(pass3.all_finished());
+    assert_eq!(pass3.values(), reference);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn restart_falls_back_past_corrupt_newest_generation() {
+    // A bit flip lands in the newest committed generation after the job
+    // exits; restart must reject it by manifest CRC and fall back to the
+    // older committed generation.
+    let n = 2;
+    let total = 6u64;
+    let work = |m: &mut mana_core::Mana<'_>| -> mana_core::Result<u64> {
+        let w = m.comm_world();
+        let mut step = m
+            .upper()
+            .read_value::<u64>("step")
+            .transpose()?
+            .unwrap_or(0);
+        let mut acc = m.upper().read_value::<u64>("acc").transpose()?.unwrap_or(0);
+        while step < total {
+            if m.rank() == 0 && ((step == 1 && m.round() == 0) || (step == 3 && m.round() == 1)) {
+                m.request_checkpoint()?;
+            }
+            let s = m.allreduce_t(w, ReduceOp::Sum, &[step + m.rank() as u64])?;
+            acc += s[0];
+            step += 1;
+            m.upper_mut().write_value("step", &step);
+            m.upper_mut().write_value("acc", &acc);
+            m.step_commit()?;
+        }
+        Ok(acc)
+    };
+    let reference = ManaRuntime::new(n, cfg("fallback_ref"))
+        .with_world_cfg(wcfg())
+        .run_fresh(work)
+        .unwrap()
+        .values();
+
+    let mut config = cfg("fallback");
+    config.exit_after_ckpt = true;
+    let dir = config.ckpt_dir.clone();
+    // Two checkpoint-and-exit legs commit gen_0 then gen_1 (the restarted
+    // coordinator numbers its round after the restored generation).
+    let pass1a = ManaRuntime::new(n, config.clone())
+        .with_world_cfg(wcfg())
+        .run_fresh(work)
+        .unwrap();
+    assert!(pass1a.all_checkpointed(), "{:?}", pass1a.outcomes);
+    assert_eq!(pass1a.coord.rounds[0].round, 0);
+    let pass1b = ManaRuntime::new(n, config)
+        .with_world_cfg(wcfg())
+        .run_restart(work)
+        .unwrap();
+    assert!(pass1b.all_checkpointed(), "{:?}", pass1b.outcomes);
+    assert_eq!(pass1b.restored_round, Some(0));
+    assert_eq!(pass1b.coord.rounds[0].round, 1);
+
+    // Silent post-exit corruption of rank 0's image in gen_1.
+    let victim = splitproc::CkptImage::path_for(&splitproc::store::generation_dir(&dir, 1), 0);
+    let mut bytes = std::fs::read(&victim).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&victim, &bytes).unwrap();
+
+    let pass2 = ManaRuntime::new(
+        n,
+        ManaConfig {
+            ckpt_dir: dir.clone(),
+            ..ManaConfig::default()
+        },
+    )
+    .with_world_cfg(wcfg())
+    .run_restart(work)
+    .unwrap();
+    assert_eq!(
+        pass2.restored_round,
+        Some(0),
+        "must fall back past corrupt gen_1"
+    );
+    assert!(pass2.all_finished());
+    assert_eq!(pass2.values(), reference);
     std::fs::remove_dir_all(&dir).ok();
 }
 

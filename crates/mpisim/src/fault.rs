@@ -22,7 +22,12 @@
 //! * **checkpoint trigger** — one chosen rank requests a checkpoint when
 //!   its wrapper-call counter crosses a threshold, landing the intent at
 //!   an adversarial point (mid-collective, while requests are pending,
-//!   while messages are in flight).
+//!   while messages are in flight);
+//! * **storage fault** — one chosen rank's checkpoint-image write at one
+//!   chosen round either fails outright (persistent write error), is torn
+//!   at a seeded byte offset (truncated file after an apparent commit), or
+//!   suffers a post-write bit flip — exercising the generational store's
+//!   round-abort and restart-fallback paths.
 //!
 //! Every decision is derived by hashing the seed with the message
 //! identity `(src, dst, seq)` or the rank number — **not** from any
@@ -39,6 +44,45 @@ fn splitmix64(mut x: u64) -> u64 {
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     x ^ (x >> 31)
+}
+
+/// How a checkpoint-image write is damaged by a storage fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageFaultKind {
+    /// Every write attempt fails with an I/O error (a dead or full disk):
+    /// the rank reports the failure and the coordinator aborts the round.
+    WriteError,
+    /// The image file is truncated at a seeded byte offset *after* the
+    /// apparent commit — modelling lost sectors behind a lying disk cache.
+    /// The rank believes the write succeeded; restart validation must
+    /// reject the generation and fall back.
+    TornWrite,
+    /// One seeded bit of the image is flipped after the write — silent
+    /// media corruption, caught only by restart-time CRC validation.
+    BitFlip,
+}
+
+/// One armed storage fault: which rank's image, at which checkpoint
+/// round, and what happens to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StorageFaultSpec {
+    /// Rank whose image write is damaged.
+    pub rank: usize,
+    /// Checkpoint round (0-based) at which the damage lands.
+    pub round: u64,
+    /// What kind of damage.
+    pub kind: StorageFaultKind,
+}
+
+/// A storage-fault decision handed to the checkpoint store: the kind plus
+/// a seeded raw offset (the store reduces it modulo the image length to
+/// pick the torn-truncation point or the flipped bit's byte).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StorageFault {
+    /// What happens to the write.
+    pub kind: StorageFaultKind,
+    /// Seeded raw offset; interpret modulo the image size.
+    pub offset: u64,
 }
 
 /// Which perturbations are armed, and how hard.
@@ -69,6 +113,12 @@ pub struct FaultSpec {
     /// reaches the given value (first run only — restarts do not
     /// re-trigger).
     pub trigger_at_call: Option<(usize, u64)>,
+    /// Storage fault armed against one rank's image write at one round.
+    /// `None` leaves the checkpoint store undisturbed. (Deliberately not
+    /// armed by [`FaultPlan::from_seed`]: the network-fault sweeps assume
+    /// every committed round is durable; the storage chaos suite arms this
+    /// explicitly.)
+    pub storage: Option<StorageFaultSpec>,
 }
 
 impl FaultSpec {
@@ -83,6 +133,7 @@ impl FaultSpec {
             coord_delay_pct: 0,
             max_coord_delay_us: 0,
             trigger_at_call: None,
+            storage: None,
         }
     }
 
@@ -93,6 +144,7 @@ impl FaultSpec {
             && self.ready_stall.is_none()
             && self.coord_delay_pct == 0
             && self.trigger_at_call.is_none()
+            && self.storage.is_none()
     }
 }
 
@@ -148,6 +200,7 @@ impl FaultPlan {
             coord_delay_pct: (h(8) % 40) as u8,
             max_coord_delay_us: 100 + h(9) % 1_900,
             trigger_at_call: Some(((h(10) % n.max(1) as u64) as usize, 5 + h(11) % 35)),
+            storage: None,
         };
         Arc::new(FaultPlan { seed, spec })
     }
@@ -220,6 +273,19 @@ impl FaultPlan {
     pub fn should_trigger(&self, rank: usize, wrapper_calls: u64) -> bool {
         matches!(self.spec.trigger_at_call, Some((r, c)) if r == rank && wrapper_calls >= c)
     }
+
+    /// The storage fault hitting `rank`'s image write at checkpoint
+    /// `round`, if one is armed there. The offset is seeded from the plan
+    /// so a replayed seed tears or flips the exact same byte.
+    pub fn storage_fault(&self, rank: usize, round: u64) -> Option<StorageFault> {
+        match self.spec.storage {
+            Some(s) if s.rank == rank && s.round == round => Some(StorageFault {
+                kind: s.kind,
+                offset: self.roll(0x5707_A6EF, rank as u64, round, 0),
+            }),
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -261,6 +327,27 @@ mod tests {
         assert_eq!(p.coord_delay(0, 3), None);
         assert_eq!(p.ready_stall(0), None);
         assert!(!p.should_trigger(0, 1_000_000));
+        assert_eq!(p.storage_fault(0, 0), None);
+    }
+
+    #[test]
+    fn storage_fault_targets_one_rank_and_round() {
+        let mut spec = FaultSpec::quiet();
+        spec.storage = Some(StorageFaultSpec {
+            rank: 2,
+            round: 1,
+            kind: StorageFaultKind::TornWrite,
+        });
+        assert!(!spec.is_quiet());
+        let p = FaultPlan::new(11, spec);
+        let f = p.storage_fault(2, 1).expect("armed fault fires");
+        assert_eq!(f.kind, StorageFaultKind::TornWrite);
+        // Same (rank, round) under the same seed → same seeded offset.
+        assert_eq!(p.storage_fault(2, 1), Some(f));
+        // Other ranks and rounds are untouched.
+        assert_eq!(p.storage_fault(1, 1), None);
+        assert_eq!(p.storage_fault(2, 0), None);
+        assert_eq!(p.storage_fault(2, 2), None);
     }
 
     #[test]

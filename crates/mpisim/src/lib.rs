@@ -75,7 +75,7 @@ pub use costmodel::{spin_ns, MachineProfile};
 pub use datatype::{decode_slice, encode_slice, Datatype, Scalar};
 pub use envelope::{Envelope, MatchSpec, MsgClass, SrcSel, TagSel, INTERNAL_TAG_BIT, MAX_USER_TAG};
 pub use error::{MpiError, Result};
-pub use fault::{FaultPlan, FaultSpec, Perturb};
+pub use fault::{FaultPlan, FaultSpec, Perturb, StorageFault, StorageFaultKind, StorageFaultSpec};
 pub use group::{fnv1a_usizes, Group, GroupRelation};
 pub use network::{Mailbox, Network};
 pub use onesided::{Win, WinRegistry};

@@ -1,13 +1,18 @@
-//! `mana2-inspect` — dump the contents of MANA-2.0 checkpoint images.
+//! `mana2-inspect` — dump the contents of MANA-2.0 checkpoint stores.
 //!
 //! ```text
-//! mana2-inspect <ckpt_dir> [rank]
+//! mana2-inspect <ckpt_dir>            list generations, print manifests,
+//!                                     dump the newest committed images
+//! mana2-inspect <ckpt_dir> <rank>     dump one rank's image
+//! mana2-inspect <ckpt_dir> --verify   validate every generation the way
+//!                                     restart would; exit 0 iff usable
 //! ```
 //!
 //! Prints, per image: header fields, CRC status, upper-half segment names
 //! and sizes, and metadata-section size — the operational tool an admin
 //! reaches for when a restart misbehaves.
 
+use splitproc::store;
 use splitproc::{CkptImage, Decode, UpperHalf};
 use std::io::Write;
 use std::path::Path;
@@ -44,30 +49,127 @@ fn inspect(dir: &Path, rank: usize) -> Result<(), String> {
     Ok(())
 }
 
+/// Walk ranks in `dir` until a missing file. Returns how many were dumped.
+fn inspect_all(dir: &Path) -> usize {
+    let mut rank = 0usize;
+    while inspect(dir, rank).is_ok() {
+        rank += 1;
+    }
+    rank
+}
+
+/// Print the generation table and the manifest of each committed round.
+fn list_store(root: &Path, gens: &[store::GenInfo]) {
+    out!(
+        "checkpoint store {}: {} generation(s)",
+        root.display(),
+        gens.len()
+    );
+    for g in gens {
+        match store::read_manifest(&g.dir) {
+            Ok(m) => {
+                out!(
+                    "  gen {:>5}  committed  world {:>5}  {:>12} B total",
+                    g.round,
+                    m.world_size,
+                    m.total_bytes()
+                );
+                for e in &m.entries {
+                    out!(
+                        "      rank {:>5}  {:>12} B  crc {:08x}",
+                        e.rank,
+                        e.bytes,
+                        e.crc
+                    );
+                }
+            }
+            Err(e) if !g.committed => {
+                let _ = e;
+                out!(
+                    "  gen {:>5}  PARTIAL (no MANIFEST — aborted or in flight)",
+                    g.round
+                );
+            }
+            Err(e) => {
+                out!("  gen {:>5}  BAD MANIFEST: {e}", g.round);
+            }
+        }
+    }
+}
+
+/// `--verify`: validate every generation exactly the way restart would,
+/// newest first, then report which one restart would use.
+fn verify(root: &Path, gens: &[store::GenInfo]) -> i32 {
+    for g in gens.iter().rev() {
+        match store::validate_generation(&g.dir, g.round, None) {
+            Ok(m) => {
+                out!(
+                    "gen {:>5}: OK (world {}, {} rank image(s), {} B)",
+                    g.round,
+                    m.world_size,
+                    m.entries.len(),
+                    m.total_bytes()
+                );
+            }
+            Err(reason) => {
+                out!("gen {:>5}: REJECTED: {reason}", g.round);
+            }
+        }
+    }
+    match store::select_generation(root, None) {
+        Ok(sel) => {
+            out!("restart would use generation {}", sel.round);
+            0
+        }
+        Err(e) => {
+            eprintln!("no usable generation: {e}");
+            1
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let Some(dir) = args.get(1) else {
-        eprintln!("usage: mana2-inspect <ckpt_dir> [rank]");
+        eprintln!("usage: mana2-inspect <ckpt_dir> [rank | --verify]");
         std::process::exit(2);
     };
-    let dir = Path::new(dir);
+    let root = Path::new(dir);
+    let gens = store::list_generations(root).unwrap_or_else(|e| {
+        eprintln!("cannot read {}: {e}", root.display());
+        std::process::exit(1);
+    });
+    if args.iter().any(|a| a == "--verify") {
+        std::process::exit(verify(root, &gens));
+    }
     if let Some(rank) = args.get(2).and_then(|s| s.parse().ok()) {
-        if let Err(e) = inspect(dir, rank) {
+        // Rank dump: newest committed generation if the store is
+        // generational, the directory itself otherwise.
+        let dir = gens
+            .iter()
+            .rev()
+            .find(|g| g.committed)
+            .map(|g| g.dir.clone())
+            .unwrap_or_else(|| root.to_path_buf());
+        if let Err(e) = inspect(&dir, rank) {
             eprintln!("rank {rank}: {e}");
             std::process::exit(1);
         }
         return;
     }
-    // No rank given: walk ranks until a missing file.
-    let mut rank = 0usize;
-    let mut any = false;
-    while inspect(dir, rank).is_ok() {
-        any = true;
-        rank += 1;
+    if !gens.is_empty() {
+        list_store(root, &gens);
+        if let Some(newest) = gens.iter().rev().find(|g| g.committed) {
+            out!("images of newest committed generation ({}):", newest.round);
+            inspect_all(&newest.dir);
+        }
+        return;
     }
-    if !any {
-        eprintln!("no checkpoint images found under {}", dir.display());
+    // Pre-generational layout: bare images in the root.
+    let dumped = inspect_all(root);
+    if dumped == 0 {
+        eprintln!("no checkpoint images found under {}", root.display());
         std::process::exit(1);
     }
-    out!("{rank} image(s) inspected, all CRCs valid");
+    out!("{dumped} image(s) inspected, all CRCs valid");
 }

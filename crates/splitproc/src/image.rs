@@ -22,7 +22,7 @@
 use crate::codec::crc32;
 use std::fmt;
 use std::fs;
-use std::io::{self, Read, Write};
+use std::io::{self, Read};
 use std::path::{Path, PathBuf};
 
 const MAGIC: &[u8; 8] = b"MANA2CKP";
@@ -131,7 +131,14 @@ impl CkptImage {
         let meta_len = rd_u64(44) as usize;
         let upper_crc = u32::from_le_bytes(buf[52..56].try_into().unwrap());
         let meta_crc = u32::from_le_bytes(buf[56..60].try_into().unwrap());
-        if buf.len() != header_len + upper_len + meta_len {
+        // checked_add: a corrupt header can claim lengths whose sum wraps
+        // usize, which would otherwise pass the size check in release
+        // builds and panic (or worse) on the slices below.
+        let expected = header_len
+            .checked_add(upper_len)
+            .and_then(|n| n.checked_add(meta_len))
+            .ok_or(ImageError::Truncated)?;
+        if buf.len() != expected {
             return Err(ImageError::Truncated);
         }
         let upper = buf[header_len..header_len + upper_len].to_vec();
@@ -152,13 +159,17 @@ impl CkptImage {
     }
 
     /// Write this image to its conventional file under `dir` (created if
-    /// needed). Returns the bytes written.
+    /// needed) via the atomic tmp+rename+dir-fsync path, so a crash
+    /// mid-write never clobbers an existing image. Returns the bytes
+    /// written.
     pub fn write_to_dir(&self, dir: &Path) -> Result<usize, ImageError> {
         fs::create_dir_all(dir)?;
         let bytes = self.to_bytes();
-        let mut f = fs::File::create(Self::path_for(dir, self.rank))?;
-        f.write_all(&bytes)?;
-        f.sync_all()?;
+        crate::store::write_atomic(
+            &Self::path_for(dir, self.rank),
+            &bytes,
+            &crate::store::StoreConfig::default(),
+        )?;
         Ok(bytes.len())
     }
 
@@ -224,6 +235,19 @@ mod tests {
         ));
         assert!(matches!(
             CkptImage::from_bytes(&bytes[..10]),
+            Err(ImageError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn overflowing_header_lengths_rejected() {
+        // Adversarial header whose claimed lengths wrap usize: must come
+        // back Truncated, not overflow the size arithmetic.
+        let mut bytes = sample().to_bytes();
+        bytes[36..44].copy_from_slice(&u64::MAX.to_le_bytes()); // upper_len
+        bytes[44..52].copy_from_slice(&u64::MAX.to_le_bytes()); // meta_len
+        assert!(matches!(
+            CkptImage::from_bytes(&bytes),
             Err(ImageError::Truncated)
         ));
     }

@@ -12,6 +12,9 @@
 //! * [`codec`] — versioned binary serialization used by all checkpoint
 //!   metadata.
 //! * [`CkptImage`] — per-rank checkpoint image files with CRC'd sections.
+//! * [`store`] — durable generational checkpoint store: atomic image
+//!   writes, committed-round `MANIFEST`s, restart-time fallback selection,
+//!   and retention GC.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -20,10 +23,15 @@ pub mod codec;
 mod fsreg;
 mod image;
 mod lowerhalf;
+pub mod store;
 mod upperhalf;
 
 pub use codec::{crc32, CodecError, Decode, Encode, Reader};
 pub use fsreg::{ContextSwitcher, FsMode};
 pub use image::{CkptImage, ImageError};
 pub use lowerhalf::LowerHalf;
+pub use store::{
+    GenInfo, Manifest, ManifestEntry, RejectedGeneration, Selected, StoreConfig, StoreError,
+    WriteFault, WriteOutcome,
+};
 pub use upperhalf::UpperHalf;

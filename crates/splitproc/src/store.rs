@@ -1,0 +1,1031 @@
+//! Durable generational checkpoint store.
+//!
+//! The paper's whole value proposition is that a checkpoint survives the
+//! failure it exists to mask. This module makes the on-disk image
+//! directory uphold that: a crash, torn write, or bit flip during round
+//! `N` must never cost the job the round `N−1` checkpoint.
+//!
+//! Layout under a store root:
+//!
+//! ```text
+//! <root>/gen_00000/ckpt_rank_00000.mana
+//! <root>/gen_00000/ckpt_rank_00001.mana
+//! <root>/gen_00000/MANIFEST            ← written last; marks the round committed
+//! <root>/gen_00001/…
+//! ```
+//!
+//! Invariants:
+//!
+//! * Every image is written via tmp-file + `write_all` + `sync_all` +
+//!   atomic rename + parent-directory fsync, with bounded-backoff retries
+//!   on transient errors ([`write_atomic`]). A reader never observes a
+//!   half-written file under its final name.
+//! * A generation is **committed** only once its `MANIFEST` (round, world
+//!   size, per-rank image sizes and CRCs) is durably on disk — written by
+//!   the coordinator strictly after *every* rank reported a successful
+//!   image write. A generation without a manifest is a failed or
+//!   in-progress round and is never restart material.
+//! * Restart scans generations newest-first ([`select_generation`]),
+//!   validates the manifest and every rank image (whole-file CRC, header
+//!   agreement), and falls back to the newest globally-complete
+//!   generation, reporting exactly what was rejected and why.
+//!
+//! This is the SCR/VeloC-style multi-level retention idea reduced to one
+//! storage tier: `retain` committed generations are kept, older ones are
+//! garbage-collected ([`gc_generations`]).
+
+use crate::codec::crc32;
+use crate::image::{CkptImage, ImageError};
+use std::fmt;
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// Manifest file name inside a generation directory.
+pub const MANIFEST_FILE: &str = "MANIFEST";
+
+const MANIFEST_MAGIC: &[u8; 8] = b"MANA2MAN";
+const MANIFEST_VERSION: u32 = 1;
+
+// ---- errors ----------------------------------------------------------------
+
+/// One generation rejected during restart-time selection, with the reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RejectedGeneration {
+    /// Round number of the rejected generation.
+    pub round: u64,
+    /// Why it was rejected (human-readable, names the failing rank/file).
+    pub reason: String,
+}
+
+/// Errors from the generational checkpoint store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying filesystem error.
+    Io(io::Error),
+    /// A manifest file exists but is unreadable or inconsistent.
+    BadManifest {
+        /// The manifest path.
+        path: PathBuf,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// No generation under the store root survived validation. Each
+    /// candidate is listed with the reason it was rejected.
+    NoUsableGeneration {
+        /// The store root that was scanned.
+        root: PathBuf,
+        /// Every candidate generation and why it was rejected,
+        /// newest-first.
+        rejected: Vec<RejectedGeneration>,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "checkpoint store I/O error: {e}"),
+            StoreError::BadManifest { path, reason } => {
+                write!(f, "bad manifest {}: {reason}", path.display())
+            }
+            StoreError::NoUsableGeneration { root, rejected } => {
+                write!(
+                    f,
+                    "no usable checkpoint generation under {}",
+                    root.display()
+                )?;
+                if rejected.is_empty() {
+                    write!(f, " (no generations found)")?;
+                }
+                for r in rejected {
+                    write!(f, "; gen {} rejected: {}", r.round, r.reason)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<ImageError> for StoreError {
+    fn from(e: ImageError) -> Self {
+        match e {
+            ImageError::Io(io) => StoreError::Io(io),
+            other => StoreError::Io(io::Error::new(
+                io::ErrorKind::InvalidData,
+                other.to_string(),
+            )),
+        }
+    }
+}
+
+// ---- configuration ---------------------------------------------------------
+
+/// Retry policy for image and manifest writes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreConfig {
+    /// Total write attempts before giving up (≥ 1).
+    pub retry_attempts: u32,
+    /// Backoff before the first retry; doubles per retry.
+    pub retry_backoff: Duration,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            retry_attempts: 4,
+            retry_backoff: Duration::from_millis(1),
+        }
+    }
+}
+
+// ---- fault injection -------------------------------------------------------
+
+/// Injected damage for one image write (driven by the chaos fault plan).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteFault {
+    /// The first `attempts` write attempts fail with an injected I/O
+    /// error. `u32::MAX` models a dead disk (every retry fails); small
+    /// values model transient errors the bounded backoff rides out.
+    Error {
+        /// How many leading attempts fail.
+        attempts: u32,
+    },
+    /// After the apparent commit, the file is truncated at
+    /// `offset % len` bytes — a torn write behind a lying disk cache.
+    Torn {
+        /// Raw seeded offset; reduced modulo the image length.
+        offset: u64,
+    },
+    /// After the apparent commit, one bit of byte `offset % len` is
+    /// flipped — silent media corruption.
+    BitFlip {
+        /// Raw seeded offset; reduced modulo the image length.
+        offset: u64,
+    },
+}
+
+// ---- path helpers ----------------------------------------------------------
+
+/// Directory of generation `round` under `root`.
+pub fn generation_dir(root: &Path, round: u64) -> PathBuf {
+    root.join(format!("gen_{round:05}"))
+}
+
+/// Parse a `gen_<round>` directory name.
+pub fn parse_generation_name(name: &str) -> Option<u64> {
+    name.strip_prefix("gen_")?.parse().ok()
+}
+
+/// Best-effort directory fsync: required for rename durability on POSIX;
+/// silently skipped on platforms where directories cannot be opened.
+fn fsync_dir(dir: &Path) -> io::Result<()> {
+    match fs::File::open(dir) {
+        Ok(d) => d.sync_all(),
+        Err(_) => Ok(()),
+    }
+}
+
+// ---- atomic writes ---------------------------------------------------------
+
+/// Durably write `bytes` to `path`: tmp file in the same directory,
+/// `write_all` + `sync_all`, atomic rename over `path`, parent-dir fsync.
+/// Transient errors are retried with bounded exponential backoff. Returns
+/// the number of retries that were needed.
+pub fn write_atomic(path: &Path, bytes: &[u8], cfg: &StoreConfig) -> io::Result<u32> {
+    write_atomic_faulted(path, bytes, cfg, None)
+}
+
+/// [`write_atomic`] with an optional injected [`WriteFault::Error`]
+/// (`Torn`/`BitFlip` are post-commit faults and are ignored here; apply
+/// them to the final file, as [`write_image`] does).
+pub fn write_atomic_faulted(
+    path: &Path,
+    bytes: &[u8],
+    cfg: &StoreConfig,
+    fault: Option<&WriteFault>,
+) -> io::Result<u32> {
+    let dir = path
+        .parent()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no parent"))?;
+    let file_name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+    let tmp = dir.join(format!(".tmp-{file_name}"));
+    let attempts = cfg.retry_attempts.max(1);
+    let mut last_err: Option<io::Error> = None;
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            std::thread::sleep(cfg.retry_backoff * 2u32.saturating_pow(attempt - 1));
+        }
+        let res = (|| -> io::Result<()> {
+            if let Some(WriteFault::Error { attempts: n }) = fault {
+                if attempt < *n {
+                    return Err(io::Error::other("injected storage write error"));
+                }
+            }
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(bytes)?;
+            f.sync_all()?;
+            drop(f);
+            fs::rename(&tmp, path)?;
+            fsync_dir(dir)
+        })();
+        match res {
+            Ok(()) => return Ok(attempt),
+            Err(e) => last_err = Some(e),
+        }
+    }
+    let _ = fs::remove_file(&tmp);
+    Err(last_err.unwrap_or_else(|| io::Error::other("write failed with no attempts")))
+}
+
+/// Outcome of a durable image write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteOutcome {
+    /// Bytes the writer intended to land on disk (header + payloads).
+    pub bytes: usize,
+    /// CRC32 of the intended file contents (what the manifest records).
+    pub crc: u32,
+    /// Transient-error retries the write needed.
+    pub retries: u32,
+}
+
+/// Durably write `image` into its generation directory under `root`
+/// (created if needed). Post-commit faults (`Torn`/`BitFlip`) damage the
+/// final file *after* the writer believes the write succeeded — the
+/// returned outcome still reports the intended bytes and CRC, exactly as
+/// a deceived rank would to the coordinator.
+pub fn write_image(
+    root: &Path,
+    image: &CkptImage,
+    cfg: &StoreConfig,
+    fault: Option<&WriteFault>,
+) -> Result<WriteOutcome, StoreError> {
+    let dir = generation_dir(root, image.round);
+    fs::create_dir_all(&dir)?;
+    fsync_dir(root)?;
+    let bytes = image.to_bytes();
+    let crc = crc32(&bytes);
+    let path = CkptImage::path_for(&dir, image.rank);
+    let retries = write_atomic_faulted(&path, &bytes, cfg, fault)?;
+    match fault {
+        Some(WriteFault::Torn { offset }) => {
+            let cut = (*offset % bytes.len() as u64) as usize;
+            let f = fs::OpenOptions::new().write(true).open(&path)?;
+            f.set_len(cut as u64)?;
+            f.sync_all()?;
+        }
+        Some(WriteFault::BitFlip { offset }) => {
+            let mut data = fs::read(&path)?;
+            let byte = (*offset % data.len() as u64) as usize;
+            data[byte] ^= 1 << (offset % 8);
+            let f = fs::File::create(&path)?;
+            {
+                let mut w = &f;
+                w.write_all(&data)?;
+            }
+            f.sync_all()?;
+        }
+        _ => {}
+    }
+    Ok(WriteOutcome {
+        bytes: bytes.len(),
+        crc,
+        retries,
+    })
+}
+
+// ---- manifest --------------------------------------------------------------
+
+/// One rank's image as recorded in a committed manifest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// World rank.
+    pub rank: u64,
+    /// Image file size in bytes.
+    pub bytes: u64,
+    /// CRC32 of the whole image file.
+    pub crc: u32,
+}
+
+/// The commit record of one checkpoint generation. Written by the
+/// coordinator only after every rank reported a durable image write;
+/// its presence is what marks a generation committed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Checkpoint round this generation belongs to.
+    pub round: u64,
+    /// World size at checkpoint time.
+    pub world_size: u64,
+    /// Per-rank image records, sorted by rank.
+    pub entries: Vec<ManifestEntry>,
+}
+
+impl Manifest {
+    /// Manifest path inside a generation directory.
+    pub fn path_in(dir: &Path) -> PathBuf {
+        dir.join(MANIFEST_FILE)
+    }
+
+    /// Total image bytes across ranks.
+    pub fn total_bytes(&self) -> u64 {
+        self.entries.iter().map(|e| e.bytes).sum()
+    }
+
+    /// Serialize (self-checksummed).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + 4 + 8 * 3 + self.entries.len() * 20 + 4);
+        out.extend_from_slice(MANIFEST_MAGIC);
+        out.extend_from_slice(&MANIFEST_VERSION.to_le_bytes());
+        out.extend_from_slice(&self.round.to_le_bytes());
+        out.extend_from_slice(&self.world_size.to_le_bytes());
+        out.extend_from_slice(&(self.entries.len() as u64).to_le_bytes());
+        for e in &self.entries {
+            out.extend_from_slice(&e.rank.to_le_bytes());
+            out.extend_from_slice(&e.bytes.to_le_bytes());
+            out.extend_from_slice(&e.crc.to_le_bytes());
+        }
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Parse and verify a serialized manifest.
+    pub fn from_bytes(buf: &[u8]) -> Result<Self, String> {
+        let header = 8 + 4 + 8 * 3;
+        if buf.len() < header + 4 {
+            return Err("manifest truncated".into());
+        }
+        if &buf[0..8] != MANIFEST_MAGIC {
+            return Err("not a MANA-2.0 manifest".into());
+        }
+        let version = u32::from_le_bytes(buf[8..12].try_into().unwrap());
+        if version != MANIFEST_VERSION {
+            return Err(format!("unsupported manifest version {version}"));
+        }
+        let rd_u64 = |off: usize| u64::from_le_bytes(buf[off..off + 8].try_into().unwrap());
+        let round = rd_u64(12);
+        let world_size = rd_u64(20);
+        let nent = rd_u64(28) as usize;
+        let body_len = header
+            .checked_add(nent.checked_mul(20).ok_or("entry count overflows")?)
+            .ok_or("entry count overflows")?;
+        if buf.len() != body_len + 4 {
+            return Err("manifest truncated".into());
+        }
+        let stored_crc = u32::from_le_bytes(buf[body_len..body_len + 4].try_into().unwrap());
+        if crc32(&buf[..body_len]) != stored_crc {
+            return Err("manifest CRC mismatch".into());
+        }
+        let mut entries = Vec::with_capacity(nent);
+        for i in 0..nent {
+            let off = header + i * 20;
+            entries.push(ManifestEntry {
+                rank: rd_u64(off),
+                bytes: rd_u64(off + 8),
+                crc: u32::from_le_bytes(buf[off + 16..off + 20].try_into().unwrap()),
+            });
+        }
+        Ok(Manifest {
+            round,
+            world_size,
+            entries,
+        })
+    }
+}
+
+/// Durably write the manifest of generation `manifest.round`, marking it
+/// committed. The caller (the coordinator) must only do this after every
+/// rank reported a successful image write.
+pub fn commit_generation(
+    root: &Path,
+    manifest: &Manifest,
+    cfg: &StoreConfig,
+) -> Result<(), StoreError> {
+    let dir = generation_dir(root, manifest.round);
+    fs::create_dir_all(&dir)?;
+    write_atomic(&Manifest::path_in(&dir), &manifest.to_bytes(), cfg)?;
+    Ok(())
+}
+
+/// Remove generation `round` entirely (partial images of an aborted
+/// round). Missing directories are fine.
+pub fn abort_generation(root: &Path, round: u64) -> io::Result<()> {
+    match fs::remove_dir_all(generation_dir(root, round)) {
+        Ok(()) => fsync_dir(root),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+        Err(e) => Err(e),
+    }
+}
+
+/// Read the manifest of a generation directory.
+pub fn read_manifest(dir: &Path) -> Result<Manifest, StoreError> {
+    let path = Manifest::path_in(dir);
+    let mut buf = Vec::new();
+    fs::File::open(&path)
+        .and_then(|mut f| f.read_to_end(&mut buf))
+        .map_err(StoreError::Io)?;
+    Manifest::from_bytes(&buf).map_err(|reason| StoreError::BadManifest { path, reason })
+}
+
+// ---- listing, GC -----------------------------------------------------------
+
+/// One generation as found on disk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenInfo {
+    /// Round number parsed from the directory name.
+    pub round: u64,
+    /// Does a `MANIFEST` exist (i.e. did the round commit)?
+    pub committed: bool,
+    /// The generation directory.
+    pub dir: PathBuf,
+}
+
+/// All generations under `root`, sorted oldest-first. A missing root is
+/// an empty store.
+pub fn list_generations(root: &Path) -> io::Result<Vec<GenInfo>> {
+    let rd = match fs::read_dir(root) {
+        Ok(rd) => rd,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    let mut gens = Vec::new();
+    for entry in rd {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(round) = parse_generation_name(name) else {
+            continue;
+        };
+        let dir = entry.path();
+        if !dir.is_dir() {
+            continue;
+        }
+        let committed = Manifest::path_in(&dir).is_file();
+        gens.push(GenInfo {
+            round,
+            committed,
+            dir,
+        });
+    }
+    gens.sort_by_key(|g| g.round);
+    Ok(gens)
+}
+
+/// Garbage-collect old generations: keep the newest `retain` committed
+/// generations (floor 1 — GC never deletes the only good checkpoint) and
+/// drop everything older, including stale uncommitted directories left by
+/// aborted rounds. Returns the removed rounds.
+pub fn gc_generations(root: &Path, retain: usize) -> io::Result<Vec<u64>> {
+    let retain = retain.max(1);
+    let gens = list_generations(root)?;
+    let committed: Vec<u64> = gens
+        .iter()
+        .filter(|g| g.committed)
+        .map(|g| g.round)
+        .collect();
+    if committed.is_empty() {
+        return Ok(Vec::new());
+    }
+    let newest = *committed.last().unwrap();
+    let cutoff_idx = committed.len().saturating_sub(retain);
+    let keep_from = committed[cutoff_idx]; // oldest committed round we keep
+    let mut removed = Vec::new();
+    for g in &gens {
+        let stale_committed = g.committed && g.round < keep_from;
+        let stale_partial = !g.committed && g.round < newest;
+        if stale_committed || stale_partial {
+            fs::remove_dir_all(&g.dir)?;
+            removed.push(g.round);
+        }
+    }
+    if !removed.is_empty() {
+        fsync_dir(root)?;
+    }
+    Ok(removed)
+}
+
+// ---- validation & selection ------------------------------------------------
+
+/// Fully validate one generation directory: manifest present and
+/// self-consistent, agreeing with `round` (and `expected_world` when
+/// given), exactly one image per rank, every image parseable (magic,
+/// version, section CRCs) with header fields and whole-file CRC matching
+/// the manifest. Returns the manifest on success, a rejection reason
+/// otherwise.
+pub fn validate_generation(
+    dir: &Path,
+    round: u64,
+    expected_world: Option<usize>,
+) -> Result<Manifest, String> {
+    let manifest = match read_manifest(dir) {
+        Ok(m) => m,
+        Err(StoreError::Io(e)) if e.kind() == io::ErrorKind::NotFound => {
+            return Err("uncommitted (no MANIFEST)".into());
+        }
+        Err(e) => return Err(e.to_string()),
+    };
+    if manifest.round != round {
+        return Err(format!(
+            "manifest round {} disagrees with directory round {round}",
+            manifest.round
+        ));
+    }
+    if let Some(w) = expected_world {
+        if manifest.world_size != w as u64 {
+            return Err(format!(
+                "manifest world size {} != runtime world size {w}",
+                manifest.world_size
+            ));
+        }
+    }
+    if manifest.entries.len() as u64 != manifest.world_size {
+        return Err(format!(
+            "manifest has {} entries for world size {}",
+            manifest.entries.len(),
+            manifest.world_size
+        ));
+    }
+    let mut ranks: Vec<u64> = manifest.entries.iter().map(|e| e.rank).collect();
+    ranks.sort_unstable();
+    if ranks.iter().enumerate().any(|(i, &r)| r != i as u64) {
+        return Err(format!(
+            "manifest ranks are not exactly 0..{}",
+            manifest.world_size
+        ));
+    }
+    for entry in &manifest.entries {
+        let path = CkptImage::path_for(dir, entry.rank as usize);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) => return Err(format!("rank {} image unreadable: {e}", entry.rank)),
+        };
+        if bytes.len() as u64 != entry.bytes {
+            return Err(format!(
+                "rank {} image is {} bytes, manifest says {} (torn write)",
+                entry.rank,
+                bytes.len(),
+                entry.bytes
+            ));
+        }
+        if crc32(&bytes) != entry.crc {
+            return Err(format!(
+                "rank {} image CRC mismatch against manifest (corrupt image)",
+                entry.rank
+            ));
+        }
+        let img = match CkptImage::from_bytes(&bytes) {
+            Ok(i) => i,
+            Err(e) => return Err(format!("rank {} image invalid: {e}", entry.rank)),
+        };
+        if img.rank as u64 != entry.rank {
+            return Err(format!(
+                "rank {} image claims rank {}",
+                entry.rank, img.rank
+            ));
+        }
+        if img.world_size as u64 != manifest.world_size {
+            return Err(format!(
+                "rank {} image world size {} != manifest world size {}",
+                entry.rank, img.world_size, manifest.world_size
+            ));
+        }
+        if img.round != manifest.round {
+            return Err(format!(
+                "rank {} image round {} != manifest round {}",
+                entry.rank, img.round, manifest.round
+            ));
+        }
+    }
+    Ok(manifest)
+}
+
+/// The generation chosen for restart.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Selected {
+    /// Round of the chosen generation.
+    pub round: u64,
+    /// Directory holding its per-rank images.
+    pub dir: PathBuf,
+    /// Its (possibly synthesized, for legacy layouts) manifest.
+    pub manifest: Manifest,
+    /// Generations that were scanned first and rejected, newest-first.
+    pub rejected: Vec<RejectedGeneration>,
+}
+
+/// Scan `root` newest-first and return the newest globally-complete
+/// generation: committed manifest, every rank image present and valid.
+/// Pre-generational stores (bare `ckpt_rank_*.mana` files in `root`) are
+/// accepted as an implicit single generation for backward compatibility.
+pub fn select_generation(
+    root: &Path,
+    expected_world: Option<usize>,
+) -> Result<Selected, StoreError> {
+    let gens = list_generations(root)?;
+    let mut rejected = Vec::new();
+    for g in gens.iter().rev() {
+        match validate_generation(&g.dir, g.round, expected_world) {
+            Ok(manifest) => {
+                return Ok(Selected {
+                    round: g.round,
+                    dir: g.dir.clone(),
+                    manifest,
+                    rejected,
+                });
+            }
+            Err(reason) => rejected.push(RejectedGeneration {
+                round: g.round,
+                reason,
+            }),
+        }
+    }
+    if gens.is_empty() {
+        if let Some(sel) = select_legacy(root, expected_world, &mut rejected)? {
+            return Ok(sel);
+        }
+    }
+    Err(StoreError::NoUsableGeneration {
+        root: root.to_path_buf(),
+        rejected,
+    })
+}
+
+/// Validate a pre-generational layout (images directly under `root`) and
+/// synthesize its manifest.
+fn select_legacy(
+    root: &Path,
+    expected_world: Option<usize>,
+    rejected: &mut Vec<RejectedGeneration>,
+) -> Result<Option<Selected>, StoreError> {
+    if !CkptImage::path_for(root, 0).is_file() {
+        return Ok(None);
+    }
+    let reject = |round: u64, reason: String, rejected: &mut Vec<RejectedGeneration>| {
+        rejected.push(RejectedGeneration {
+            round,
+            reason: format!("legacy layout: {reason}"),
+        });
+        Ok(None)
+    };
+    let first = match fs::read(CkptImage::path_for(root, 0)) {
+        Ok(b) => b,
+        Err(e) => return reject(0, format!("rank 0 image unreadable: {e}"), rejected),
+    };
+    let img0 = match CkptImage::from_bytes(&first) {
+        Ok(i) => i,
+        Err(e) => return reject(0, format!("rank 0 image invalid: {e}"), rejected),
+    };
+    let world = img0.world_size;
+    if let Some(w) = expected_world {
+        if world != w {
+            return reject(
+                img0.round,
+                format!("image world size {world} != runtime world size {w}"),
+                rejected,
+            );
+        }
+    }
+    let round = img0.round;
+    let mut entries = Vec::with_capacity(world);
+    for rank in 0..world {
+        let path = CkptImage::path_for(root, rank);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) => {
+                return reject(
+                    round,
+                    format!("rank {rank} image unreadable: {e}"),
+                    rejected,
+                )
+            }
+        };
+        let img = match CkptImage::from_bytes(&bytes) {
+            Ok(i) => i,
+            Err(e) => return reject(round, format!("rank {rank} image invalid: {e}"), rejected),
+        };
+        if img.rank != rank || img.world_size != world || img.round != round {
+            return reject(
+                round,
+                format!(
+                    "rank {rank} image header disagrees (rank {}, world {}, round {})",
+                    img.rank, img.world_size, img.round
+                ),
+                rejected,
+            );
+        }
+        entries.push(ManifestEntry {
+            rank: rank as u64,
+            bytes: bytes.len() as u64,
+            crc: crc32(&bytes),
+        });
+    }
+    Ok(Some(Selected {
+        round,
+        dir: root.to_path_buf(),
+        manifest: Manifest {
+            round,
+            world_size: world as u64,
+            entries,
+        },
+        rejected: std::mem::take(rejected),
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tdir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("mana2_store_{}_{}", name, std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn image(rank: usize, world: usize, round: u64) -> CkptImage {
+        CkptImage {
+            rank,
+            world_size: world,
+            round,
+            upper: vec![rank as u8; 40 + rank],
+            meta: vec![0xA5; 16],
+        }
+    }
+
+    /// Write and commit a full generation of `world` ranks.
+    fn commit_round(root: &Path, world: usize, round: u64) {
+        let cfg = StoreConfig::default();
+        let mut entries = Vec::new();
+        for rank in 0..world {
+            let out = write_image(root, &image(rank, world, round), &cfg, None).unwrap();
+            entries.push(ManifestEntry {
+                rank: rank as u64,
+                bytes: out.bytes as u64,
+                crc: out.crc,
+            });
+        }
+        commit_generation(
+            root,
+            &Manifest {
+                round,
+                world_size: world as u64,
+                entries,
+            },
+            &cfg,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn manifest_roundtrip_and_corruption() {
+        let m = Manifest {
+            round: 3,
+            world_size: 2,
+            entries: vec![
+                ManifestEntry {
+                    rank: 0,
+                    bytes: 100,
+                    crc: 7,
+                },
+                ManifestEntry {
+                    rank: 1,
+                    bytes: 101,
+                    crc: 8,
+                },
+            ],
+        };
+        let bytes = m.to_bytes();
+        assert_eq!(Manifest::from_bytes(&bytes).unwrap(), m);
+        let mut bad = bytes.clone();
+        bad[14] ^= 0xFF;
+        assert!(Manifest::from_bytes(&bad).unwrap_err().contains("CRC"));
+        assert!(Manifest::from_bytes(&bytes[..bytes.len() - 1])
+            .unwrap_err()
+            .contains("truncated"));
+    }
+
+    #[test]
+    fn commit_and_select_happy_path() {
+        let root = tdir("happy");
+        commit_round(&root, 2, 0);
+        let sel = select_generation(&root, Some(2)).unwrap();
+        assert_eq!(sel.round, 0);
+        assert!(sel.rejected.is_empty());
+        assert_eq!(sel.manifest.entries.len(), 2);
+        let back = CkptImage::read_from_dir(&sel.dir, 1).unwrap();
+        assert_eq!(back, image(1, 2, 0));
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn torn_write_rejected_and_falls_back() {
+        let root = tdir("torn");
+        let cfg = StoreConfig::default();
+        commit_round(&root, 2, 0);
+        // Round 1: rank 1's write is torn after the apparent commit; the
+        // deceived writer still reports intended bytes/CRC, so the
+        // manifest commits over a truncated file.
+        let mut entries = Vec::new();
+        for rank in 0..2usize {
+            let fault = (rank == 1).then_some(WriteFault::Torn { offset: 13 });
+            let out = write_image(&root, &image(rank, 2, 1), &cfg, fault.as_ref()).unwrap();
+            entries.push(ManifestEntry {
+                rank: rank as u64,
+                bytes: out.bytes as u64,
+                crc: out.crc,
+            });
+        }
+        commit_generation(
+            &root,
+            &Manifest {
+                round: 1,
+                world_size: 2,
+                entries,
+            },
+            &cfg,
+        )
+        .unwrap();
+        let sel = select_generation(&root, Some(2)).unwrap();
+        assert_eq!(sel.round, 0, "must fall back to the older generation");
+        assert_eq!(sel.rejected.len(), 1);
+        assert_eq!(sel.rejected[0].round, 1);
+        assert!(
+            sel.rejected[0].reason.contains("rank 1"),
+            "rejection must name the failing rank: {}",
+            sel.rejected[0].reason
+        );
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn bit_flip_rejected_and_falls_back() {
+        let root = tdir("flip");
+        let cfg = StoreConfig::default();
+        commit_round(&root, 2, 0);
+        let mut entries = Vec::new();
+        for rank in 0..2usize {
+            let fault = (rank == 0).then_some(WriteFault::BitFlip { offset: 977 });
+            let out = write_image(&root, &image(rank, 2, 1), &cfg, fault.as_ref()).unwrap();
+            entries.push(ManifestEntry {
+                rank: rank as u64,
+                bytes: out.bytes as u64,
+                crc: out.crc,
+            });
+        }
+        commit_generation(
+            &root,
+            &Manifest {
+                round: 1,
+                world_size: 2,
+                entries,
+            },
+            &cfg,
+        )
+        .unwrap();
+        let sel = select_generation(&root, Some(2)).unwrap();
+        assert_eq!(sel.round, 0);
+        assert!(
+            sel.rejected[0].reason.contains("CRC") || sel.rejected[0].reason.contains("invalid")
+        );
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn transient_write_error_retries_to_success() {
+        let root = tdir("transient");
+        let cfg = StoreConfig::default(); // 4 attempts
+        let out = write_image(
+            &root,
+            &image(0, 1, 0),
+            &cfg,
+            Some(&WriteFault::Error { attempts: 2 }),
+        )
+        .unwrap();
+        assert_eq!(out.retries, 2, "first two attempts fail, third lands");
+        let back = CkptImage::read_from_dir(&generation_dir(&root, 0), 0).unwrap();
+        assert_eq!(back, image(0, 1, 0));
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn persistent_write_error_fails_and_leaves_no_final_file() {
+        let root = tdir("dead_disk");
+        let cfg = StoreConfig::default();
+        let err = write_image(
+            &root,
+            &image(0, 1, 0),
+            &cfg,
+            Some(&WriteFault::Error { attempts: u32::MAX }),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("injected"));
+        let dir = generation_dir(&root, 0);
+        assert!(!CkptImage::path_for(&dir, 0).exists());
+        // No tmp litter either.
+        let leftovers: Vec<_> = fs::read_dir(&dir).unwrap().collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn uncommitted_generation_is_never_selected() {
+        let root = tdir("uncommitted");
+        let cfg = StoreConfig::default();
+        commit_round(&root, 2, 0);
+        // Round 1: images written but never committed (no MANIFEST).
+        for rank in 0..2usize {
+            write_image(&root, &image(rank, 2, 1), &cfg, None).unwrap();
+        }
+        let sel = select_generation(&root, Some(2)).unwrap();
+        assert_eq!(sel.round, 0);
+        assert!(sel.rejected[0].reason.contains("uncommitted"));
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn abort_removes_partial_generation() {
+        let root = tdir("abort");
+        let cfg = StoreConfig::default();
+        write_image(&root, &image(0, 2, 5), &cfg, None).unwrap();
+        assert!(generation_dir(&root, 5).exists());
+        abort_generation(&root, 5).unwrap();
+        assert!(!generation_dir(&root, 5).exists());
+        // Aborting a non-existent round is fine.
+        abort_generation(&root, 99).unwrap();
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn gc_retains_newest_committed_and_sweeps_stale_partials() {
+        let root = tdir("gc");
+        for round in 0..4u64 {
+            commit_round(&root, 2, round);
+        }
+        // Demote round 2 to a stale partial (aborted round that left
+        // images but no manifest).
+        fs::remove_file(Manifest::path_in(&generation_dir(&root, 2))).unwrap();
+        let removed = gc_generations(&root, 2).unwrap();
+        // Committed are {0, 1, 3}; retain 2 keeps {1, 3}; the partial 2
+        // is older than the newest committed generation and is swept.
+        assert_eq!(removed, vec![0, 2]);
+        let left: Vec<u64> = list_generations(&root)
+            .unwrap()
+            .iter()
+            .map(|g| g.round)
+            .collect();
+        assert_eq!(left, vec![1, 3]);
+        // retain floor: retain 0 behaves as 1, never deleting the only
+        // remaining newest committed generation.
+        let removed = gc_generations(&root, 0).unwrap();
+        assert_eq!(removed, vec![1]);
+        assert_eq!(list_generations(&root).unwrap().len(), 1);
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn world_size_mismatch_and_missing_rank_rejected() {
+        let root = tdir("mismatch");
+        commit_round(&root, 2, 0);
+        let err = select_generation(&root, Some(3)).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("world size"), "{msg}");
+        // Remove a rank's image from an otherwise committed generation.
+        commit_round(&root, 2, 1);
+        fs::remove_file(CkptImage::path_for(&generation_dir(&root, 1), 0)).unwrap();
+        let sel = select_generation(&root, Some(2)).unwrap();
+        assert_eq!(sel.round, 0);
+        assert!(sel.rejected[0].reason.contains("unreadable"));
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn legacy_bare_image_layout_still_selects() {
+        let root = tdir("legacy");
+        fs::create_dir_all(&root).unwrap();
+        for rank in 0..2usize {
+            image(rank, 2, 7).write_to_dir(&root).unwrap();
+        }
+        let sel = select_generation(&root, Some(2)).unwrap();
+        assert_eq!(sel.round, 7);
+        assert_eq!(sel.dir, root);
+        assert_eq!(sel.manifest.world_size, 2);
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn empty_store_reports_no_usable_generation() {
+        let root = tdir("empty");
+        let err = select_generation(&root, Some(2)).unwrap_err();
+        assert!(matches!(err, StoreError::NoUsableGeneration { .. }));
+        assert!(err.to_string().contains("no generations found"));
+    }
+}
