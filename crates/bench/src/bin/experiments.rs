@@ -13,7 +13,7 @@
 //! `MANA2_SCALE=0.5` scales workload sizes.
 
 use mana_bench::*;
-use mana_core::{ManaConfig, ManaRuntime};
+use mana_core::{obs, ManaConfig, ManaRuntime};
 use mpisim::MachineProfile;
 use std::time::Instant;
 use workloads::{gromacs, vasp, ManaFace};
@@ -58,12 +58,15 @@ fn fig2() {
     println!("== Fig. 2: GROMACS run time, native vs MANA (hybrid 2PC) ==");
     println!("(paper: 32..2048 ranks on Cori; here: scaled sweep, same shape)");
     let md = md_config();
+    let mut panels = Vec::new();
     for profile in [MachineProfile::haswell(), MachineProfile::knl()] {
         println!("\n-- {} panel --", profile.name);
         println!(
             "{:>6} {:>12} {:>12} {:>7}",
             "ranks", "native", "mana", "ratio"
         );
+        let mut rows = Vec::new();
+        let mut last_stats = None;
         for ranks in rank_sweep() {
             let nat = gromacs_native(ranks, &md, profile.clone());
             let mcfg = ManaConfig {
@@ -82,8 +85,29 @@ fn fig2() {
                 man.wall,
                 man.wall.as_secs_f64() / nat.wall.as_secs_f64()
             );
+            rows.push(format!(
+                "{{\"ranks\":{ranks},\"native_s\":{:.6},\"mana_s\":{:.6}}}",
+                nat.wall.as_secs_f64(),
+                man.wall.as_secs_f64()
+            ));
+            last_stats = Some(man.stats);
         }
+        panels.push(format!(
+            "{{\"profile\":\"{}\",\"rows\":[{}],\"world_stats\":{}}}",
+            profile.name,
+            rows.join(","),
+            last_stats
+                .map(|s| s.to_json())
+                .unwrap_or_else(|| "null".into())
+        ));
     }
+    write_json_artifact(
+        "fig2",
+        &format!(
+            "{{\"experiment\":\"fig2\",\"panels\":[{}]}}\n",
+            panels.join(",")
+        ),
+    );
 }
 
 fn fig3() {
@@ -132,6 +156,29 @@ fn fig3() {
             r.round, r.quiesce, r.write, r.total_image_bytes
         );
     }
+    let round_rows: Vec<String> = report
+        .coord
+        .rounds
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"round\":{},\"quiesce_us\":{},\"write_us\":{},\"image_bytes\":{}}}",
+                r.round,
+                r.quiesce.as_micros(),
+                r.write.as_micros(),
+                r.total_image_bytes
+            )
+        })
+        .collect();
+    write_json_artifact(
+        "fig3",
+        &format!(
+            "{{\"experiment\":\"fig3\",\"ranks\":{ranks},\"rounds\":[{}],\"rank0_stats\":{},\"world_stats\":{}}}\n",
+            round_rows.join(","),
+            report.rank_stats[0].to_json(),
+            report.world_stats.to_json()
+        ),
+    );
 
     // Restart time: checkpoint-and-kill then measure the restart run.
     let dir2 = scratch_dir("fig3_restart");
@@ -178,6 +225,7 @@ fn fig4() {
     println!("(colls/proc/step is the scale-shape metric; the wall-clock rate is");
     println!(" serialized by the 1-core host and underestimates large rank counts)");
     let steps = 4u64;
+    let mut rows = Vec::new();
     for ranks in rank_sweep() {
         let cfg = capoh_config(steps);
         let t = vasp_native(ranks, &cfg, MachineProfile::haswell());
@@ -188,7 +236,17 @@ fn fig4() {
             "{:>6} {:>14} {:>18.1} {:>10.2?} {:>16.1}",
             ranks, colls, per_step, t.wall, rate
         );
+        rows.push(format!(
+            "{{\"ranks\":{ranks},\"collectives\":{colls},\"per_proc_per_step\":{per_step:.3}}}"
+        ));
     }
+    write_json_artifact(
+        "fig4",
+        &format!(
+            "{{\"experiment\":\"fig4\",\"rows\":[{}]}}\n",
+            rows.join(",")
+        ),
+    );
 }
 
 fn table1() {
@@ -198,6 +256,7 @@ fn table1() {
         "case", "electrons", "ions", "functional", "algo", "colls/rank", "C/R"
     );
     let ranks = 4;
+    let mut rows = Vec::new();
     for case in vasp::table1_cases() {
         let name = case.name;
         let functional = format!("{:?}", case.functional);
@@ -244,8 +303,19 @@ fn table1() {
             restored[0].collective_calls,
             if ok { "PASS" } else { "FAIL" }
         );
+        rows.push(format!(
+            "{{\"case\":\"{name}\",\"collective_calls\":{},\"cr_pass\":{ok}}}",
+            restored[0].collective_calls
+        ));
         let _ = std::fs::remove_dir_all(&dir);
     }
+    write_json_artifact(
+        "table1",
+        &format!(
+            "{{\"experiment\":\"table1\",\"rows\":[{}]}}\n",
+            rows.join(",")
+        ),
+    );
 }
 
 fn table2() {
@@ -260,6 +330,7 @@ fn table2() {
         "\n{:<9} {:>12} {:>16} {:>20} {:>10} {:>10}",
         "profile", "native", "master(orig 2pc)", "feature/2pc(hybrid)", "ovh-master", "ovh-2pc"
     );
+    let mut rows = Vec::new();
     for profile in [MachineProfile::haswell(), MachineProfile::knl()] {
         let nat = vasp_native(ranks, &cfg, profile.clone());
         let master = vasp_mana(
@@ -291,8 +362,79 @@ fn table2() {
             overhead_pct(nat.wall, master.wall),
             overhead_pct(nat.wall, feat.wall)
         );
+        rows.push(format!(
+            "{{\"profile\":\"{}\",\"native_s\":{:.6},\"master_s\":{:.6},\"feature_2pc_s\":{:.6}}}",
+            profile.name,
+            nat.wall.as_secs_f64(),
+            master.wall.as_secs_f64(),
+            feat.wall.as_secs_f64()
+        ));
     }
     println!("\nexpected shape: master ≥ feature/2pc ≥ native; overheads drop with hybrid 2PC");
+    write_json_artifact(
+        "table2",
+        &format!(
+            "{{\"experiment\":\"table2\",\"ranks\":{ranks},\"rows\":[{}]}}\n",
+            rows.join(",")
+        ),
+    );
+}
+
+/// `experiments trace`: run GROMACS through two checkpoint rounds with the
+/// flight recorder armed and print the analyzer's per-phase wall-time
+/// tables, measured from real spans (not the coordinator's two coarse
+/// timers). Also dumps the JSONL + Chrome trace for `mana2-trace` /
+/// `chrome://tracing`.
+fn trace() {
+    println!("== Checkpoint-window trace: GROMACS, 2 rounds, real spans ==");
+    let ranks = 4;
+    let rounds = 2u64;
+    let sink = obs::TraceSink::wall(ranks, 8192);
+    let dir = scratch_dir("trace");
+    let mcfg = ManaConfig {
+        ckpt_dir: dir.clone(),
+        trace: Some(sink.clone()),
+        ..ManaConfig::default()
+    };
+    let mut md = md_config();
+    md.compute_per_step = 0;
+    md.steps = rounds * 3 + 2;
+    let rt = ManaRuntime::new(ranks, mcfg).with_world_cfg(world_cfg(MachineProfile::zero()));
+    let mdc = md.clone();
+    rt.run_fresh(move |m| {
+        let mut f = ManaFace::new(m);
+        let mut cfg = mdc.clone();
+        for r in 0..rounds {
+            cfg.steps = (r + 1) * 3;
+            cfg.ckpt_at_step = Some(r * 3 + 1);
+            cfg.ckpt_round = r;
+            gromacs::run(&mut f, &cfg).map_err(|e| e.into_mana())?;
+        }
+        cfg.steps = mdc.steps;
+        cfg.ckpt_at_step = None;
+        gromacs::run(&mut f, &cfg).map_err(|e| e.into_mana())
+    })
+    .expect("trace run");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let meta = obs::DumpMeta {
+        label: "experiments_trace".into(),
+        ranks,
+        seed: None,
+        dropped: sink.dropped(),
+    };
+    println!("\n{}", obs::analyze::render_summary(&meta, &sink.merged()));
+    let out = obs::default_trace_dir();
+    let label = obs::unique_label("experiments_trace");
+    match obs::flight_record(&sink, &out, &label, None) {
+        Ok(d) => println!(
+            "dumped {} events: {}\n              {}",
+            d.events,
+            d.jsonl.display(),
+            d.chrome.display()
+        ),
+        Err(e) => eprintln!("trace dump failed: {e}"),
+    }
 }
 
 fn main() {
@@ -304,6 +446,7 @@ fn main() {
         "fig4" => fig4(),
         "table1" => table1(),
         "table2" => table2(),
+        "trace" | "--trace" => trace(),
         "all" => {
             fig2();
             println!();
@@ -316,7 +459,7 @@ fn main() {
             table2();
         }
         other => {
-            eprintln!("unknown experiment '{other}'; use fig2|fig3|fig4|table1|table2|all");
+            eprintln!("unknown experiment '{other}'; use fig2|fig3|fig4|table1|table2|trace|all");
             std::process::exit(2);
         }
     }

@@ -174,6 +174,42 @@ pub fn overhead_pct(baseline: Duration, measured: Duration) -> f64 {
     (measured.as_secs_f64() / baseline.as_secs_f64() - 1.0) * 100.0
 }
 
+/// Where the experiments binary writes machine-readable JSON artifacts:
+/// `MANA2_JSON_DIR` if set, else `<temp>/mana2_experiments`. The text
+/// tables stay the human interface; the JSON files are the same numbers
+/// for scripts.
+pub fn json_out_dir() -> PathBuf {
+    match std::env::var_os("MANA2_JSON_DIR") {
+        Some(d) => PathBuf::from(d),
+        None => std::env::temp_dir().join("mana2_experiments"),
+    }
+}
+
+/// Write one experiment's JSON artifact as `<json_out_dir>/<name>.json`,
+/// returning the path. Best effort: an unwritable artifact dir must not
+/// fail the experiment, so errors are reported to stderr and swallowed.
+pub fn write_json_artifact(name: &str, json: &str) -> Option<PathBuf> {
+    let dir = json_out_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!(
+            "mana2: cannot create json artifact dir {}: {e}",
+            dir.display()
+        );
+        return None;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match std::fs::write(&path, json) {
+        Ok(()) => {
+            eprintln!("[json artifact: {}]", path.display());
+            Some(path)
+        }
+        Err(e) => {
+            eprintln!("mana2: cannot write {}: {e}", path.display());
+            None
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -23,6 +23,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use mana_core::obs;
 use mana_core::{DrainMode, Mana, ManaConfig, ManaRuntime, RunReport};
 use mpisim::{FaultPlan, FaultSpec, StorageFaultKind, StorageFaultSpec, World, WorldCfg};
 use std::path::PathBuf;
@@ -124,12 +125,25 @@ pub struct CaseFailure {
     pub case: ChaosCase,
     /// What went wrong (stage-prefixed).
     pub error: String,
+    /// Flight-recorder dump (JSONL) written when the case failed, if the
+    /// dump itself succeeded. Feed it to `mana2-trace` to see the
+    /// checkpoint window's phase timeline.
+    pub trace_dump: Option<PathBuf>,
 }
 
 impl CaseFailure {
     /// The one-line command that replays exactly this scenario.
     pub fn repro(&self) -> String {
         repro_command(self.case.seed)
+    }
+
+    /// The trace-dump line for failure reports ("none" when the dump
+    /// could not be written).
+    pub fn trace_dump_line(&self) -> String {
+        match &self.trace_dump {
+            Some(p) => p.display().to_string(),
+            None => "none".into(),
+        }
     }
 }
 
@@ -229,14 +243,55 @@ pub fn run_case(case: &ChaosCase) -> Result<CaseReport, CaseFailure> {
 }
 
 /// Run one case under an explicit plan (the shrinker substitutes reduced
-/// specs here).
+/// specs here). Tracing is always armed — one sink shared across the
+/// faulted and restart legs so a single dump shows the whole story. On
+/// failure the flight recorder is dumped and the JSONL path attached to
+/// the [`CaseFailure`]; on success a dump is written only when
+/// `MANA2_TRACE=1` (CI's artifact hook).
 pub fn run_case_with_plan(
     case: &ChaosCase,
     plan: Arc<FaultPlan>,
 ) -> Result<CaseReport, CaseFailure> {
+    let sink = obs::TraceSink::wall(case.ranks, 4096);
+    match run_case_traced(case, plan, &sink) {
+        Ok(rep) => {
+            if std::env::var("MANA2_TRACE").is_ok() {
+                if let Some(p) = dump_case_trace(&sink, case.seed, "chaos_pass") {
+                    eprintln!("mana2: chaos trace dump: {}", p.display());
+                }
+            }
+            Ok(rep)
+        }
+        Err(mut f) => {
+            f.trace_dump = dump_case_trace(&sink, case.seed, "chaos_fail");
+            Err(f)
+        }
+    }
+}
+
+/// Dump the case's flight recorder, returning the JSONL path (best
+/// effort — a failed dump must never mask the case result).
+fn dump_case_trace(sink: &obs::TraceSink, seed: u64, label: &str) -> Option<PathBuf> {
+    let dir = obs::default_trace_dir();
+    let lbl = obs::unique_label(label);
+    obs::flight_record(sink, &dir, &lbl, Some(seed))
+        .ok()
+        .map(|d| d.jsonl)
+}
+
+/// Run one case with the caller's own trace sink instead of the
+/// auto-dumping one [`run_case_with_plan`] creates. The determinism suite
+/// uses this to run the same seed twice and diff the recorded event
+/// sequences.
+pub fn run_case_traced(
+    case: &ChaosCase,
+    plan: Arc<FaultPlan>,
+    sink: &Arc<obs::TraceSink>,
+) -> Result<CaseReport, CaseFailure> {
     let fail = |stage: &str, e: String| CaseFailure {
         case: case.clone(),
         error: format!("{stage}: {e}"),
+        trace_dump: None,
     };
     let expected = native_reference(case).map_err(|e| fail("native reference", e))?;
     let dir = ckpt_dir(case.seed);
@@ -247,6 +302,7 @@ pub fn run_case_with_plan(
         ckpt_dir: dir.clone(),
         fault: Some(plan),
         deadlock_timeout: Some(Duration::from_secs(30)),
+        trace: Some(sink.clone()),
         ..ManaConfig::default()
     };
     let rt = ManaRuntime::new(case.ranks, mcfg.clone()).with_world_cfg(wcfg());
@@ -357,13 +413,15 @@ pub fn check_case(case: &ChaosCase) -> Result<CaseReport, String> {
         let shrunk = shrink(&f.case, f.error.clone());
         format!(
             "chaos case failed\n  seed: {}\n  case: {:?}\n  error: {}\n  \
-             minimal failing spec (disarmed: {:?}): {:?}\n  shrunk error: {}\n  repro: {}",
+             minimal failing spec (disarmed: {:?}): {:?}\n  shrunk error: {}\n  \
+             trace dump: {}\n  repro: {}",
             f.case.seed,
             f.case,
             f.error,
             shrunk.disabled,
             shrunk.minimal,
             shrunk.error,
+            f.trace_dump_line(),
             f.repro()
         )
     })
@@ -470,6 +528,7 @@ fn storage_plan(case: &StorageCase, round: u64) -> Arc<FaultPlan> {
 ///   generation, falling back to the older committed one when there is
 ///   one.
 pub fn run_storage_case(case: &StorageCase) -> Result<StorageReport, CaseFailure> {
+    let sink = obs::TraceSink::wall(case.ranks, 4096);
     let fail = |stage: &str, e: String| CaseFailure {
         case: ChaosCase {
             seed: case.seed,
@@ -479,6 +538,7 @@ pub fn run_storage_case(case: &StorageCase) -> Result<StorageReport, CaseFailure
             restart: case.restart,
         },
         error: format!("storage[{:?}] {stage}: {e}", case.kind),
+        trace_dump: None,
     };
     // Native reference: same kernel, no checkpoints.
     let expected = {
@@ -505,11 +565,25 @@ pub fn run_storage_case(case: &StorageCase) -> Result<StorageReport, CaseFailure
     let base = ManaConfig {
         ckpt_dir: dir.clone(),
         deadlock_timeout: Some(Duration::from_secs(30)),
+        trace: Some(sink.clone()),
         ..ManaConfig::default()
     };
     let result = storage_case_inner(case, &expected, &dir, &base, fail);
     let _ = std::fs::remove_dir_all(&dir);
-    result
+    match result {
+        Ok(rep) => {
+            if std::env::var("MANA2_TRACE").is_ok() {
+                if let Some(p) = dump_case_trace(&sink, case.seed, "chaos_storage_pass") {
+                    eprintln!("mana2: storage chaos trace dump: {}", p.display());
+                }
+            }
+            Ok(rep)
+        }
+        Err(mut f) => {
+            f.trace_dump = dump_case_trace(&sink, case.seed, "chaos_storage_fail");
+            Err(f)
+        }
+    }
 }
 
 fn storage_case_inner(
@@ -704,8 +778,12 @@ fn storage_case_inner(
 pub fn check_storage_case(case: &StorageCase) -> Result<StorageReport, String> {
     run_storage_case(case).map_err(|f| {
         format!(
-            "storage chaos case failed\n  seed: {}\n  case: {case:?}\n  error: {}",
-            case.seed, f.error
+            "storage chaos case failed\n  seed: {}\n  case: {case:?}\n  error: {}\n  \
+             trace dump: {}\n  repro: {}",
+            case.seed,
+            f.error,
+            f.trace_dump_line(),
+            f.repro()
         )
     })
 }

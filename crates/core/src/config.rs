@@ -82,6 +82,13 @@ pub struct ManaConfig {
     /// channel (latency), and the MANA layer (checkpoint triggers, ready
     /// stalls). `None` disables all injection.
     pub fault: Option<std::sync::Arc<mpisim::FaultPlan>>,
+    /// Flight-recorder trace sink. When set, the checkpoint window is
+    /// instrumented end to end: per-rank phase spans, drain captures,
+    /// store write timings, fabric send/match events, and coordinator
+    /// spans all land in the sink's bounded rings, and any
+    /// [`crate::runtime::RuntimeError`] dumps them as JSONL +
+    /// Chrome-trace files. `None` (the default) records nothing.
+    pub trace: Option<std::sync::Arc<obs::TraceSink>>,
 }
 
 impl Default for ManaConfig {
@@ -99,6 +106,7 @@ impl Default for ManaConfig {
             poll_interval: Duration::from_micros(500),
             deadlock_timeout: None,
             fault: None,
+            trace: None,
         }
     }
 }

@@ -127,6 +127,9 @@ pub struct CoordHandle {
     fault: Option<Arc<mpisim::FaultPlan>>,
     /// Per-rank counter identifying each sent message to the fault plan.
     sent_msgs: Arc<AtomicU64>,
+    /// Flight recorder for this rank (records fault-plan firings on the
+    /// control channel).
+    rec: Option<obs::Recorder>,
 }
 
 impl CoordHandle {
@@ -155,6 +158,14 @@ impl CoordHandle {
         if let Some(fp) = &self.fault {
             let k = self.sent_msgs.fetch_add(1, Ordering::Relaxed);
             if let Some(d) = fp.coord_delay(self.rank, k) {
+                if let Some(r) = &self.rec {
+                    r.event(
+                        obs::NO_ROUND,
+                        obs::EventKind::FaultFired {
+                            fault: obs::FaultKind::CoordDelay,
+                        },
+                    );
+                }
                 std::thread::sleep(d);
             }
         }
@@ -252,14 +263,18 @@ pub fn spawn_coordinator(
     CkptTrigger,
     std::thread::JoinHandle<CoordReport>,
 ) {
-    spawn_coordinator_ext(n, exit_after_ckpt, None, None, None, 0)
+    spawn_coordinator_ext(n, exit_after_ckpt, None, None, None, 0, None)
 }
 
 /// [`spawn_coordinator`] with fault injection, a commit-time invariant
-/// checker, a generational store for two-phase round commit, and the
-/// first round number. A restarted world passes `restored_round + 1` so
-/// round numbers — and therefore generation directories — keep advancing
-/// across restarts instead of colliding with committed generations.
+/// checker, a generational store for two-phase round commit, the first
+/// round number, and an optional flight-recorder sink. A restarted world
+/// passes `restored_round + 1` so round numbers — and therefore
+/// generation directories — keep advancing across restarts instead of
+/// colliding with committed generations. When `trace` is set, the
+/// coordinator records its own quiesce/write/commit spans into the
+/// sink's coordinator ring ([`obs::COORD_ACTOR`]) and each handle
+/// records control-channel fault firings into its rank's ring.
 pub fn spawn_coordinator_ext(
     n: usize,
     exit_after_ckpt: bool,
@@ -267,6 +282,7 @@ pub fn spawn_coordinator_ext(
     commit_check: Option<CommitCheck>,
     ckpt_store: Option<CoordStore>,
     initial_round: u64,
+    trace: Option<Arc<obs::TraceSink>>,
 ) -> (
     Vec<CoordHandle>,
     CkptTrigger,
@@ -288,11 +304,13 @@ pub fn spawn_coordinator_ext(
             from_coord: rx,
             fault: fault.clone(),
             sent_msgs: Arc::new(AtomicU64::new(0)),
+            rec: trace.as_ref().map(|s| s.recorder(rank as i32)),
         });
     }
     let trigger = CkptTrigger {
         tx: to_coord.clone(),
     };
+    let coord_rec = trace.as_ref().map(|s| s.recorder(obs::COORD_ACTOR));
     let join = std::thread::Builder::new()
         .name("mana-coordinator".into())
         .spawn(move || {
@@ -305,6 +323,7 @@ pub fn spawn_coordinator_ext(
                 rank_txs,
                 commit_check,
                 ckpt_store,
+                coord_rec,
             )
         })
         .expect("spawn coordinator");
@@ -321,6 +340,7 @@ fn coordinator_loop(
     rank_txs: Vec<Sender<CoordMsg>>,
     commit_check: Option<CommitCheck>,
     ckpt_store: Option<CoordStore>,
+    rec: Option<obs::Recorder>,
 ) -> CoordReport {
     let mut report = CoordReport::default();
     let mut finished = vec![false; n];
@@ -352,6 +372,9 @@ fn coordinator_loop(
                 let t0 = Instant::now();
                 let mut msgs = 0u64;
                 intent.store(true, Ordering::Release);
+                if let Some(r) = &rec {
+                    r.begin(round as i64, obs::Phase::Intent);
+                }
 
                 // Phase 1: collect Ready from every rank.
                 let mut ready = 0usize;
@@ -386,6 +409,13 @@ fn coordinator_loop(
                     }
                 }
                 let quiesce = t0.elapsed();
+                if let Some(r) = &rec {
+                    r.end(round as i64, obs::Phase::Intent);
+                    // The coordinator's "write" window opens at Go and
+                    // closes when the last rank reports — it brackets
+                    // every rank's drain + image write.
+                    r.begin(round as i64, obs::Phase::ImageWrite);
+                }
 
                 // Phase 2: release the drain.
                 for tx in &rank_txs {
@@ -447,11 +477,17 @@ fn coordinator_loop(
                     }
                 }
                 let write = t1.elapsed();
+                if let Some(r) = &rec {
+                    r.end(round as i64, obs::Phase::ImageWrite);
+                }
 
                 // Commit point: every rank has drained and reported, none
                 // has resumed. The round commits only if *all* ranks wrote
                 // durably — then the manifest makes it restart material.
                 if failures.is_empty() {
+                    if let Some(r) = &rec {
+                        r.begin(round as i64, obs::Phase::Commit);
+                    }
                     if let Some(cs) = &ckpt_store {
                         let manifest = store::Manifest {
                             round,
@@ -468,9 +504,15 @@ fn coordinator_loop(
                             failures.push((usize::MAX, format!("manifest write failed: {e}")));
                         }
                     }
+                    if let Some(r) = &rec {
+                        r.end(round as i64, obs::Phase::Commit);
+                    }
                 }
 
                 if !failures.is_empty() {
+                    if let Some(r) = &rec {
+                        r.begin(round as i64, obs::Phase::AbortRound);
+                    }
                     // Abort path: scrap the partial generation, tell every
                     // rank to discard and resume. Prior committed
                     // generations are untouched — round N's failure never
@@ -485,6 +527,9 @@ fn coordinator_loop(
                     }
                     if std::env::var("MANA2_DEBUG").is_ok() {
                         eprintln!("mana2: coordinator aborted round {round}: {failures:?}");
+                    }
+                    if let Some(r) = &rec {
+                        r.end(round as i64, obs::Phase::AbortRound);
                     }
                     report.aborted_rounds.push(AbortedRound { round, failures });
                     continue;
@@ -717,7 +762,8 @@ mod tests {
         let n = 2;
         let check: CommitCheck =
             Box::new(|round| Err(format!("synthetic violation in round {round}")));
-        let (handles, trigger, join) = spawn_coordinator_ext(n, false, None, Some(check), None, 0);
+        let (handles, trigger, join) =
+            spawn_coordinator_ext(n, false, None, Some(check), None, 0, None);
         trigger.checkpoint();
         let threads: Vec<_> = handles
             .into_iter()
@@ -845,6 +891,7 @@ mod tests {
                 retain: 2,
             }),
             0,
+            None,
         );
         trigger.checkpoint();
         let threads: Vec<_> = handles

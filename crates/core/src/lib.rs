@@ -67,7 +67,10 @@ mod mana_win;
 pub mod p2p_log;
 pub mod requests;
 pub mod runtime;
+mod trace_adapter;
 pub mod vtable;
+
+pub use obs;
 
 pub use callbacks::{CallbackStyle, CommitState};
 pub use collective_emu::{emu_tag, CollOp, CollOpTable, EmuIo, EmuKind, IRecvSlot, MANA_TAG_BASE};
@@ -86,4 +89,5 @@ pub use mana_win::{VWin, WinManager, WinMeta, WinRecord};
 pub use p2p_log::{DrainBuffer, DrainedMsg, P2pLog};
 pub use requests::{Binding, RequestManager, StoredCompletion, VReqEntry, VReqKind};
 pub use runtime::{AppOutcome, ManaRuntime, RunReport, RuntimeError};
+pub use trace_adapter::FabricTraceAdapter;
 pub use vtable::{VirtualTable, VtBackend};

@@ -46,8 +46,12 @@ pub struct ManaStats {
     pub drained_msgs: u64,
     /// Bytes captured by the drain.
     pub drained_bytes: u64,
-    /// Drain sweep iterations.
+    /// Drain sweep iterations (process-lifetime total, kept for
+    /// compatibility; see `drain_sweeps_by_round` for per-round counts).
     pub drain_sweeps: u64,
+    /// Drain sweeps per checkpoint round, as `(round, sweeps)` in round
+    /// order — the per-round visibility the lifetime total hides.
+    pub drain_sweeps_by_round: Vec<(u64, u64)>,
     /// Communicators reconstructed at restart.
     pub restored_comms: u64,
     /// Constructor calls replayed at restart (ReplayLog mode).
@@ -56,6 +60,43 @@ pub struct ManaStats {
     pub fs_switch_ns: u64,
     /// Lower-half jumps.
     pub lh_jumps: u64,
+}
+
+impl ManaStats {
+    /// Serialize as a JSON object (hand-rolled — this repo carries no
+    /// serde). `drain_sweeps_by_round` becomes an array of
+    /// `{"round":r,"sweeps":s}` objects.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::with_capacity(512);
+        let _ = write!(
+            s,
+            "{{\"wrapper_calls\":{},\"sends\":{},\"recvs\":{},\"collectives\":{},\"emu_collectives\":{},\"tpc_barriers\":{},\"ckpts\":{},\"ckpt_aborts\":{},\"drained_msgs\":{},\"drained_bytes\":{},\"drain_sweeps\":{},\"restored_comms\":{},\"replayed_calls\":{},\"fs_switch_ns\":{},\"lh_jumps\":{},\"drain_sweeps_by_round\":[",
+            self.wrapper_calls,
+            self.sends,
+            self.recvs,
+            self.collectives,
+            self.emu_collectives,
+            self.tpc_barriers,
+            self.ckpts,
+            self.ckpt_aborts,
+            self.drained_msgs,
+            self.drained_bytes,
+            self.drain_sweeps,
+            self.restored_comms,
+            self.replayed_calls,
+            self.fs_switch_ns,
+            self.lh_jumps
+        );
+        for (i, (round, sweeps)) in self.drain_sweeps_by_round.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{{\"round\":{round},\"sweeps\":{sweeps}}}");
+        }
+        s.push_str("]}");
+        s
+    }
 }
 
 /// The per-rank MANA handle. `'p` is the lifetime of the lower-half MPI
@@ -81,12 +122,15 @@ pub struct Mana<'p> {
     /// (once per process lifetime; restarts reset it but the round guard
     /// keeps the trigger from re-firing).
     pub(crate) fault_triggered: bool,
+    /// Flight-recorder handle for this rank (from `cfg.trace`).
+    pub(crate) rec: Option<obs::Recorder>,
 }
 
 impl<'p> Mana<'p> {
     /// Fresh start (no checkpoint image).
     pub fn fresh(proc: &'p Proc, cfg: ManaConfig, coord: CoordHandle) -> Self {
         let n = proc.world_size();
+        let rec = cfg.trace.as_ref().map(|s| s.recorder(proc.rank() as i32));
         Mana {
             lh: LowerHalf::new(proc, cfg.fs_mode),
             comms: CommManager::new(cfg.vtable, n),
@@ -104,6 +148,7 @@ impl<'p> Mana<'p> {
             round: 0,
             stats: ManaStats::default(),
             fault_triggered: false,
+            rec,
             cfg,
         }
     }

@@ -28,6 +28,7 @@ use crate::mana::Mana;
 use crate::p2p_log::{DrainBuffer, DrainedMsg, P2pLog};
 use crate::requests::{Binding, RequestManager, RequestMeta, StoredCompletion, VReqKind};
 use mpisim::{fnv1a_usizes, Comm, Group, Proc, RReq, SrcSel, TagSel};
+use obs::{EventKind, FaultKind, Phase};
 use splitproc::store;
 use splitproc::{CkptImage, Decode, Encode, LowerHalf, Reader, UpperHalf};
 
@@ -95,6 +96,14 @@ impl<'p> Mana<'p> {
                 && fp.should_trigger(self.rank(), self.stats.wrapper_calls)
             {
                 self.fault_triggered = true;
+                if let Some(r) = &self.rec {
+                    r.event(
+                        self.round as i64,
+                        EventKind::FaultFired {
+                            fault: FaultKind::Trigger,
+                        },
+                    );
+                }
                 self.coord.request_checkpoint()?;
             }
         }
@@ -121,6 +130,13 @@ impl<'p> Mana<'p> {
     /// waiting for this rank's Ready.
     pub(crate) fn enter_checkpoint(&mut self) -> Result<()> {
         self.in_ckpt = true;
+        // The coordinator bumps its round counter only after commit/abort,
+        // so during the intent window `coord.round()` is the round about
+        // to run — the right label for the Intent span.
+        let intent_round = self.coord.round() as i64;
+        if let Some(r) = &self.rec {
+            r.begin(intent_round, Phase::Intent);
+        }
         let res = (|| {
             // Fault-plan ready stall: the chosen straggler sleeps inside
             // the intent window, stretching the coordinator's quiesce the
@@ -131,6 +147,14 @@ impl<'p> Mana<'p> {
                 .as_ref()
                 .and_then(|fp| fp.ready_stall(self.rank()))
             {
+                if let Some(r) = &self.rec {
+                    r.event(
+                        intent_round,
+                        EventKind::FaultFired {
+                            fault: FaultKind::ReadyStall,
+                        },
+                    );
+                }
                 std::thread::sleep(d);
             }
             self.coord.send(RankMsg::Ready {
@@ -145,6 +169,9 @@ impl<'p> Mana<'p> {
                     }
                 }
             };
+            if let Some(r) = &self.rec {
+                r.end(round as i64, Phase::Intent);
+            }
             self.checkpoint_body(round)
         })();
         self.in_ckpt = false;
@@ -157,10 +184,14 @@ impl<'p> Mana<'p> {
         // `self.round` counts *completed* rounds (so `Mana::round()` is
         // also "which pass is this" after a restart).
         self.round = round + 1;
+        let sweeps_before = self.stats.drain_sweeps;
         match self.cfg.drain {
             DrainMode::Alltoall => self.drain_alltoall()?,
             DrainMode::Coordinator => self.drain_coordinator()?,
         }
+        self.stats
+            .drain_sweeps_by_round
+            .push((round, self.stats.drain_sweeps - sweeps_before));
         // The drain just claimed the network is empty for this rank and
         // every request is parked in a legal state — assert it before the
         // image is written, so a protocol bug fails the checkpoint instead
@@ -208,12 +239,21 @@ impl<'p> Mana<'p> {
                 self.rank()
             );
         }
-        match store::write_image(
+        if let Some(r) = &self.rec {
+            r.begin(round as i64, Phase::ImageWrite);
+        }
+        let wrote = store::write_image_traced(
             &self.cfg.ckpt_dir,
             &image,
             &store::StoreConfig::default(),
             write_fault.as_ref(),
-        ) {
+            self.rec.as_ref(),
+        );
+        if let Some(r) = &self.rec {
+            r.end(round as i64, Phase::ImageWrite);
+        }
+        let mut committing = false;
+        match wrote {
             Ok(out) => {
                 self.stats.ckpts += 1;
                 self.coord.send(RankMsg::CkptDone {
@@ -221,6 +261,12 @@ impl<'p> Mana<'p> {
                     image_bytes: out.bytes as u64,
                     image_crc: out.crc,
                 })?;
+                // The rank's half of the 2PC vote is in: everything from
+                // here to the coordinator's verdict is commit latency.
+                committing = true;
+                if let Some(r) = &self.rec {
+                    r.begin(round as i64, Phase::Commit);
+                }
             }
             Err(e) => {
                 self.coord.send(RankMsg::CkptFailed {
@@ -229,7 +275,13 @@ impl<'p> Mana<'p> {
                 })?;
             }
         }
-        match self.coord.recv()? {
+        let verdict = self.coord.recv()?;
+        if committing {
+            if let Some(r) = &self.rec {
+                r.end(round as i64, Phase::Commit);
+            }
+        }
+        match verdict {
             CoordMsg::Resume => {
                 // Network empty + both sides agreed: counters restart from
                 // zero consistently on every rank.
@@ -246,6 +298,10 @@ impl<'p> Mana<'p> {
                 // generation. State is exactly as after Resume — the
                 // drain completed globally before any rank reported, so
                 // resetting p2p counters stays consistent on every rank.
+                if let Some(r) = &self.rec {
+                    r.begin(round as i64, Phase::AbortRound);
+                    r.end(round as i64, Phase::AbortRound);
+                }
                 self.stats.ckpt_aborts += 1;
                 self.p2p.reset();
                 Ok(())
@@ -261,16 +317,25 @@ impl<'p> Mana<'p> {
 
     /// MANA-2.0 drain: one alltoall of sent rows, then purely local work.
     fn drain_alltoall(&mut self) -> Result<()> {
+        let round = self.round as i64 - 1;
         let world_real = self.real_comm(VCOMM_WORLD)?;
         let sent_row = self.p2p.sent_row().to_vec();
         let expected = self.lh.call(|p| p.alltoall_u64(world_real, &sent_row))?;
+        let mut sweep = 0u32;
         loop {
             let deficits = self.p2p.deficits(&expected);
             if deficits.iter().all(|&d| d == 0) {
                 return Ok(());
             }
             self.stats.drain_sweeps += 1;
+            sweep += 1;
+            if let Some(r) = &self.rec {
+                r.begin(round, Phase::Drain { sweep });
+            }
             let progress = self.drain_sweep(&deficits)?;
+            if let Some(r) = &self.rec {
+                r.end(round, Phase::Drain { sweep });
+            }
             if !progress {
                 // Nothing receivable this instant: the bytes are in transit
                 // between another rank's send and our mailbox. Park briefly.
@@ -281,6 +346,8 @@ impl<'p> Mana<'p> {
 
     /// Original MANA drain: totals through the coordinator, iterated.
     fn drain_coordinator(&mut self) -> Result<()> {
+        let round = self.round as i64 - 1;
+        let mut sweep = 0u32;
         loop {
             let (sent, recvd) = self.p2p.totals();
             self.coord.send(RankMsg::DrainReport {
@@ -292,9 +359,16 @@ impl<'p> Mana<'p> {
                 CoordMsg::DrainVerdict { balanced: true } => return Ok(()),
                 CoordMsg::DrainVerdict { balanced: false } => {
                     self.stats.drain_sweeps += 1;
+                    sweep += 1;
+                    if let Some(r) = &self.rec {
+                        r.begin(round, Phase::Drain { sweep });
+                    }
                     // No per-pair information: sweep everything receivable.
                     let all = vec![u64::MAX; self.world_size()];
                     let progress = self.drain_sweep(&all)?;
+                    if let Some(r) = &self.rec {
+                        r.end(round, Phase::Drain { sweep });
+                    }
                     if !progress {
                         self.lh.sched_park(self.cfg.poll_interval)?;
                     }
@@ -312,6 +386,7 @@ impl<'p> Mana<'p> {
     /// pending `irecv`s (the message may already be claimed — §III-B), on
     /// both user requests and emulated-collective slots.
     fn drain_sweep(&mut self, deficits: &[u64]) -> Result<bool> {
+        let round = self.round as i64 - 1;
         let mut progress = false;
         // (a) Unmatched messages in the network.
         let active: Vec<(u64, Vec<usize>)> = self
@@ -344,7 +419,8 @@ impl<'p> Mana<'p> {
                     let (st2, data) = self
                         .lh
                         .call(|p| p.recv(real, SrcSel::Rank(local), TagSel::Tag(st.tag)))?;
-                    self.p2p.count_recv(w, data.len());
+                    self.p2p
+                        .count_drained(w, data.len(), self.rec.as_ref(), round);
                     self.stats.drained_msgs += 1;
                     self.stats.drained_bytes += data.len() as u64;
                     self.drain_buf.push(DrainedMsg {
@@ -371,7 +447,8 @@ impl<'p> Mana<'p> {
                 let src_world = *ranks
                     .get(c.status.source)
                     .ok_or(ManaError::InvalidVComm(vcomm.0))?;
-                self.p2p.count_recv(src_world, c.data.len());
+                self.p2p
+                    .count_drained(src_world, c.data.len(), self.rec.as_ref(), round);
                 self.stats.drained_msgs += 1;
                 self.stats.drained_bytes += c.data.len() as u64;
                 // Step one of two-step retirement: the user's address for
@@ -406,7 +483,8 @@ impl<'p> Mana<'p> {
                 };
                 if let Some(c) = self.lh.call(|p| p.test(RReq::from_raw(raw)))? {
                     let src_world = ranks[slot.src_local];
-                    self.p2p.count_recv(src_world, c.data.len());
+                    self.p2p
+                        .count_drained(src_world, c.data.len(), self.rec.as_ref(), round);
                     self.stats.drained_msgs += 1;
                     self.stats.drained_bytes += c.data.len() as u64;
                     slot.real = None;
@@ -492,6 +570,10 @@ impl<'p> Mana<'p> {
         let lh = LowerHalf::new(proc, cfg.fs_mode);
         let mut comms = CommManager::from_meta(&meta.comm, cfg.vtable);
         let mut stats = crate::mana::ManaStats::default();
+        let rec = cfg.trace.as_ref().map(|s| s.recorder(proc.rank() as i32));
+        if let Some(r) = &rec {
+            r.begin(image.round as i64, Phase::RestoreComms);
+        }
 
         // World first.
         comms.rebind(VCOMM_WORLD.0, Comm::WORLD);
@@ -539,6 +621,10 @@ impl<'p> Mana<'p> {
             }
         }
 
+        if let Some(r) = &rec {
+            r.end(image.round as i64, Phase::RestoreComms);
+        }
+
         let mut mana = Mana {
             lh,
             comms,
@@ -556,6 +642,7 @@ impl<'p> Mana<'p> {
             round: image.round + 1,
             stats,
             fault_triggered: false,
+            rec,
             cfg,
         };
         mana.restore_wins(&meta.wins)?;

@@ -31,6 +31,7 @@ use crate::ids::{VComm, VReq};
 use crate::mana::Mana;
 use crate::requests::{Binding, VReqKind};
 use mpisim::{CollKind, Datatype, ReduceOp};
+use obs::{EventKind, Phase, NO_ROUND};
 
 impl Mana<'_> {
     /// Collective prologue: accounting plus the protocol-mandated barrier.
@@ -52,11 +53,22 @@ impl Mana<'_> {
     pub(crate) fn tpc_barrier(&mut self, vc: VComm) -> Result<()> {
         self.stats.tpc_barriers += 1;
         let seq = self.comms.next_emu_seq(vc);
+        if let Some(r) = &self.rec {
+            // Arrival marker first: cross-rank skew on the same
+            // (gid, coll_seq) key is the §III-J straggler signal the
+            // analyzer's barrier table measures.
+            let gid = self.comms.record(vc).map(|rc| rc.gid).unwrap_or(0);
+            r.event(NO_ROUND, EventKind::BarrierArrive { gid, coll_seq: seq });
+            r.begin(NO_ROUND, Phase::TpcBarrier);
+        }
         let id = self.collops.next_id();
         self.collops.insert(CollOp::barrier(id, vc, seq));
-        self.drive_collop(id)?;
+        let res = self.drive_collop(id);
         self.collops.remove(id);
-        Ok(())
+        if let Some(r) = &self.rec {
+            r.end(NO_ROUND, Phase::TpcBarrier);
+        }
+        res.map(|_| ())
     }
 
     /// Drive an emulated collective to completion, interruptibly: between
@@ -71,6 +83,9 @@ impl Mana<'_> {
             .and_then(|op| self.comms.record(op.vcomm))
             .map(|r| r.gid);
         self.cur_collective_gid = gid;
+        if let Some(r) = &self.rec {
+            r.begin(NO_ROUND, Phase::EmuCollective);
+        }
         let res = loop {
             match self.poll_collop(id) {
                 Err(e) => break Err(e),
@@ -90,6 +105,9 @@ impl Mana<'_> {
                 break Err(e.into());
             }
         };
+        if let Some(r) = &self.rec {
+            r.end(NO_ROUND, Phase::EmuCollective);
+        }
         self.cur_collective_gid = None;
         res
     }

@@ -54,6 +54,28 @@ impl P2pLog {
         self.msgs_recvd += 1;
     }
 
+    /// [`P2pLog::count_recv`] for a message pulled out of the network by a
+    /// drain sweep, with a flight-recorder capture event when tracing is
+    /// armed (`round` is the checkpoint round doing the draining).
+    pub fn count_drained(
+        &mut self,
+        src_world: usize,
+        bytes: usize,
+        rec: Option<&obs::Recorder>,
+        round: i64,
+    ) {
+        self.count_recv(src_world, bytes);
+        if let Some(r) = rec {
+            r.event(
+                round,
+                obs::EventKind::DrainCapture {
+                    src: src_world as u32,
+                    bytes: bytes as u64,
+                },
+            );
+        }
+    }
+
     /// The row exchanged by the drain's alltoall: bytes sent to each peer.
     pub fn sent_row(&self) -> &[u64] {
         &self.sent

@@ -199,7 +199,21 @@ impl ManaRuntime {
         // fall back to the newest globally-complete generation. Failing
         // here is cheap; failing inside the launched world is a mess.
         let selected = if restart {
-            match store::select_generation(&self.cfg.ckpt_dir, Some(self.n)) {
+            // Generation scanning + manifest/CRC validation is its own
+            // restart phase on the coordinator's timeline.
+            let rec = self
+                .cfg
+                .trace
+                .as_ref()
+                .map(|s| s.recorder(obs::COORD_ACTOR));
+            if let Some(r) = &rec {
+                r.begin(obs::NO_ROUND, obs::Phase::RestartValidate);
+            }
+            let sel = store::select_generation(&self.cfg.ckpt_dir, Some(self.n));
+            if let Some(r) = &rec {
+                r.end(obs::NO_ROUND, obs::Phase::RestartValidate);
+            }
+            match sel {
                 Ok(sel) => {
                     for rej in &sel.rejected {
                         eprintln!(
@@ -209,7 +223,10 @@ impl ManaRuntime {
                     }
                     Some(sel)
                 }
-                Err(e) => return Err(RuntimeError::Store(e)),
+                Err(e) => {
+                    self.dump_trace("store_fail");
+                    return Err(RuntimeError::Store(e));
+                }
             }
         } else {
             None
@@ -220,6 +237,12 @@ impl ManaRuntime {
         let mut world_cfg = self.world_cfg.clone();
         if world_cfg.fault.is_none() {
             world_cfg.fault = self.cfg.fault.clone();
+        }
+        if world_cfg.trace.is_none() {
+            if let Some(sink) = &self.cfg.trace {
+                world_cfg.trace =
+                    Some(crate::trace_adapter::FabricTraceAdapter::hook(sink.clone()));
+            }
         }
         let world = World::new(self.n, world_cfg);
         let commit_check: CommitCheck = {
@@ -248,6 +271,7 @@ impl ManaRuntime {
             // never reuses (and on abort, never deletes) the generation
             // directory of a previously committed round.
             restored_round.map(|r| r + 1).unwrap_or(0),
+            self.cfg.trace.clone(),
         );
         let driver_join = driver.map(|d| {
             let t = trigger.clone();
@@ -355,12 +379,14 @@ impl ManaRuntime {
         });
         if let Some(report) = deadlock_report {
             let _ = coord_join.join();
+            self.dump_trace("deadlock");
             return Err(RuntimeError::Deadlock(report));
         }
         let results = match launched {
             Ok(r) => r,
             Err(e) => {
                 let _ = coord_join.join();
+                self.dump_trace("world_fail");
                 return Err(RuntimeError::World(e.to_string()));
             }
         };
@@ -379,10 +405,14 @@ impl ManaRuntime {
                     outcomes.push(o);
                     rank_stats.push(s);
                 }
-                Err(e) => return Err(RuntimeError::Rank(rank, e)),
+                Err(e) => {
+                    self.dump_trace("rank_fail");
+                    return Err(RuntimeError::Rank(rank, e));
+                }
             }
         }
         if !coord.invariant_violations.is_empty() {
+            self.dump_trace("invariant");
             return Err(RuntimeError::Invariant(
                 coord.invariant_violations.join("; "),
             ));
@@ -394,5 +424,29 @@ impl ManaRuntime {
             coord,
             restored_round,
         })
+    }
+
+    /// Dump the flight recorder (JSONL + Chrome trace) on a runtime
+    /// failure. Best-effort: the dump is diagnostic material, never a
+    /// reason to mask the original error. The paths — and the fault-plan
+    /// seed, recorded in the dump header — are printed to stderr so a
+    /// failure report always says where its trace went.
+    fn dump_trace(&self, what: &str) {
+        let Some(sink) = &self.cfg.trace else {
+            return;
+        };
+        let dir = obs::default_trace_dir();
+        let label = obs::unique_label(&format!("mana2_{what}"));
+        let seed = self.cfg.fault.as_ref().map(|f| f.seed());
+        match obs::flight_record(sink, &dir, &label, seed) {
+            Ok(d) => eprintln!(
+                "mana2: flight recorder dumped {} events (seed {:?}): {} / {}",
+                d.events,
+                seed,
+                d.jsonl.display(),
+                d.chrome.display()
+            ),
+            Err(e) => eprintln!("mana2: flight recorder dump failed: {e}"),
+        }
     }
 }

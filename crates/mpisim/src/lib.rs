@@ -66,6 +66,7 @@ mod proc_;
 mod request;
 mod stats;
 mod tools;
+mod trace;
 mod typed;
 mod world;
 
@@ -84,4 +85,5 @@ pub use proc_::Proc;
 pub use request::{Completion, RReq, Status};
 pub use stats::{CollKind, StatsSnapshot, WorldStats, COLL_KIND_NAMES, N_COLL_KINDS};
 pub use tools::{describe, BlockKind, RankActivity, ToolsState};
+pub use trace::{TraceHook, TraceHookRef};
 pub use world::{run, Introspect, World, WorldCfg, WorldError};

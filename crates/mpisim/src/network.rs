@@ -24,6 +24,7 @@
 
 use crate::envelope::{Envelope, MsgClass};
 use crate::fault::{FaultPlan, Perturb};
+use crate::trace::TraceHookRef;
 use parking_lot::{Condvar, Mutex, MutexGuard};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -64,6 +65,7 @@ pub struct Network {
     /// always mailbox → limbo.
     limbo: Vec<Mutex<Vec<LimboEntry>>>,
     fault: Option<Arc<FaultPlan>>,
+    trace: Option<TraceHookRef>,
     arrival: AtomicU64,
     in_flight_msgs: AtomicUsize,
     in_flight_bytes: AtomicUsize,
@@ -78,11 +80,21 @@ impl Network {
 
     /// Fabric for `n` ranks, perturbed by `fault` when given.
     pub fn with_fault(n: usize, fault: Option<Arc<FaultPlan>>) -> Self {
+        Self::with_fault_and_trace(n, fault, None)
+    }
+
+    /// Fabric for `n` ranks with a fault plan and/or a trace hook.
+    pub fn with_fault_and_trace(
+        n: usize,
+        fault: Option<Arc<FaultPlan>>,
+        trace: Option<TraceHookRef>,
+    ) -> Self {
         Network {
             boxes: (0..n).map(|_| Mutex::new(Mailbox::default())).collect(),
             cvs: (0..n).map(|_| Condvar::new()).collect(),
             limbo: (0..n).map(|_| Mutex::new(Vec::new())).collect(),
             fault,
+            trace,
             arrival: AtomicU64::new(0),
             in_flight_msgs: AtomicUsize::new(0),
             in_flight_bytes: AtomicUsize::new(0),
@@ -111,6 +123,10 @@ impl Network {
         self.in_flight_msgs.fetch_add(1, Ordering::Relaxed);
         self.in_flight_bytes
             .fetch_add(env.payload.len(), Ordering::Relaxed);
+        if let Some(t) = &self.trace {
+            t.hook()
+                .on_send(env.src, dst, env.payload.len(), env.class == MsgClass::User);
+        }
         let mut mb = self.boxes[dst].lock();
         let mut released_held = false;
         if let Some(fp) = self.fault.clone() {
@@ -131,6 +147,9 @@ impl Network {
                     )),
                 };
                 if let Some((deadline, release_arrivals)) = hold {
+                    if let Some(t) = &self.trace {
+                        t.hook().on_hold(env.src, dst, release_arrivals.is_some());
+                    }
                     limbo.push(LimboEntry {
                         env,
                         deadline,
@@ -204,6 +223,15 @@ impl Network {
         self.in_flight_msgs.fetch_sub(1, Ordering::Relaxed);
         self.in_flight_bytes
             .fetch_sub(payload_len, Ordering::Relaxed);
+    }
+
+    /// [`Network::note_removed`] with source attribution, so a trace hook
+    /// can record *which* pair's message was matched.
+    pub fn note_matched(&self, env: &Envelope) {
+        self.note_removed(env.payload.len());
+        if let Some(t) = &self.trace {
+            t.hook().on_match(env.src, env.dst, env.payload.len());
+        }
     }
 
     /// Block on rank `dst`'s mailbox condvar until new mail (or a poison

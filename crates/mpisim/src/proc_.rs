@@ -270,7 +270,7 @@ impl Proc {
                 None => i += 1,
                 Some(p) => {
                     let env = mb.queue.remove(p);
-                    self.fabric.net.note_removed(env.payload.len());
+                    self.fabric.net.note_matched(&env);
                     self.fabric
                         .stats
                         .matches

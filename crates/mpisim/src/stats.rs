@@ -164,6 +164,47 @@ impl StatsSnapshot {
     pub fn pair(&self, src: usize, dst: usize) -> u64 {
         self.pair_bytes[src * self.n + dst]
     }
+
+    /// Serialize as a JSON object (hand-rolled — this repo carries no
+    /// serde). Collective counters are keyed by [`COLL_KIND_NAMES`];
+    /// `pair_bytes` is emitted as `n` row arrays.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::with_capacity(256 + self.pair_bytes.len() * 8);
+        let _ = write!(
+            s,
+            "{{\"n\":{},\"user_msgs\":{},\"user_bytes\":{},\"internal_msgs\":{},\"internal_bytes\":{},\"matches\":{},\"probes\":{},\"collectives\":{{",
+            self.n,
+            self.user_msgs,
+            self.user_bytes,
+            self.internal_msgs,
+            self.internal_bytes,
+            self.matches,
+            self.probes
+        );
+        for (i, name) in COLL_KIND_NAMES.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "\"{name}\":{}", self.collectives[i]);
+        }
+        s.push_str("},\"pair_bytes\":[");
+        for src in 0..self.n {
+            if src > 0 {
+                s.push(',');
+            }
+            s.push('[');
+            for dst in 0..self.n {
+                if dst > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "{}", self.pair(src, dst));
+            }
+            s.push(']');
+        }
+        s.push_str("]}");
+        s
+    }
 }
 
 #[cfg(test)]
@@ -195,5 +236,16 @@ mod tests {
     fn kind_names_align() {
         assert_eq!(COLL_KIND_NAMES[CollKind::Scan as usize], "scan");
         assert_eq!(COLL_KIND_NAMES[CollKind::Barrier as usize], "barrier");
+    }
+
+    #[test]
+    fn snapshot_json_has_all_counters() {
+        let s = WorldStats::new(2);
+        s.record_user_send(0, 1, 100);
+        s.record_collective(CollKind::Allreduce);
+        let j = s.snapshot().to_json();
+        assert!(j.contains("\"user_bytes\":100"), "{j}");
+        assert!(j.contains("\"allreduce\":1"), "{j}");
+        assert!(j.contains("\"pair_bytes\":[[0,100],[0,0]]"), "{j}");
     }
 }

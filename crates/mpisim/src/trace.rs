@@ -1,0 +1,47 @@
+//! Fabric-level trace hook.
+//!
+//! `mpisim` deliberately depends on nothing, so it cannot emit events
+//! into the repo's `obs` flight recorder directly. Instead the fabric
+//! exposes this narrow hook trait; the MANA layer installs an adapter
+//! (in `mana-core`) that maps hook calls onto `obs` ring-buffer events.
+//! With no hook installed (the default) the fabric pays one `Option`
+//! check per call site.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// Observer of fabric-level events. Implementations must be cheap and
+/// non-blocking: calls happen on rank threads, sometimes while a mailbox
+/// lock is held.
+pub trait TraceHook: Send + Sync {
+    /// A message was deposited into the fabric (before any fault hold).
+    fn on_send(&self, src: usize, dst: usize, bytes: usize, user: bool);
+    /// A receive matched (removed) a message from `dst`'s mailbox.
+    fn on_match(&self, src: usize, dst: usize, bytes: usize);
+    /// The fault plan held an envelope in limbo (`reorder` = overtaking
+    /// hold rather than pure delay).
+    fn on_hold(&self, src: usize, dst: usize, reorder: bool);
+}
+
+/// A cloneable, `Debug`-able handle to a [`TraceHook`] (so [`crate::WorldCfg`]
+/// can keep deriving `Debug` and `Clone`).
+#[derive(Clone)]
+pub struct TraceHookRef(Arc<dyn TraceHook>);
+
+impl TraceHookRef {
+    /// Wrap a hook implementation.
+    pub fn new(hook: Arc<dyn TraceHook>) -> Self {
+        TraceHookRef(hook)
+    }
+
+    /// The wrapped hook.
+    pub fn hook(&self) -> &Arc<dyn TraceHook> {
+        &self.0
+    }
+}
+
+impl fmt::Debug for TraceHookRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("TraceHookRef(..)")
+    }
+}

@@ -36,6 +36,9 @@ pub struct WorldCfg {
     /// Deterministic fault plan perturbing user traffic on the fabric.
     /// `None` (the default) leaves the network unperturbed.
     pub fault: Option<Arc<crate::fault::FaultPlan>>,
+    /// Fabric trace hook (send/match/hold events). `None` (the default)
+    /// records nothing and costs one pointer check per event site.
+    pub trace: Option<crate::trace::TraceHookRef>,
 }
 
 impl Default for WorldCfg {
@@ -46,6 +49,7 @@ impl Default for WorldCfg {
             stack_size: 512 * 1024,
             seed: 0,
             fault: None,
+            trace: None,
         }
     }
 }
@@ -96,7 +100,7 @@ impl World {
         World {
             fabric: Arc::new(Fabric {
                 n,
-                net: Network::with_fault(n, cfg.fault.clone()),
+                net: Network::with_fault_and_trace(n, cfg.fault.clone(), cfg.trace.clone()),
                 comms: CommRegistry::new(n),
                 wins: WinRegistry::new(),
                 stats: WorldStats::new(n),

@@ -1,0 +1,98 @@
+//! Monotonic time sources for trace timestamps.
+//!
+//! Every event in a [`crate::TraceSink`] is stamped through the same
+//! [`Clock`], so a trace is internally consistent whatever the source.
+//! Benches use [`WallClock`] (real nanoseconds since sink creation);
+//! tests use [`TestClock`], whose reads are a deterministic counter —
+//! two runs of the same single-threaded sequence produce byte-identical
+//! timestamps.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic nanosecond clock.
+pub trait Clock: Send + Sync {
+    /// Nanoseconds since an arbitrary (per-clock) origin. Must be
+    /// monotone non-decreasing across threads.
+    fn now_ns(&self) -> u64;
+}
+
+/// Real time: nanoseconds since the clock was created.
+#[derive(Debug)]
+pub struct WallClock {
+    origin: Instant,
+}
+
+impl WallClock {
+    /// A wall clock anchored at "now".
+    pub fn new() -> Self {
+        WallClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now_ns(&self) -> u64 {
+        // A run would have to last ~584 years to overflow u64 nanoseconds.
+        self.origin.elapsed().as_nanos() as u64
+    }
+}
+
+/// Deterministic time: each read returns the next integer (in "ns").
+///
+/// Timestamps then encode a global read order rather than wall time,
+/// which is exactly what deterministic trace tests want. [`advance`]
+/// lets a test open a gap to model elapsed time.
+///
+/// [`advance`]: TestClock::advance
+#[derive(Debug, Default)]
+pub struct TestClock {
+    t: AtomicU64,
+}
+
+impl TestClock {
+    /// A test clock starting at 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Jump the clock forward by `ns`.
+    pub fn advance(&self, ns: u64) {
+        self.t.fetch_add(ns, Ordering::Relaxed);
+    }
+}
+
+impl Clock for TestClock {
+    fn now_ns(&self) -> u64 {
+        self.t.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_monotone() {
+        let c = WallClock::new();
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn test_clock_counts_reads() {
+        let c = TestClock::new();
+        assert_eq!(c.now_ns(), 0);
+        assert_eq!(c.now_ns(), 1);
+        c.advance(100);
+        assert_eq!(c.now_ns(), 102);
+    }
+}

@@ -1,0 +1,391 @@
+//! Flight-recorder dumps: JSONL serialization (stable schema) and Chrome
+//! `trace_event` export.
+//!
+//! A dump is a header line followed by one event per line:
+//!
+//! ```text
+//! {"schema":"mana2-trace/1","label":"chaos_42","ranks":4,"seed":42,"dropped":0}
+//! {"ts":1200,"actor":-1,"seq":0,"round":0,"ev":"begin","phase":"intent"}
+//! {"ts":3400,"actor":0,"seq":1,"round":0,"ev":"end","phase":"intent"}
+//! ```
+//!
+//! The schema string is versioned; parsers reject dumps they do not
+//! understand rather than guessing.
+
+use crate::event::{EventKind, TraceEvent, COORD_ACTOR};
+use crate::json::{self, escape, Json};
+use crate::sink::TraceSink;
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Schema identifier written in every dump header.
+pub const SCHEMA: &str = "mana2-trace/1";
+
+/// Dump header metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DumpMeta {
+    /// Free-form label (chaos seed tag, bench name, …).
+    pub label: String,
+    /// Number of rank rings merged into the dump.
+    pub ranks: usize,
+    /// Fault-plan seed of the run, when one was armed.
+    pub seed: Option<u64>,
+    /// Events overwritten (lost) across all rings before the dump.
+    pub dropped: u64,
+}
+
+/// Serialize `events` (pre-merged, any order preserved) as a JSONL dump.
+pub fn events_to_jsonl(meta: &DumpMeta, events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(64 + events.len() * 96);
+    let _ = write!(
+        out,
+        "{{\"schema\":\"{}\",\"label\":\"{}\",\"ranks\":{},\"seed\":",
+        SCHEMA,
+        escape(&meta.label),
+        meta.ranks
+    );
+    match meta.seed {
+        Some(s) => {
+            let _ = write!(out, "{s}");
+        }
+        None => out.push_str("null"),
+    }
+    let _ = writeln!(out, ",\"dropped\":{}}}", meta.dropped);
+    for ev in events {
+        out.push_str(&ev.to_json_line());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse a JSONL dump back into its header and events.
+pub fn parse_jsonl(text: &str) -> Result<(DumpMeta, Vec<TraceEvent>), String> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty());
+    let (_, header) = lines.next().ok_or("empty dump".to_string())?;
+    let hv = json::parse(header).map_err(|e| format!("header: {e}"))?;
+    let schema = hv
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("header missing \"schema\"".to_string())?;
+    if schema != SCHEMA {
+        return Err(format!("unsupported schema {schema:?} (want {SCHEMA:?})"));
+    }
+    let meta = DumpMeta {
+        label: hv
+            .get("label")
+            .and_then(Json::as_str)
+            .unwrap_or("")
+            .to_string(),
+        ranks: hv.get("ranks").and_then(Json::as_u64).unwrap_or(0) as usize,
+        seed: hv.get("seed").and_then(Json::as_u64),
+        dropped: hv.get("dropped").and_then(Json::as_u64).unwrap_or(0),
+    };
+    let mut events = Vec::new();
+    for (lineno, line) in lines {
+        let v = json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let ev = TraceEvent::from_json(&v).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        events.push(ev);
+    }
+    Ok((meta, events))
+}
+
+/// Chrome `tid` for an actor: the coordinator gets 0, rank `r` gets `r+1`.
+fn chrome_tid(actor: i32) -> i64 {
+    if actor == COORD_ACTOR {
+        0
+    } else {
+        actor as i64 + 1
+    }
+}
+
+/// Render `events` as a Chrome `trace_event` JSON document (open it in
+/// `chrome://tracing` or Perfetto). Phase spans become `B`/`E` pairs,
+/// point events become instants; timestamps are microseconds.
+pub fn chrome_trace(meta: &DumpMeta, events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(256 + events.len() * 128);
+    out.push_str("{\"traceEvents\":[\n");
+    // Thread-name metadata so the timeline reads "coordinator", "rank 0", …
+    let mut actors: Vec<i32> = events.iter().map(|e| e.actor).collect();
+    actors.sort_unstable();
+    actors.dedup();
+    let mut first = true;
+    for a in &actors {
+        let name = if *a == COORD_ACTOR {
+            "coordinator".to_string()
+        } else {
+            format!("rank {a}")
+        };
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":0,\"tid\":{},\"args\":{{\"name\":\"{}\"}}}}",
+            chrome_tid(*a),
+            escape(&name)
+        );
+    }
+    for ev in events {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        let ts_us = ev.ts_ns as f64 / 1000.0;
+        let tid = chrome_tid(ev.actor);
+        match ev.kind {
+            EventKind::Begin(p) | EventKind::End(p) => {
+                let ph = if matches!(ev.kind, EventKind::Begin(_)) {
+                    "B"
+                } else {
+                    "E"
+                };
+                let _ = write!(
+                    out,
+                    "{{\"ph\":\"{ph}\",\"name\":\"{}\",\"cat\":\"ckpt\",\"ts\":{ts_us},\"pid\":0,\"tid\":{tid},\"args\":{{\"round\":{}",
+                    p.name(),
+                    ev.round
+                );
+                if let crate::event::Phase::Drain { sweep } = p {
+                    let _ = write!(out, ",\"sweep\":{sweep}");
+                }
+                out.push_str("}}");
+            }
+            _ => {
+                let _ = write!(
+                    out,
+                    "{{\"ph\":\"i\",\"s\":\"t\",\"name\":\"{}\",\"cat\":\"ev\",\"ts\":{ts_us},\"pid\":0,\"tid\":{tid},\"args\":{{\"round\":{}}}}}",
+                    ev.kind.name(),
+                    ev.round
+                );
+            }
+        }
+    }
+    let _ = write!(
+        out,
+        "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{{\"schema\":\"{}\",\"label\":\"{}\"}}}}\n",
+        SCHEMA,
+        escape(&meta.label)
+    );
+    out
+}
+
+/// Where dumps land: `$MANA2_TRACE_DIR`, else `<tmp>/mana2_traces`.
+pub fn default_trace_dir() -> PathBuf {
+    match std::env::var_os("MANA2_TRACE_DIR") {
+        Some(d) if !d.is_empty() => PathBuf::from(d),
+        _ => std::env::temp_dir().join("mana2_traces"),
+    }
+}
+
+/// A unique-in-this-process dump label: `<prefix>_<pid>_<counter>`.
+/// (Process id + a process-local counter — no wall-clock involved, so
+/// deterministic runs stay deterministic.)
+pub fn unique_label(prefix: &str) -> String {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    format!(
+        "{prefix}_{}_{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    )
+}
+
+/// Paths produced by one [`flight_record`] call.
+#[derive(Debug, Clone)]
+pub struct FlightDump {
+    /// The JSONL event dump.
+    pub jsonl: PathBuf,
+    /// The Chrome `trace_event` export.
+    pub chrome: PathBuf,
+    /// Number of events written.
+    pub events: usize,
+}
+
+/// Merge every ring of `sink` and write `<dir>/<label>.jsonl` plus
+/// `<dir>/<label>.chrome.json`. Creates `dir` if needed.
+pub fn flight_record(
+    sink: &TraceSink,
+    dir: &Path,
+    label: &str,
+    seed: Option<u64>,
+) -> io::Result<FlightDump> {
+    std::fs::create_dir_all(dir)?;
+    let events = sink.merged();
+    let meta = DumpMeta {
+        label: label.to_string(),
+        ranks: sink.n_ranks(),
+        seed,
+        dropped: sink.dropped(),
+    };
+    let jsonl = dir.join(format!("{label}.jsonl"));
+    let chrome = dir.join(format!("{label}.chrome.json"));
+    std::fs::write(&jsonl, events_to_jsonl(&meta, &events))?;
+    std::fs::write(&chrome, chrome_trace(&meta, &events))?;
+    Ok(FlightDump {
+        jsonl,
+        chrome,
+        events: events.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{FaultKind, InjectedFault, Phase, NO_ROUND};
+
+    /// One event of every kind — the round-trip must be exact.
+    fn all_kinds() -> Vec<TraceEvent> {
+        let kinds = vec![
+            EventKind::Begin(Phase::Intent),
+            EventKind::End(Phase::Intent),
+            EventKind::Begin(Phase::Drain { sweep: 3 }),
+            EventKind::End(Phase::Drain { sweep: 3 }),
+            EventKind::Begin(Phase::TpcBarrier),
+            EventKind::Begin(Phase::EmuCollective),
+            EventKind::Begin(Phase::ImageWrite),
+            EventKind::Begin(Phase::Commit),
+            EventKind::Begin(Phase::AbortRound),
+            EventKind::Begin(Phase::RestartValidate),
+            EventKind::Begin(Phase::RestoreComms),
+            EventKind::BarrierArrive {
+                gid: u64::MAX,
+                coll_seq: 7,
+            },
+            EventKind::StoreAttempt {
+                attempt: 2,
+                write_ns: 1000,
+                fsync_ns: 2000,
+                rename_ns: 300,
+                ok: false,
+            },
+            EventKind::StoreWrite {
+                bytes: 4096,
+                retries: 1,
+                crc: 0xDEAD_BEEF,
+            },
+            EventKind::StoreFault {
+                fault: InjectedFault::Torn,
+            },
+            EventKind::StoreFault {
+                fault: InjectedFault::WriteError,
+            },
+            EventKind::StoreFault {
+                fault: InjectedFault::BitFlip,
+            },
+            EventKind::NetSend {
+                dst: 3,
+                bytes: 64,
+                user: true,
+            },
+            EventKind::NetMatch { src: 1, bytes: 64 },
+            EventKind::NetHold {
+                src: 2,
+                reorder: true,
+            },
+            EventKind::DrainCapture { src: 0, bytes: 17 },
+            EventKind::FaultFired {
+                fault: FaultKind::ReadyStall,
+            },
+            EventKind::FaultFired {
+                fault: FaultKind::CoordDelay,
+            },
+            EventKind::FaultFired {
+                fault: FaultKind::Trigger,
+            },
+        ];
+        kinds
+            .into_iter()
+            .enumerate()
+            .map(|(i, kind)| TraceEvent {
+                ts_ns: i as u64 * 10,
+                actor: if i % 3 == 0 {
+                    COORD_ACTOR
+                } else {
+                    (i % 3) as i32 - 1
+                },
+                seq: i as u64,
+                round: if i % 2 == 0 { 0 } else { NO_ROUND },
+                kind,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn jsonl_round_trip_is_exact() {
+        let events = all_kinds();
+        let meta = DumpMeta {
+            label: "round\"trip".to_string(),
+            ranks: 3,
+            seed: Some(0xC0FF_EE00),
+            dropped: 5,
+        };
+        let text = events_to_jsonl(&meta, &events);
+        let (meta2, events2) = parse_jsonl(&text).unwrap();
+        assert_eq!(meta, meta2);
+        assert_eq!(events, events2);
+    }
+
+    #[test]
+    fn missing_seed_round_trips_as_none() {
+        let meta = DumpMeta {
+            label: "x".into(),
+            ranks: 1,
+            seed: None,
+            dropped: 0,
+        };
+        let text = events_to_jsonl(&meta, &[]);
+        let (meta2, events2) = parse_jsonl(&text).unwrap();
+        assert_eq!(meta2.seed, None);
+        assert!(events2.is_empty());
+    }
+
+    #[test]
+    fn wrong_schema_is_rejected() {
+        let err = parse_jsonl("{\"schema\":\"mana2-trace/999\"}\n").unwrap_err();
+        assert!(err.contains("unsupported schema"), "{err}");
+    }
+
+    #[test]
+    fn chrome_export_is_valid_json() {
+        let events = all_kinds();
+        let meta = DumpMeta {
+            label: "chrome".into(),
+            ranks: 3,
+            seed: None,
+            dropped: 0,
+        };
+        let doc = chrome_trace(&meta, &events);
+        let v = json::parse(&doc).expect("chrome export must parse as JSON");
+        let Some(Json::Arr(items)) = v.get("traceEvents") else {
+            panic!("traceEvents missing");
+        };
+        // metadata rows (one per actor) + one row per event
+        assert!(items.len() > events.len());
+    }
+
+    #[test]
+    fn flight_record_writes_both_files() {
+        let sink = TraceSink::deterministic(2, 16);
+        sink.recorder(0).begin(0, Phase::ImageWrite);
+        sink.recorder(0).end(0, Phase::ImageWrite);
+        let dir = std::env::temp_dir().join(format!("obs_fr_test_{}", std::process::id()));
+        let dump = flight_record(&sink, &dir, "t1", Some(9)).unwrap();
+        assert_eq!(dump.events, 2);
+        let text = std::fs::read_to_string(&dump.jsonl).unwrap();
+        let (meta, events) = parse_jsonl(&text).unwrap();
+        assert_eq!(meta.seed, Some(9));
+        assert_eq!(events.len(), 2);
+        assert!(dump.chrome.exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unique_labels_differ() {
+        assert_ne!(unique_label("a"), unique_label("a"));
+    }
+}

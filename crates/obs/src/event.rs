@@ -1,0 +1,427 @@
+//! The trace event model: checkpoint phases, point events, and the
+//! fixed-size [`TraceEvent`] record stored in the rings.
+//!
+//! Every variant is `Copy` with scalar payloads only, so recording an
+//! event never allocates — the requirement that lets the rings stay on
+//! the hot path of the drain loop and the store write path.
+
+use crate::json::Json;
+use std::fmt::Write as _;
+
+/// Actor id used for the coordinator's ring (ranks are `0..n`).
+pub const COORD_ACTOR: i32 = -1;
+
+/// Round value for events outside any checkpoint round.
+pub const NO_ROUND: i64 = -1;
+
+/// A checkpoint-window phase delimited by `Begin`/`End` events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Coordinator raised the intent flag; ranks quiesce toward `Ready`.
+    Intent,
+    /// A two-phase-commit style barrier in `TpcMode::Original`.
+    TpcBarrier,
+    /// One emulated collective operation being driven to completion.
+    EmuCollective,
+    /// One sweep of the drain loop (paper §III-B). `sweep` is the
+    /// 0-based sweep index within the round.
+    Drain {
+        /// 0-based sweep index within the checkpoint round.
+        sweep: u32,
+    },
+    /// Serializing and durably writing the checkpoint image.
+    ImageWrite,
+    /// Commit: manifest write on the coordinator, resume-wait on ranks.
+    Commit,
+    /// A round being aborted and rolled back.
+    AbortRound,
+    /// Restart-time generation selection and validation.
+    RestartValidate,
+    /// Rebuilding communicators from checkpoint metadata on restart.
+    RestoreComms,
+}
+
+impl Phase {
+    /// Stable schema name of the phase.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Phase::Intent => "intent",
+            Phase::TpcBarrier => "tpc_barrier",
+            Phase::EmuCollective => "emu_collective",
+            Phase::Drain { .. } => "drain",
+            Phase::ImageWrite => "image_write",
+            Phase::Commit => "commit",
+            Phase::AbortRound => "abort_round",
+            Phase::RestartValidate => "restart_validate",
+            Phase::RestoreComms => "restore_comms",
+        }
+    }
+
+    fn from_parts(name: &str, sweep: Option<u64>) -> Option<Phase> {
+        Some(match name {
+            "intent" => Phase::Intent,
+            "tpc_barrier" => Phase::TpcBarrier,
+            "emu_collective" => Phase::EmuCollective,
+            "drain" => Phase::Drain {
+                sweep: sweep.unwrap_or(0) as u32,
+            },
+            "image_write" => Phase::ImageWrite,
+            "commit" => Phase::Commit,
+            "abort_round" => Phase::AbortRound,
+            "restart_validate" => Phase::RestartValidate,
+            "restore_comms" => Phase::RestoreComms,
+            _ => return None,
+        })
+    }
+}
+
+/// An injected storage fault observed by the store layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectedFault {
+    /// Transient write error (retried).
+    WriteError,
+    /// Image truncated after commit (torn write).
+    Torn,
+    /// Single bit flipped after commit.
+    BitFlip,
+}
+
+impl InjectedFault {
+    /// Stable schema name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            InjectedFault::WriteError => "write_error",
+            InjectedFault::Torn => "torn",
+            InjectedFault::BitFlip => "bit_flip",
+        }
+    }
+
+    fn from_name(s: &str) -> Option<Self> {
+        Some(match s {
+            "write_error" => InjectedFault::WriteError,
+            "torn" => InjectedFault::Torn,
+            "bit_flip" => InjectedFault::BitFlip,
+            _ => return None,
+        })
+    }
+}
+
+/// A fault-plan firing outside the store (fabric and coordinator faults).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A rank's `Ready` message was stalled.
+    ReadyStall,
+    /// A coordinator-channel message was delayed.
+    CoordDelay,
+    /// The plan's checkpoint trigger fired on this rank.
+    Trigger,
+}
+
+impl FaultKind {
+    /// Stable schema name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::ReadyStall => "ready_stall",
+            FaultKind::CoordDelay => "coord_delay",
+            FaultKind::Trigger => "trigger",
+        }
+    }
+
+    fn from_name(s: &str) -> Option<Self> {
+        Some(match s {
+            "ready_stall" => FaultKind::ReadyStall,
+            "coord_delay" => FaultKind::CoordDelay,
+            "trigger" => FaultKind::Trigger,
+            _ => return None,
+        })
+    }
+}
+
+/// What happened. Span edges carry a [`Phase`]; the rest are points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A phase span opened.
+    Begin(Phase),
+    /// The innermost open span of this phase closed.
+    End(Phase),
+    /// This rank arrived at a 2PC barrier (skew = first-to-last arrival
+    /// per `(gid, coll_seq)` across ranks).
+    BarrierArrive {
+        /// Communicator gid of the barrier.
+        gid: u64,
+        /// Per-communicator collective sequence number.
+        coll_seq: u64,
+    },
+    /// One attempt of an atomic store write, with per-stage timings.
+    StoreAttempt {
+        /// 1-based attempt number.
+        attempt: u32,
+        /// Nanoseconds spent creating + writing the temp file.
+        write_ns: u64,
+        /// Nanoseconds spent in `sync_all`.
+        fsync_ns: u64,
+        /// Nanoseconds spent in rename + directory fsync.
+        rename_ns: u64,
+        /// Whether the attempt succeeded.
+        ok: bool,
+    },
+    /// Final outcome of a checkpoint-image write.
+    StoreWrite {
+        /// Image size in bytes.
+        bytes: u64,
+        /// Retries consumed before success.
+        retries: u32,
+        /// CRC32 recorded for the image.
+        crc: u32,
+    },
+    /// The store layer applied an injected fault.
+    StoreFault {
+        /// Which fault was injected.
+        fault: InjectedFault,
+    },
+    /// A message was deposited into the fabric.
+    NetSend {
+        /// Destination world rank.
+        dst: u32,
+        /// Payload bytes.
+        bytes: u64,
+        /// User-class (vs internal coordination) traffic.
+        user: bool,
+    },
+    /// A receive matched (removed) a message from a mailbox.
+    NetMatch {
+        /// Source world rank.
+        src: u32,
+        /// Payload bytes.
+        bytes: u64,
+    },
+    /// The fault plan held an envelope in limbo (delay or reorder).
+    NetHold {
+        /// Source world rank of the held envelope.
+        src: u32,
+        /// Reorder hold (vs pure delay).
+        reorder: bool,
+    },
+    /// The drain loop captured an in-flight message into the drain buffer.
+    DrainCapture {
+        /// Source world rank of the captured message.
+        src: u32,
+        /// Payload bytes captured.
+        bytes: u64,
+    },
+    /// A non-storage fault-plan fault fired.
+    FaultFired {
+        /// Which fault fired.
+        fault: FaultKind,
+    },
+}
+
+impl EventKind {
+    /// Stable schema name of the event (`"ev"` field in JSONL).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::Begin(_) => "begin",
+            EventKind::End(_) => "end",
+            EventKind::BarrierArrive { .. } => "barrier_arrive",
+            EventKind::StoreAttempt { .. } => "store_attempt",
+            EventKind::StoreWrite { .. } => "store_write",
+            EventKind::StoreFault { .. } => "store_fault",
+            EventKind::NetSend { .. } => "net_send",
+            EventKind::NetMatch { .. } => "net_match",
+            EventKind::NetHold { .. } => "net_hold",
+            EventKind::DrainCapture { .. } => "drain_capture",
+            EventKind::FaultFired { .. } => "fault_fired",
+        }
+    }
+}
+
+/// One recorded event: timestamp, actor, global sequence number,
+/// checkpoint round (or [`NO_ROUND`]), and payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Nanoseconds from the sink's [`crate::Clock`].
+    pub ts_ns: u64,
+    /// World rank, or [`COORD_ACTOR`] for the coordinator.
+    pub actor: i32,
+    /// Globally unique, monotone sequence number assigned by the sink.
+    pub seq: u64,
+    /// Checkpoint round the event belongs to, or [`NO_ROUND`].
+    pub round: i64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl TraceEvent {
+    /// Serialize as one JSONL line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut s = String::with_capacity(96);
+        let _ = write!(
+            s,
+            "{{\"ts\":{},\"actor\":{},\"seq\":{},\"round\":{},\"ev\":\"{}\"",
+            self.ts_ns,
+            self.actor,
+            self.seq,
+            self.round,
+            self.kind.name()
+        );
+        match self.kind {
+            EventKind::Begin(p) | EventKind::End(p) => {
+                let _ = write!(s, ",\"phase\":\"{}\"", p.name());
+                if let Phase::Drain { sweep } = p {
+                    let _ = write!(s, ",\"sweep\":{sweep}");
+                }
+            }
+            EventKind::BarrierArrive { gid, coll_seq } => {
+                let _ = write!(s, ",\"gid\":{gid},\"coll_seq\":{coll_seq}");
+            }
+            EventKind::StoreAttempt {
+                attempt,
+                write_ns,
+                fsync_ns,
+                rename_ns,
+                ok,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"attempt\":{attempt},\"write_ns\":{write_ns},\"fsync_ns\":{fsync_ns},\"rename_ns\":{rename_ns},\"ok\":{ok}"
+                );
+            }
+            EventKind::StoreWrite {
+                bytes,
+                retries,
+                crc,
+            } => {
+                let _ = write!(s, ",\"bytes\":{bytes},\"retries\":{retries},\"crc\":{crc}");
+            }
+            EventKind::StoreFault { fault } => {
+                let _ = write!(s, ",\"fault\":\"{}\"", fault.name());
+            }
+            EventKind::NetSend { dst, bytes, user } => {
+                let _ = write!(s, ",\"dst\":{dst},\"bytes\":{bytes},\"user\":{user}");
+            }
+            EventKind::NetMatch { src, bytes } => {
+                let _ = write!(s, ",\"src\":{src},\"bytes\":{bytes}");
+            }
+            EventKind::NetHold { src, reorder } => {
+                let _ = write!(s, ",\"src\":{src},\"reorder\":{reorder}");
+            }
+            EventKind::DrainCapture { src, bytes } => {
+                let _ = write!(s, ",\"src\":{src},\"bytes\":{bytes}");
+            }
+            EventKind::FaultFired { fault } => {
+                let _ = write!(s, ",\"fault\":\"{}\"", fault.name());
+            }
+        }
+        s.push('}');
+        s
+    }
+
+    /// Parse one JSONL line previously written by [`TraceEvent::to_json_line`].
+    pub fn from_json(v: &Json) -> Result<TraceEvent, String> {
+        let need_u64 = |k: &str| {
+            v.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("missing or non-integer field {k:?}"))
+        };
+        let need_i64 = |k: &str| {
+            v.get(k)
+                .and_then(Json::as_i64)
+                .ok_or_else(|| format!("missing or non-integer field {k:?}"))
+        };
+        let need_bool = |k: &str| {
+            v.get(k)
+                .and_then(Json::as_bool)
+                .ok_or_else(|| format!("missing or non-bool field {k:?}"))
+        };
+        let ev = v
+            .get("ev")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "missing field \"ev\"".to_string())?;
+        let kind = match ev {
+            "begin" | "end" => {
+                let name = v
+                    .get("phase")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| "missing field \"phase\"".to_string())?;
+                let sweep = v.get("sweep").and_then(Json::as_u64);
+                let phase = Phase::from_parts(name, sweep)
+                    .ok_or_else(|| format!("unknown phase {name:?}"))?;
+                if ev == "begin" {
+                    EventKind::Begin(phase)
+                } else {
+                    EventKind::End(phase)
+                }
+            }
+            "barrier_arrive" => EventKind::BarrierArrive {
+                gid: need_u64("gid")?,
+                coll_seq: need_u64("coll_seq")?,
+            },
+            "store_attempt" => EventKind::StoreAttempt {
+                attempt: need_u64("attempt")? as u32,
+                write_ns: need_u64("write_ns")?,
+                fsync_ns: need_u64("fsync_ns")?,
+                rename_ns: need_u64("rename_ns")?,
+                ok: need_bool("ok")?,
+            },
+            "store_write" => EventKind::StoreWrite {
+                bytes: need_u64("bytes")?,
+                retries: need_u64("retries")? as u32,
+                crc: need_u64("crc")? as u32,
+            },
+            "store_fault" => {
+                let name = v
+                    .get("fault")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| "missing field \"fault\"".to_string())?;
+                EventKind::StoreFault {
+                    fault: InjectedFault::from_name(name)
+                        .ok_or_else(|| format!("unknown store fault {name:?}"))?,
+                }
+            }
+            "net_send" => EventKind::NetSend {
+                dst: need_u64("dst")? as u32,
+                bytes: need_u64("bytes")?,
+                user: need_bool("user")?,
+            },
+            "net_match" => EventKind::NetMatch {
+                src: need_u64("src")? as u32,
+                bytes: need_u64("bytes")?,
+            },
+            "net_hold" => EventKind::NetHold {
+                src: need_u64("src")? as u32,
+                reorder: need_bool("reorder")?,
+            },
+            "drain_capture" => EventKind::DrainCapture {
+                src: need_u64("src")? as u32,
+                bytes: need_u64("bytes")?,
+            },
+            "fault_fired" => {
+                let name = v
+                    .get("fault")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| "missing field \"fault\"".to_string())?;
+                EventKind::FaultFired {
+                    fault: FaultKind::from_name(name)
+                        .ok_or_else(|| format!("unknown fault kind {name:?}"))?,
+                }
+            }
+            other => return Err(format!("unknown event kind {other:?}")),
+        };
+        Ok(TraceEvent {
+            ts_ns: need_u64("ts")?,
+            actor: need_i64("actor")? as i32,
+            seq: need_u64("seq")?,
+            round: need_i64("round")?,
+            kind,
+        })
+    }
+
+    /// Human label of the actor (`"coord"` or `"rank N"`).
+    pub fn actor_label(&self) -> String {
+        if self.actor == COORD_ACTOR {
+            "coord".to_string()
+        } else {
+            format!("rank {}", self.actor)
+        }
+    }
+}

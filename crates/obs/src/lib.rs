@@ -1,0 +1,65 @@
+//! # obs — flight-recorder tracing for the MANA-2.0 checkpoint window
+//!
+//! The checkpoint window is where MANA-2.0 lives or dies: drain sweeps,
+//! 2PC barrier waits, image writes, the commit round-trip. This crate
+//! records *where that time goes* with machinery cheap enough to leave on
+//! in chaos runs and deterministic enough to assert on in tests:
+//!
+//! * a bounded, per-actor **event ring buffer** ([`Ring`]) — fixed
+//!   capacity, overwrite-oldest, zero allocation on the hot path after
+//!   setup;
+//! * a **span API** over the checkpoint phases ([`Phase`]): `Intent`,
+//!   `TpcBarrier`, `EmuCollective`, `Drain { sweep }`, `ImageWrite`,
+//!   `Commit`/`AbortRound`, `RestartValidate`, `RestoreComms`;
+//! * point events ([`EventKind`]) for network sends/matches, drain
+//!   captures, store write attempts (per-attempt write/fsync/rename
+//!   timings), retries, and injected faults;
+//! * a monotonic [`Clock`] trait — [`WallClock`] under benches,
+//!   [`TestClock`] for deterministic traces under test;
+//! * a **flight recorder** ([`flight_record`]): merge every ring into one
+//!   JSONL file (one event per line, stable schema) plus a Chrome
+//!   `trace_event` export for `chrome://tracing` / Perfetto;
+//! * an **analyzer** ([`analyze`]) shared with the `mana2-trace` binary:
+//!   per-round phase-duration tables, drain-sweep histograms, cross-rank
+//!   2PC barrier skew, store write/retry breakdowns, and schema checks.
+//!
+//! The crate is dependency-free so every layer of the repo (including the
+//! simulator, via a hook trait defined on its side) can feed it events.
+//!
+//! ## Example
+//!
+//! ```
+//! use obs::{EventKind, Phase, TraceSink};
+//!
+//! let sink = TraceSink::deterministic(2, 64);
+//! let rec = sink.recorder(0);
+//! rec.begin(0, Phase::ImageWrite);
+//! rec.event(0, EventKind::StoreWrite { bytes: 4096, retries: 0, crc: 0xDEAD });
+//! rec.end(0, Phase::ImageWrite);
+//! assert_eq!(sink.ring_events(0).len(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analyze_;
+mod clock;
+mod dump;
+mod event;
+pub mod json;
+mod ring;
+mod sink;
+
+/// Trace analysis: tables and schema validation over parsed dumps.
+pub mod analyze {
+    pub use crate::analyze_::{check, render_summary, CheckReport};
+}
+
+pub use clock::{Clock, TestClock, WallClock};
+pub use dump::{
+    chrome_trace, default_trace_dir, events_to_jsonl, flight_record, parse_jsonl, unique_label,
+    DumpMeta, FlightDump, SCHEMA,
+};
+pub use event::{EventKind, FaultKind, InjectedFault, Phase, TraceEvent, COORD_ACTOR, NO_ROUND};
+pub use ring::Ring;
+pub use sink::{Recorder, TraceSink};

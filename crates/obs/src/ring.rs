@@ -1,0 +1,142 @@
+//! The bounded event ring: fixed capacity, overwrite-oldest.
+//!
+//! A flight recorder must never stall or grow under load — when the ring
+//! is full, the oldest event is overwritten and a drop counter ticks.
+//! All storage is allocated up front; `push` after setup is a bounds
+//! check and a slot write.
+
+use crate::event::TraceEvent;
+
+/// A fixed-capacity ring of [`TraceEvent`]s (oldest overwritten first).
+#[derive(Debug)]
+pub struct Ring {
+    buf: Vec<TraceEvent>,
+    cap: usize,
+    /// Index of the oldest event (valid when `len > 0`).
+    head: usize,
+    len: usize,
+    dropped: u64,
+}
+
+impl Ring {
+    /// A ring holding at most `cap` events (`cap` ≥ 1).
+    pub fn with_capacity(cap: usize) -> Ring {
+        let cap = cap.max(1);
+        Ring {
+            buf: Vec::with_capacity(cap),
+            cap,
+            head: 0,
+            len: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Append an event, overwriting the oldest if full.
+    pub fn push(&mut self, ev: TraceEvent) {
+        if self.buf.len() < self.cap {
+            // Still filling the preallocated storage: no reallocation
+            // happens because `buf` was created with `with_capacity(cap)`.
+            self.buf.push(ev);
+            self.len += 1;
+        } else {
+            let slot = (self.head + self.len) % self.cap;
+            self.buf[slot] = ev;
+            if self.len == self.cap {
+                // Overwrote the oldest: advance the head.
+                self.head = (self.head + 1) % self.cap;
+                self.dropped += 1;
+            } else {
+                self.len += 1;
+            }
+        }
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no events are held.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Maximum number of events the ring can hold.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// How many events have been overwritten since creation.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterate oldest → newest.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        (0..self.len).map(move |i| &self.buf[(self.head + i) % self.cap])
+    }
+
+    /// Copy out all events, oldest first.
+    pub fn to_vec(&self) -> Vec<TraceEvent> {
+        self.iter().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, Phase};
+
+    fn ev(seq: u64) -> TraceEvent {
+        TraceEvent {
+            ts_ns: seq,
+            actor: 0,
+            seq,
+            round: 0,
+            kind: EventKind::Begin(Phase::Intent),
+        }
+    }
+
+    #[test]
+    fn fills_then_overwrites_oldest() {
+        let mut r = Ring::with_capacity(4);
+        assert!(r.is_empty());
+        for i in 0..4 {
+            r.push(ev(i));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.dropped(), 0);
+        let seqs: Vec<u64> = r.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3]);
+
+        // Two more: 0 and 1 are overwritten, order stays oldest-first.
+        r.push(ev(4));
+        r.push(ev(5));
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.dropped(), 2);
+        let seqs: Vec<u64> = r.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn wraps_many_times_without_growing() {
+        let mut r = Ring::with_capacity(3);
+        for i in 0..100 {
+            r.push(ev(i));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.capacity(), 3);
+        assert_eq!(r.dropped(), 97);
+        let seqs: Vec<u64> = r.to_vec().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![97, 98, 99]);
+    }
+
+    #[test]
+    fn capacity_floor_is_one() {
+        let mut r = Ring::with_capacity(0);
+        r.push(ev(1));
+        r.push(ev(2));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.to_vec()[0].seq, 2);
+    }
+}

@@ -1,0 +1,89 @@
+//! `mana2-trace` — analyze flight-recorder dumps of the checkpoint window.
+//!
+//! ```text
+//! mana2-trace <dump.jsonl>            per-round phase-duration tables,
+//!                                     drain-sweep histogram, 2PC barrier
+//!                                     skew, store write/retry breakdown
+//! mana2-trace --check <dump.jsonl>…   validate dumps against the schema;
+//!                                     exit 0 iff every dump is well-formed
+//! ```
+//!
+//! Dumps are produced by the flight recorder on chaos/runtime failures
+//! (the failure report prints the path) or on demand with
+//! `MANA2_TRACE=1`; the sibling `<label>.chrome.json` opens in
+//! `chrome://tracing` / Perfetto.
+
+use obs::analyze;
+use std::io::Write;
+
+/// Print, ignoring broken pipes (`mana2-trace … | head` must not panic).
+macro_rules! out {
+    ($($arg:tt)*) => {
+        let _ = writeln!(std::io::stdout(), $($arg)*);
+    };
+}
+
+fn load(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn check_all(paths: &[String]) -> i32 {
+    let mut bad = 0;
+    for path in paths {
+        match load(path).and_then(|text| analyze::check(&text)) {
+            Ok(report) => {
+                out!("{path}: {report}");
+            }
+            Err(e) => {
+                eprintln!("{path}: FAIL: {e}");
+                bad += 1;
+            }
+        }
+    }
+    if bad == 0 {
+        0
+    } else {
+        1
+    }
+}
+
+fn render(path: &str) -> i32 {
+    let text = match load(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{e}");
+            return 1;
+        }
+    };
+    match obs::parse_jsonl(&text) {
+        Ok((meta, events)) => {
+            out!("{}", analyze::render_summary(&meta, &events));
+            0
+        }
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            1
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: mana2-trace [--check] <dump.jsonl>...");
+        std::process::exit(2);
+    }
+    if args[0] == "--check" {
+        let paths = &args[1..];
+        if paths.is_empty() {
+            eprintln!("usage: mana2-trace --check <dump.jsonl>...");
+            std::process::exit(2);
+        }
+        std::process::exit(check_all(paths));
+    }
+    let mut rc = 0;
+    for path in &args {
+        rc |= render(path);
+    }
+    std::process::exit(rc);
+}

@@ -40,7 +40,7 @@ use std::fmt;
 use std::fs;
 use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Manifest file name inside a generation directory.
 pub const MANIFEST_FILE: &str = "MANIFEST";
@@ -213,6 +213,20 @@ pub fn write_atomic_faulted(
     cfg: &StoreConfig,
     fault: Option<&WriteFault>,
 ) -> io::Result<u32> {
+    write_atomic_traced(path, bytes, cfg, fault, None, obs::NO_ROUND)
+}
+
+/// [`write_atomic_faulted`] with flight-recorder instrumentation: each
+/// attempt records its write/fsync/rename stage timings, injected
+/// failures record a fault event. `rec`/`round` attribute the events.
+pub fn write_atomic_traced(
+    path: &Path,
+    bytes: &[u8],
+    cfg: &StoreConfig,
+    fault: Option<&WriteFault>,
+    rec: Option<&obs::Recorder>,
+    round: i64,
+) -> io::Result<u32> {
     let dir = path
         .parent()
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no parent"))?;
@@ -227,19 +241,51 @@ pub fn write_atomic_faulted(
         if attempt > 0 {
             std::thread::sleep(cfg.retry_backoff * 2u32.saturating_pow(attempt - 1));
         }
+        let mut write_ns = 0u64;
+        let mut fsync_ns = 0u64;
+        let mut rename_ns = 0u64;
+        let mut injected = false;
         let res = (|| -> io::Result<()> {
             if let Some(WriteFault::Error { attempts: n }) = fault {
                 if attempt < *n {
+                    injected = true;
                     return Err(io::Error::other("injected storage write error"));
                 }
             }
+            let t = Instant::now();
             let mut f = fs::File::create(&tmp)?;
             f.write_all(bytes)?;
+            write_ns = t.elapsed().as_nanos() as u64;
+            let t = Instant::now();
             f.sync_all()?;
+            fsync_ns = t.elapsed().as_nanos() as u64;
             drop(f);
+            let t = Instant::now();
             fs::rename(&tmp, path)?;
-            fsync_dir(dir)
+            let r = fsync_dir(dir);
+            rename_ns = t.elapsed().as_nanos() as u64;
+            r
         })();
+        if let Some(r) = rec {
+            if injected {
+                r.event(
+                    round,
+                    obs::EventKind::StoreFault {
+                        fault: obs::InjectedFault::WriteError,
+                    },
+                );
+            }
+            r.event(
+                round,
+                obs::EventKind::StoreAttempt {
+                    attempt: attempt + 1,
+                    write_ns,
+                    fsync_ns,
+                    rename_ns,
+                    ok: res.is_ok(),
+                },
+            );
+        }
         match res {
             Ok(()) => return Ok(attempt),
             Err(e) => last_err = Some(e),
@@ -271,19 +317,41 @@ pub fn write_image(
     cfg: &StoreConfig,
     fault: Option<&WriteFault>,
 ) -> Result<WriteOutcome, StoreError> {
+    write_image_traced(root, image, cfg, fault, None)
+}
+
+/// [`write_image`] with flight-recorder instrumentation: per-attempt
+/// stage timings, injected-fault events, and a final `StoreWrite` record
+/// land in `rec`'s ring, attributed to the image's round.
+pub fn write_image_traced(
+    root: &Path,
+    image: &CkptImage,
+    cfg: &StoreConfig,
+    fault: Option<&WriteFault>,
+    rec: Option<&obs::Recorder>,
+) -> Result<WriteOutcome, StoreError> {
+    let round = image.round as i64;
     let dir = generation_dir(root, image.round);
     fs::create_dir_all(&dir)?;
     fsync_dir(root)?;
     let bytes = image.to_bytes();
     let crc = crc32(&bytes);
     let path = CkptImage::path_for(&dir, image.rank);
-    let retries = write_atomic_faulted(&path, &bytes, cfg, fault)?;
+    let retries = write_atomic_traced(&path, &bytes, cfg, fault, rec, round)?;
     match fault {
         Some(WriteFault::Torn { offset }) => {
             let cut = (*offset % bytes.len() as u64) as usize;
             let f = fs::OpenOptions::new().write(true).open(&path)?;
             f.set_len(cut as u64)?;
             f.sync_all()?;
+            if let Some(r) = rec {
+                r.event(
+                    round,
+                    obs::EventKind::StoreFault {
+                        fault: obs::InjectedFault::Torn,
+                    },
+                );
+            }
         }
         Some(WriteFault::BitFlip { offset }) => {
             let mut data = fs::read(&path)?;
@@ -295,8 +363,26 @@ pub fn write_image(
                 w.write_all(&data)?;
             }
             f.sync_all()?;
+            if let Some(r) = rec {
+                r.event(
+                    round,
+                    obs::EventKind::StoreFault {
+                        fault: obs::InjectedFault::BitFlip,
+                    },
+                );
+            }
         }
         _ => {}
+    }
+    if let Some(r) = rec {
+        r.event(
+            round,
+            obs::EventKind::StoreWrite {
+                bytes: bytes.len() as u64,
+                retries,
+                crc,
+            },
+        );
     }
     Ok(WriteOutcome {
         bytes: bytes.len(),
