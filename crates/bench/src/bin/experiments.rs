@@ -6,15 +6,16 @@
 //! experiments fig4      # VASP collectives per second per process vs ranks
 //! experiments table1    # VASP robustness matrix (9 cases, C/R transparency)
 //! experiments table2    # CaPOH: native vs master branch vs feature/2pc
-//! experiments all       # everything
+//! experiments scale     # checkpoint-round latency, 64→4096 ranks, CoopEngine
+//! experiments all       # everything except `scale` (minutes at 4096 ranks)
 //! ```
 //!
 //! Environment: `MANA2_RANKS=2,4,8,16` overrides sweeps;
 //! `MANA2_SCALE=0.5` scales workload sizes.
 
 use mana_bench::*;
-use mana_core::{obs, ManaConfig, ManaRuntime};
-use mpisim::MachineProfile;
+use mana_core::{obs, DrainMode, ManaConfig, ManaRuntime};
+use mpisim::{CoopCfg, EngineKind, MachineProfile, WorldCfg};
 use std::time::Instant;
 use workloads::{gromacs, vasp, ManaFace};
 
@@ -437,6 +438,112 @@ fn trace() {
     }
 }
 
+/// Rank counts for the scale sweep: `MANA2_SCALE_RANKS="64,256"`
+/// overrides the default 64 → 4096 sweep.
+fn scale_ranks() -> Vec<usize> {
+    if let Ok(s) = std::env::var("MANA2_SCALE_RANKS") {
+        let v: Vec<usize> = s.split(',').filter_map(|x| x.trim().parse().ok()).collect();
+        if !v.is_empty() {
+            return v;
+        }
+    }
+    vec![64, 256, 1024, 4096]
+}
+
+fn scale_exp() {
+    println!("== Scale: checkpoint-round latency vs rank count (CoopEngine) ==");
+    println!("(rank counts past the thread-per-rank ceiling; MANA2_SCALE_RANKS=... overrides)");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>12} {:>10}",
+        "ranks", "ckpt leg", "quiesce", "write", "restart leg", "image MB"
+    );
+    let md = gromacs::GromacsConfig {
+        atoms_per_rank: 32,
+        steps: 4,
+        compute_per_step: 0,
+        energy_interval: 2,
+        halo: 8,
+        ckpt_at_step: Some(2),
+        ckpt_round: 0,
+    };
+    let mut rows = Vec::new();
+    for ranks in scale_ranks() {
+        let mcfg = ManaConfig {
+            // Coordinator drain is O(n) in coordination traffic; the
+            // Alltoall counts matrix is O(n²) and the wrong tool here.
+            drain: DrainMode::Coordinator,
+            exit_after_ckpt: true,
+            ckpt_dir: scratch_dir("scale"),
+            ..ManaConfig::default()
+        };
+        let dir = mcfg.ckpt_dir.clone();
+        let wc = WorldCfg {
+            engine: EngineKind::Coop(CoopCfg {
+                workers: 0, // auto: one per available core
+                sched_seed: 0x5CA1_E000,
+            }),
+            ..world_cfg(MachineProfile::zero())
+        };
+        let work = {
+            let mdc = md.clone();
+            move |m: &mut mana_core::Mana<'_>| {
+                let mut f = ManaFace::new(m);
+                gromacs::run(&mut f, &mdc).map_err(|e| e.into_mana())
+            }
+        };
+
+        let rt = ManaRuntime::new(ranks, mcfg.clone()).with_world_cfg(wc.clone());
+        let t = Instant::now();
+        let pass1 = rt.run_fresh(work.clone()).expect("scale checkpoint leg");
+        let ckpt_wall = t.elapsed();
+        assert!(
+            pass1.all_checkpointed(),
+            "all ranks must checkpoint-and-exit at {ranks} ranks"
+        );
+        let round = pass1
+            .coord
+            .rounds
+            .first()
+            .cloned()
+            .expect("one committed round");
+
+        let rt2 = ManaRuntime::new(ranks, mcfg).with_world_cfg(wc);
+        let t = Instant::now();
+        let pass2 = rt2.run_restart(work).expect("scale restart leg");
+        let restart_wall = t.elapsed();
+        assert!(
+            pass2.all_finished(),
+            "restart leg must run to completion at {ranks} ranks"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+
+        println!(
+            "{:>6} {:>12.2?} {:>12.2?} {:>12.2?} {:>12.2?} {:>10.2}",
+            ranks,
+            ckpt_wall,
+            round.quiesce,
+            round.write,
+            restart_wall,
+            round.total_image_bytes as f64 / (1024.0 * 1024.0)
+        );
+        rows.push(format!(
+            "{{\"ranks\":{ranks},\"ckpt_leg_s\":{:.6},\"quiesce_s\":{:.6},\"write_s\":{:.6},\"restart_leg_s\":{:.6},\"image_bytes\":{}}}",
+            ckpt_wall.as_secs_f64(),
+            round.quiesce.as_secs_f64(),
+            round.write.as_secs_f64(),
+            restart_wall.as_secs_f64(),
+            round.total_image_bytes
+        ));
+    }
+    write_json_artifact(
+        "scale",
+        &format!(
+            "{{\"experiment\":\"scale\",\"engine\":\"coop\",\"rows\":[{}]}}\n",
+            rows.join(",")
+        ),
+    );
+}
+
 fn main() {
     let what = std::env::args().nth(1).unwrap_or_else(|| "all".into());
     let t = Instant::now();
@@ -447,6 +554,7 @@ fn main() {
         "table1" => table1(),
         "table2" => table2(),
         "trace" | "--trace" => trace(),
+        "scale" => scale_exp(),
         "all" => {
             fig2();
             println!();
@@ -459,7 +567,9 @@ fn main() {
             table2();
         }
         other => {
-            eprintln!("unknown experiment '{other}'; use fig2|fig3|fig4|table1|table2|trace|all");
+            eprintln!(
+                "unknown experiment '{other}'; use fig2|fig3|fig4|table1|table2|trace|scale|all"
+            );
             std::process::exit(2);
         }
     }

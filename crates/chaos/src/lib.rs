@@ -24,8 +24,10 @@
 #![warn(missing_docs)]
 
 use mana_core::obs;
-use mana_core::{DrainMode, Mana, ManaConfig, ManaRuntime, RunReport};
-use mpisim::{FaultPlan, FaultSpec, StorageFaultKind, StorageFaultSpec, World, WorldCfg};
+use mana_core::{DrainMode, Mana, ManaConfig, ManaRuntime, ManaStats, RunReport};
+use mpisim::{
+    EngineKind, FaultPlan, FaultSpec, StorageFaultKind, StorageFaultSpec, World, WorldCfg,
+};
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
@@ -186,8 +188,10 @@ fn ckpt_dir(seed: u64) -> PathBuf {
 }
 
 /// The fault-free native reference: the answer MANA must reproduce.
-fn native_reference(case: &ChaosCase) -> Result<Vec<WlValue>, String> {
-    let w = World::new(case.ranks, wcfg());
+/// Runs under the caller's world config so an engine-pinned case checks
+/// the reference under the same engine.
+fn native_reference(case: &ChaosCase, wc: WorldCfg) -> Result<Vec<WlValue>, String> {
+    let w = World::new(case.ranks, wc);
     match case.workload {
         Workload::Gromacs => {
             let cfg = gromacs_cfg();
@@ -279,6 +283,56 @@ fn dump_case_trace(sink: &obs::TraceSink, seed: u64, label: &str) -> Option<Path
         .map(|d| d.jsonl)
 }
 
+/// Project one trace event to its determinism token; `None` drops it
+/// from cross-run and cross-engine comparisons.
+///
+/// Two things legitimately vary between runs of the same seed — under one
+/// engine or across engines — and are excluded:
+///
+/// - *where* the intent lands in a rank's user-traffic stream — a
+///   non-trigger rank notices the checkpoint request at its next wrapper
+///   call, so the surrounding `net_*` / collective events shift with
+///   scheduling (wall timestamps and global sequence numbers shift too);
+/// - the drain window (sweep count — possibly zero — and which in-flight
+///   messages get captured) and with it the exact image size, which
+///   embeds the captured bytes; both depend on delivery timing.
+///
+/// Everything else inside the checkpoint window — phase spans, store
+/// attempts and retries, fault firings, the committed outcome — must be
+/// identical, per ring, in program order.
+pub fn determinism_token(ev: &obs::TraceEvent) -> Option<String> {
+    use obs::EventKind;
+    match &ev.kind {
+        EventKind::Begin(p) | EventKind::End(p) if p.name() == "drain" => None,
+        EventKind::DrainCapture { .. } => None,
+        EventKind::Begin(p) if p.name() == "emu_collective" || p.name() == "tpc_barrier" => None,
+        EventKind::End(p) if p.name() == "emu_collective" || p.name() == "tpc_barrier" => None,
+        EventKind::Begin(p) => Some(format!("begin:{}", p.name())),
+        EventKind::End(p) => Some(format!("end:{}", p.name())),
+        EventKind::StoreAttempt { attempt, ok, .. } => {
+            Some(format!("store_attempt:{attempt}:{ok}"))
+        }
+        EventKind::StoreWrite { retries, .. } => Some(format!("store_write:{retries}")),
+        EventKind::StoreFault { fault } => Some(format!("store_fault:{}", fault.name())),
+        EventKind::FaultFired { fault } => Some(format!("fault_fired:{}", fault.name())),
+        _ => None,
+    }
+}
+
+/// One ring's events → its determinism-token sequence.
+pub fn ring_tokens(events: &[obs::TraceEvent]) -> Vec<String> {
+    events.iter().filter_map(determinism_token).collect()
+}
+
+/// Every actor's token sequence — coordinator first, then ranks in order
+/// — so two runs of the same seed diff with one `==`.
+pub fn case_token_rings(sink: &obs::TraceSink, ranks: usize) -> Vec<(i32, Vec<String>)> {
+    std::iter::once(obs::COORD_ACTOR)
+        .chain(0..ranks as i32)
+        .map(|actor| (actor, ring_tokens(&sink.ring_events(actor))))
+        .collect()
+}
+
 /// Run one case with the caller's own trace sink instead of the
 /// auto-dumping one [`run_case_with_plan`] creates. The determinism suite
 /// uses this to run the same seed twice and diff the recorded event
@@ -288,12 +342,68 @@ pub fn run_case_traced(
     plan: Arc<FaultPlan>,
     sink: &Arc<obs::TraceSink>,
 ) -> Result<CaseReport, CaseFailure> {
+    run_case_engine(case, plan, sink, None).map(|o| o.report)
+}
+
+/// What an engine-pinned case run produced beyond the pass/fail summary:
+/// the per-rank [`ManaStats`] of each MANA leg, so the dual-engine
+/// equivalence suite can compare their schedule-invariant projection
+/// across engines.
+#[derive(Debug)]
+pub struct EngineCaseOutcome {
+    /// The usual case summary.
+    pub report: CaseReport,
+    /// Per-rank stats from the faulted (checkpointing) leg.
+    pub ckpt_stats: Vec<ManaStats>,
+    /// Per-rank stats from the restart leg, when the case restarted.
+    pub restart_stats: Option<Vec<ManaStats>>,
+}
+
+impl EngineCaseOutcome {
+    /// Per-rank schedule-invariant totals summed across both legs. Only
+    /// the sum is engine-invariant in checkpoint-and-exit cases: where the
+    /// checkpoint lands in a non-trigger rank's call stream is itself
+    /// schedule-dependent, so each leg's share of the program varies.
+    pub fn invariant_totals(&self) -> Vec<Vec<(&'static str, u64)>> {
+        (0..self.ckpt_stats.len())
+            .map(|rank| {
+                let mut key = self.ckpt_stats[rank].schedule_invariant().to_vec();
+                if let Some(rs) = &self.restart_stats {
+                    for (slot, (name, v)) in key.iter_mut().zip(rs[rank].schedule_invariant()) {
+                        debug_assert_eq!(slot.0, name);
+                        slot.1 += v;
+                    }
+                }
+                key
+            })
+            .collect()
+    }
+}
+
+/// [`run_case_traced`] with the execution engine pinned explicitly
+/// (`None` keeps the config/`MANA2_ENGINE` default). The native
+/// reference, the faulted leg, and the restart leg all run under the
+/// pinned engine, and each MANA leg's per-rank stats come back for
+/// cross-engine comparison.
+pub fn run_case_engine(
+    case: &ChaosCase,
+    plan: Arc<FaultPlan>,
+    sink: &Arc<obs::TraceSink>,
+    engine: Option<EngineKind>,
+) -> Result<EngineCaseOutcome, CaseFailure> {
     let fail = |stage: &str, e: String| CaseFailure {
         case: case.clone(),
         error: format!("{stage}: {e}"),
         trace_dump: None,
     };
-    let expected = native_reference(case).map_err(|e| fail("native reference", e))?;
+    let wc = match engine {
+        Some(e) => WorldCfg {
+            engine: e,
+            ..wcfg()
+        },
+        None => wcfg(),
+    };
+    let expected = native_reference(case, wc.clone()).map_err(|e| fail("native reference", e))?;
     let dir = ckpt_dir(case.seed);
     let _ = std::fs::remove_dir_all(&dir);
     let mcfg = ManaConfig {
@@ -305,14 +415,16 @@ pub fn run_case_traced(
         trace: Some(sink.clone()),
         ..ManaConfig::default()
     };
-    let rt = ManaRuntime::new(case.ranks, mcfg.clone()).with_world_cfg(wcfg());
+    let rt = ManaRuntime::new(case.ranks, mcfg.clone()).with_world_cfg(wc.clone());
     let pass1 = run_workload(&rt, false, case).map_err(|e| fail("faulted run", e))?;
     let rounds = pass1.coord.rounds.len();
+    let ckpt_stats = pass1.rank_stats.clone();
+    let mut restart_stats = None;
     let (values, restarted) = if pass1.all_checkpointed() {
         // Exit-after-checkpoint: rebuild every rank from its image and run
         // to completion — still under the same fault plan (the trigger
         // will not re-fire; delays and stalls stay armed).
-        let rt2 = ManaRuntime::new(case.ranks, mcfg).with_world_cfg(wcfg());
+        let rt2 = ManaRuntime::new(case.ranks, mcfg).with_world_cfg(wc);
         let pass2 = run_workload(&rt2, true, case).map_err(|e| fail("restart run", e))?;
         if !pass2.all_finished() {
             let _ = std::fs::remove_dir_all(&dir);
@@ -321,6 +433,7 @@ pub fn run_case_traced(
                 "checkpointed again instead of finishing".into(),
             ));
         }
+        restart_stats = Some(pass2.rank_stats.clone());
         (pass2.values(), true)
     } else if pass1.all_finished() {
         (pass1.values(), false)
@@ -338,15 +451,21 @@ pub fn run_case_traced(
             format!("results diverged from native reference\n  native: {expected:?}\n  mana:   {values:?}"),
         ));
     }
-    if case.restart && rounds == 0 {
+    let report = if case.restart && rounds == 0 {
         // The trigger never fired, so the restart leg was never exercised.
         // Not a correctness failure, but worth distinguishing in reports.
-        return Ok(CaseReport {
+        CaseReport {
             rounds,
             restarted: false,
-        });
-    }
-    Ok(CaseReport { rounds, restarted })
+        }
+    } else {
+        CaseReport { rounds, restarted }
+    };
+    Ok(EngineCaseOutcome {
+        report,
+        ckpt_stats,
+        restart_stats,
+    })
 }
 
 /// A shrunk failure: the minimal armed spec that still reproduces it.

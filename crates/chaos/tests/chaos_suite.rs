@@ -59,6 +59,33 @@ fn cg_coordinator_seeds() {
     sweep(4_000, 9, Workload::Cg, DrainMode::Coordinator);
 }
 
+/// Engine × seed matrix: fully-derived chaos cases must pass under the
+/// cooperative engine too, across worker counts of 1, 2, and 3 (1 is the
+/// strongest schedule: every blocking point must release its run token or
+/// the world wedges). The sweeps above run under the default engine; the
+/// dedicated `engine_equivalence` suite checks cross-engine determinism.
+#[test]
+fn coop_engine_seed_matrix() {
+    use mpisim::{CoopCfg, EngineKind, FaultPlan};
+    for (i, seed) in (6_000u64..6_006).enumerate() {
+        let case = ChaosCase::from_seed(seed);
+        let engine = EngineKind::Coop(CoopCfg {
+            workers: 1 + (i % 3),
+            sched_seed: seed,
+        });
+        let sink = mana_core::obs::TraceSink::wall(case.ranks, 4096);
+        let plan = FaultPlan::from_seed(seed, case.ranks);
+        if let Err(f) = chaos::run_case_engine(&case, plan, &sink, Some(engine)) {
+            panic!(
+                "coop matrix seed {seed} (workers {}): {} (repro: {})",
+                1 + (i % 3),
+                f.error,
+                f.repro()
+            );
+        }
+    }
+}
+
 /// Sweep one (storage-fault kind × mode) cell over a few seeds; each seed
 /// varies world size, victim rank, and the damaged byte offset.
 fn storage_sweep(base: u64, count: u64, kind: StorageFaultKind, restart: bool) {

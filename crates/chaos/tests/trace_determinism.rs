@@ -1,51 +1,16 @@
 //! Satellite check: for a fixed chaos seed the flight recorder captures
 //! the *same checkpoint-window event sequence* on every run.
 //!
-//! Two things legitimately vary between runs of the same seed and are
-//! therefore excluded from the comparison:
-//!
-//! - *where* the intent lands in a rank's user-traffic stream — a
-//!   non-trigger rank notices the checkpoint request at its next wrapper
-//!   call, so the surrounding `net_*` / collective events shift with
-//!   scheduling (wall timestamps and global sequence numbers shift too);
-//! - the drain window (sweep count — possibly zero — and which in-flight
-//!   messages get captured) and with it the exact image size, which
-//!   embeds the captured bytes; both depend on delivery timing.
-//!
-//! Everything else inside the window — phase spans, store attempts and
-//! retries, fault firings, the committed outcome — must be identical,
-//! per ring, in program order.
+//! The comparison projects each ring through [`chaos::determinism_token`],
+//! which documents exactly what may legitimately vary between runs of the
+//! same seed (intent landing position, drain window) and is shared with
+//! the dual-engine equivalence suite.
 
-use chaos::{run_case_traced, ChaosCase, Workload};
-use mana_core::obs::{self, EventKind, TraceEvent, COORD_ACTOR};
+use chaos::{case_token_rings, run_case_traced, ChaosCase, Workload};
+use mana_core::obs;
 use mana_core::DrainMode;
 use mpisim::{FaultPlan, FaultSpec};
 use std::sync::Arc;
-
-/// Project one event to its determinism token; `None` drops it from the
-/// comparison (user traffic, barrier arrivals).
-fn token(ev: &TraceEvent) -> Option<String> {
-    match &ev.kind {
-        EventKind::Begin(p) | EventKind::End(p) if p.name() == "drain" => None,
-        EventKind::DrainCapture { .. } => None,
-        EventKind::Begin(p) if p.name() == "emu_collective" || p.name() == "tpc_barrier" => None,
-        EventKind::End(p) if p.name() == "emu_collective" || p.name() == "tpc_barrier" => None,
-        EventKind::Begin(p) => Some(format!("begin:{}", p.name())),
-        EventKind::End(p) => Some(format!("end:{}", p.name())),
-        EventKind::StoreAttempt { attempt, ok, .. } => {
-            Some(format!("store_attempt:{attempt}:{ok}"))
-        }
-        EventKind::StoreWrite { retries, .. } => Some(format!("store_write:{retries}")),
-        EventKind::StoreFault { fault } => Some(format!("store_fault:{}", fault.name())),
-        EventKind::FaultFired { fault } => Some(format!("fault_fired:{}", fault.name())),
-        _ => None,
-    }
-}
-
-/// Ring → token sequence.
-fn ring_tokens(events: &[TraceEvent]) -> Vec<String> {
-    events.iter().filter_map(token).collect()
-}
 
 fn run_once(case: &ChaosCase, plan: &Arc<FaultPlan>) -> Vec<(i32, Vec<String>)> {
     // Generous capacity: an overwrite boundary would itself be
@@ -53,11 +18,7 @@ fn run_once(case: &ChaosCase, plan: &Arc<FaultPlan>) -> Vec<(i32, Vec<String>)> 
     let sink = obs::TraceSink::wall(case.ranks, 16384);
     run_case_traced(case, plan.clone(), &sink).expect("quiet-plan case passes");
     assert_eq!(sink.dropped(), 0, "ring overwrote events; raise capacity");
-    let mut rings = Vec::new();
-    for actor in std::iter::once(COORD_ACTOR).chain(0..case.ranks as i32) {
-        rings.push((actor, ring_tokens(&sink.ring_events(actor))));
-    }
-    rings
+    case_token_rings(&sink, case.ranks)
 }
 
 #[test]

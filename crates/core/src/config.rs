@@ -69,7 +69,10 @@ pub struct ManaConfig {
     /// How many committed checkpoint generations to keep (floor 1). Older
     /// generations are garbage-collected after each committed round.
     pub retain_generations: usize,
-    /// Park slice used in MANA test loops.
+    /// Ceiling on a single park in MANA's test loops. Wakeups are
+    /// event-driven — message deposits and coordinator traffic unpark the
+    /// rank through the engine's parker — so this only bounds the latency
+    /// of a (hypothetical) lost wakeup, not the progress cadence.
     pub poll_interval: Duration,
     /// Enable the tools-interface deadlock detector (paper conclusion's
     /// proposed component): if every rank is blocked and no progress
@@ -103,7 +106,7 @@ impl Default for ManaConfig {
             exit_after_ckpt: false,
             ckpt_dir: std::env::temp_dir().join("mana2_ckpt"),
             retain_generations: 2,
-            poll_interval: Duration::from_micros(500),
+            poll_interval: Duration::from_millis(5),
             deadlock_timeout: None,
             fault: None,
             trace: None,

@@ -14,7 +14,8 @@
 //! (Ready/Go, Done/Resume), while `DrainMode::Coordinator` adds rounds of
 //! count reports.
 
-use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use mpisim::{ParkerRef, UnparkerRef};
 use splitproc::store;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -130,6 +131,12 @@ pub struct CoordHandle {
     /// Flight recorder for this rank (records fault-plan firings on the
     /// control channel).
     rec: Option<obs::Recorder>,
+    /// The rank's engine parker, attached by the runtime once the rank's
+    /// `Proc` exists. When set, every blocking point on the control
+    /// channel (receive waits, injected stalls) parks through the engine
+    /// instead of sleeping — under the coop engine this releases the run
+    /// token so other ranks make progress during a quiesce.
+    parker: Option<ParkerRef>,
 }
 
 impl CoordHandle {
@@ -149,6 +156,33 @@ impl CoordHandle {
         self.rank
     }
 
+    /// Route this handle's blocking points through the rank's engine
+    /// parker. Called by the runtime as soon as the rank's `Proc` exists.
+    pub fn attach_parker(&mut self, parker: ParkerRef) {
+        self.parker = Some(parker);
+    }
+
+    /// Block this rank for `d` of wall time without holding its run token:
+    /// parks on the engine parker in a deadline loop (early wakes from
+    /// banked unparks just re-park), falling back to a plain sleep when no
+    /// parker is attached. Used for injected stalls (coordinator-channel
+    /// delay, ready-stall) so fault injection cannot wedge the coop
+    /// engine's worker pool.
+    pub fn stall(&self, d: Duration) {
+        let Some(p) = &self.parker else {
+            std::thread::sleep(d);
+            return;
+        };
+        let deadline = Instant::now() + d;
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return;
+            }
+            p.park(deadline - now);
+        }
+    }
+
     /// Send a message to the coordinator. Under a fault plan, a seeded
     /// subset of messages is delayed first — modelling a slow control
     /// network between a rank and the DMTCP-style coordinator, which
@@ -166,7 +200,7 @@ impl CoordHandle {
                         },
                     );
                 }
-                std::thread::sleep(d);
+                self.stall(d);
             }
         }
         self.to_coord
@@ -174,16 +208,28 @@ impl CoordHandle {
             .map_err(|_| crate::error::ManaError::CoordinatorGone)
     }
 
-    /// Blocking receive of the next coordinator message, with a poison-safe
-    /// timeout loop.
+    /// Blocking receive of the next coordinator message. With a parker
+    /// attached the wait is event-driven: the coordinator unparks the rank
+    /// after every message it sends, and the 50 ms cap is only a safety
+    /// net. Without one (unit tests driving the protocol on bare OS
+    /// threads) it degrades to a plain timeout loop.
     pub fn recv(&self) -> crate::error::Result<CoordMsg> {
         loop {
-            match self.from_coord.recv_timeout(Duration::from_millis(50)) {
-                Ok(m) => return Ok(m),
-                Err(RecvTimeoutError::Timeout) => continue,
-                Err(RecvTimeoutError::Disconnected) => {
-                    return Err(crate::error::ManaError::CoordinatorGone)
-                }
+            match &self.parker {
+                Some(p) => match self.from_coord.try_recv() {
+                    Ok(m) => return Ok(m),
+                    Err(TryRecvError::Empty) => p.park(Duration::from_millis(50)),
+                    Err(TryRecvError::Disconnected) => {
+                        return Err(crate::error::ManaError::CoordinatorGone)
+                    }
+                },
+                None => match self.from_coord.recv_timeout(Duration::from_millis(50)) {
+                    Ok(m) => return Ok(m),
+                    Err(RecvTimeoutError::Timeout) => continue,
+                    Err(RecvTimeoutError::Disconnected) => {
+                        return Err(crate::error::ManaError::CoordinatorGone)
+                    }
+                },
             }
         }
     }
@@ -263,7 +309,25 @@ pub fn spawn_coordinator(
     CkptTrigger,
     std::thread::JoinHandle<CoordReport>,
 ) {
-    spawn_coordinator_ext(n, exit_after_ckpt, None, None, None, 0, None)
+    spawn_coordinator_ext(n, exit_after_ckpt, None, None, None, 0, None, None)
+}
+
+/// The coordinator's outbound port to one rank: a bounded channel plus the
+/// rank's engine unparker. Every send is followed by an unpark so a rank
+/// parked in [`CoordHandle::recv`] (or in a scheduling park between
+/// wrapper calls) wakes promptly instead of waiting out its timeout.
+struct RankPort {
+    tx: Sender<CoordMsg>,
+    waker: Option<UnparkerRef>,
+}
+
+impl RankPort {
+    fn send(&self, msg: CoordMsg) {
+        let _ = self.tx.send(msg);
+        if let Some(w) = &self.waker {
+            w.unpark();
+        }
+    }
 }
 
 /// [`spawn_coordinator`] with fault injection, a commit-time invariant
@@ -275,6 +339,12 @@ pub fn spawn_coordinator(
 /// coordinator records its own quiesce/write/commit spans into the
 /// sink's coordinator ring ([`obs::COORD_ACTOR`]) and each handle
 /// records control-channel fault firings into its rank's ring.
+///
+/// `wakers` carries one engine unparker per rank (from
+/// [`mpisim::World::unparkers`]); the coordinator unparks a rank after
+/// every message to it and unparks all ranks when it raises checkpoint
+/// intent, so engine-parked ranks notice control traffic promptly.
+#[allow(clippy::too_many_arguments)]
 pub fn spawn_coordinator_ext(
     n: usize,
     exit_after_ckpt: bool,
@@ -283,19 +353,26 @@ pub fn spawn_coordinator_ext(
     ckpt_store: Option<CoordStore>,
     initial_round: u64,
     trace: Option<Arc<obs::TraceSink>>,
+    wakers: Option<Vec<UnparkerRef>>,
 ) -> (
     Vec<CoordHandle>,
     CkptTrigger,
     std::thread::JoinHandle<CoordReport>,
 ) {
+    if let Some(w) = &wakers {
+        assert_eq!(w.len(), n, "need one waker per rank");
+    }
     let (to_coord, from_ranks) = unbounded::<RankMsg>();
     let intent = Arc::new(AtomicBool::new(false));
     let round = Arc::new(AtomicU64::new(initial_round));
     let mut handles = Vec::with_capacity(n);
-    let mut rank_txs = Vec::with_capacity(n);
+    let mut ports = Vec::with_capacity(n);
     for rank in 0..n {
         let (tx, rx) = bounded::<CoordMsg>(8);
-        rank_txs.push(tx);
+        ports.push(RankPort {
+            tx,
+            waker: wakers.as_ref().map(|w| w[rank].clone()),
+        });
         handles.push(CoordHandle {
             rank,
             intent: intent.clone(),
@@ -305,6 +382,7 @@ pub fn spawn_coordinator_ext(
             fault: fault.clone(),
             sent_msgs: Arc::new(AtomicU64::new(0)),
             rec: trace.as_ref().map(|s| s.recorder(rank as i32)),
+            parker: None,
         });
     }
     let trigger = CkptTrigger {
@@ -320,7 +398,7 @@ pub fn spawn_coordinator_ext(
                 intent,
                 round,
                 from_ranks,
-                rank_txs,
+                ports,
                 commit_check,
                 ckpt_store,
                 coord_rec,
@@ -337,7 +415,7 @@ fn coordinator_loop(
     intent: Arc<AtomicBool>,
     round_ctr: Arc<AtomicU64>,
     from_ranks: Receiver<RankMsg>,
-    rank_txs: Vec<Sender<CoordMsg>>,
+    ports: Vec<RankPort>,
     commit_check: Option<CommitCheck>,
     ckpt_store: Option<CoordStore>,
     rec: Option<obs::Recorder>,
@@ -357,7 +435,7 @@ fn coordinator_loop(
             RankMsg::Finishing { rank } => {
                 finished[rank] = true;
                 finished_count += 1;
-                let _ = rank_txs[rank].send(CoordMsg::FinishAck);
+                ports[rank].send(CoordMsg::FinishAck);
             }
             RankMsg::RequestCkpt => {
                 if finished_count > 0 || exited {
@@ -372,6 +450,14 @@ fn coordinator_loop(
                 let t0 = Instant::now();
                 let mut msgs = 0u64;
                 intent.store(true, Ordering::Release);
+                // Kick every rank: one parked between wrapper calls would
+                // otherwise only notice the raised intent when its park
+                // timeout expires.
+                for port in &ports {
+                    if let Some(w) = &port.waker {
+                        w.unpark();
+                    }
+                }
                 if let Some(r) = &rec {
                     r.begin(round as i64, obs::Phase::Intent);
                 }
@@ -418,8 +504,8 @@ fn coordinator_loop(
                 }
 
                 // Phase 2: release the drain.
-                for tx in &rank_txs {
-                    let _ = tx.send(CoordMsg::Go { round });
+                for port in &ports {
+                    port.send(CoordMsg::Go { round });
                     msgs += 1;
                 }
 
@@ -441,8 +527,8 @@ fn coordinator_loop(
                                 let s: u64 = drain_reports.iter().map(|r| r.0).sum();
                                 let r: u64 = drain_reports.iter().map(|r| r.1).sum();
                                 let balanced = s == r;
-                                for tx in &rank_txs {
-                                    let _ = tx.send(CoordMsg::DrainVerdict { balanced });
+                                for port in &ports {
+                                    port.send(CoordMsg::DrainVerdict { balanced });
                                     msgs += 1;
                                 }
                                 drain_reports.clear();
@@ -522,8 +608,8 @@ fn coordinator_loop(
                     }
                     intent.store(false, Ordering::Release);
                     round_ctr.store(round + 1, Ordering::Release);
-                    for tx in &rank_txs {
-                        let _ = tx.send(CoordMsg::AbortRound { round });
+                    for port in &ports {
+                        port.send(CoordMsg::AbortRound { round });
                     }
                     if std::env::var("MANA2_DEBUG").is_ok() {
                         eprintln!("mana2: coordinator aborted round {round}: {failures:?}");
@@ -558,8 +644,8 @@ fn coordinator_loop(
                 } else {
                     CoordMsg::Resume
                 };
-                for tx in &rank_txs {
-                    let _ = tx.send(fin);
+                for port in &ports {
+                    port.send(fin);
                     msgs += 1;
                 }
                 report.rounds.push(CkptRoundStats {
@@ -763,7 +849,7 @@ mod tests {
         let check: CommitCheck =
             Box::new(|round| Err(format!("synthetic violation in round {round}")));
         let (handles, trigger, join) =
-            spawn_coordinator_ext(n, false, None, Some(check), None, 0, None);
+            spawn_coordinator_ext(n, false, None, Some(check), None, 0, None, None);
         trigger.checkpoint();
         let threads: Vec<_> = handles
             .into_iter()
@@ -891,6 +977,7 @@ mod tests {
                 retain: 2,
             }),
             0,
+            None,
             None,
         );
         trigger.checkpoint();

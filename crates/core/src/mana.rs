@@ -63,6 +63,35 @@ pub struct ManaStats {
 }
 
 impl ManaStats {
+    /// The schedule-invariant projection of these stats: counters that are
+    /// a pure function of the program and the seeded fault plan, not of
+    /// thread interleaving or wall-clock timing. The dual-engine
+    /// equivalence suite demands these match across execution engines.
+    ///
+    /// Excluded as timing-coupled: `wrapper_calls` (poll-style wrappers
+    /// such as `test`/`probe` may run a timing-dependent number of times),
+    /// the drain counters (`drained_msgs`/`drained_bytes`/`drain_sweeps*`
+    /// depend on what happened to be in flight), `fs_switch_ns`, and
+    /// `lh_jumps`.
+    ///
+    /// Note for checkpoint-and-exit runs: *where* the checkpoint lands in
+    /// a non-trigger rank's call stream is itself schedule-dependent, so
+    /// only the *sum* of this projection across the checkpoint leg and the
+    /// restart leg is invariant, not each leg alone.
+    pub fn schedule_invariant(&self) -> [(&'static str, u64); 9] {
+        [
+            ("sends", self.sends),
+            ("recvs", self.recvs),
+            ("collectives", self.collectives),
+            ("emu_collectives", self.emu_collectives),
+            ("tpc_barriers", self.tpc_barriers),
+            ("ckpts", self.ckpts),
+            ("ckpt_aborts", self.ckpt_aborts),
+            ("restored_comms", self.restored_comms),
+            ("replayed_calls", self.replayed_calls),
+        ]
+    }
+
     /// Serialize as a JSON object (hand-rolled — this repo carries no
     /// serde). `drain_sweeps_by_round` becomes an array of
     /// `{"round":r,"sweeps":s}` objects.
@@ -740,7 +769,9 @@ impl<'p> Mana<'p> {
         self.coord.request_checkpoint()?;
         let deadline = std::time::Instant::now() + Duration::from_secs(5);
         while !self.coord.intent() && std::time::Instant::now() < deadline {
-            self.lh.sched_park(Duration::from_micros(200))?;
+            // The coordinator unparks every rank when it raises intent, so
+            // this park is event-driven, not a fixed-cadence poll.
+            self.lh.sched_park(self.cfg.poll_interval)?;
         }
         Ok(())
     }

@@ -138,9 +138,11 @@ impl<'p> Mana<'p> {
             r.begin(intent_round, Phase::Intent);
         }
         let res = (|| {
-            // Fault-plan ready stall: the chosen straggler sleeps inside
+            // Fault-plan ready stall: the chosen straggler stalls inside
             // the intent window, stretching the coordinator's quiesce the
-            // way a slow rank would at scale (§III-J pressure).
+            // way a slow rank would at scale (§III-J pressure). Stalling
+            // goes through the engine parker (CoordHandle::stall) so a
+            // coop worker slot is not held hostage for the duration.
             if let Some(d) = self
                 .cfg
                 .fault
@@ -155,7 +157,7 @@ impl<'p> Mana<'p> {
                         },
                     );
                 }
-                std::thread::sleep(d);
+                self.coord.stall(d);
             }
             self.coord.send(RankMsg::Ready {
                 rank: self.rank(),

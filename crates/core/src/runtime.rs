@@ -139,6 +139,13 @@ impl ManaRuntime {
         self
     }
 
+    /// Select the execution engine for the world (overrides the
+    /// `MANA2_ENGINE` default picked up by [`WorldCfg::default`]).
+    pub fn with_engine(mut self, engine: mpisim::EngineKind) -> Self {
+        self.world_cfg.engine = engine;
+        self
+    }
+
     /// Number of ranks.
     pub fn size(&self) -> usize {
         self.n
@@ -272,6 +279,9 @@ impl ManaRuntime {
             // directory of a previously committed round.
             restored_round.map(|r| r + 1).unwrap_or(0),
             self.cfg.trace.clone(),
+            // Engine unparkers: the coordinator wakes ranks out of engine
+            // parks on every control message and on intent raise.
+            Some(world.unparkers()),
         );
         let driver_join = driver.map(|d| {
             let t = trigger.clone();
@@ -328,7 +338,11 @@ impl ManaRuntime {
         let handles_ref = &handles;
         let selected_ref = &selected;
         let launched = world.launch(move |proc| -> Result<(AppOutcome<T>, ManaStats)> {
-            let coord = handles_ref[proc.rank()].clone();
+            let mut coord = handles_ref[proc.rank()].clone();
+            // Route the control channel's blocking points through the
+            // rank's engine parker: under the coop engine a rank waiting
+            // on the coordinator must release its run token.
+            coord.attach_parker(proc.parker());
             let mut mana = if let Some(sel) = selected_ref {
                 let image = CkptImage::read_from_dir(&sel.dir, proc.rank())?;
                 Mana::restore(proc, cfg.clone(), coord, &image)?

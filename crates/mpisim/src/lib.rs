@@ -55,6 +55,7 @@ mod collective;
 mod comm;
 mod costmodel;
 mod datatype;
+mod engine;
 mod envelope;
 mod error;
 mod fault;
@@ -74,6 +75,7 @@ pub use collective::{frame_chunks, unframe_chunks};
 pub use comm::{Comm, CommRegistry};
 pub use costmodel::{spin_ns, MachineProfile};
 pub use datatype::{decode_slice, encode_slice, Datatype, Scalar};
+pub use engine::{CoopCfg, EngineKind, Parker, ParkerRef, Unparker, UnparkerRef};
 pub use envelope::{Envelope, MatchSpec, MsgClass, SrcSel, TagSel, INTERNAL_TAG_BIT, MAX_USER_TAG};
 pub use error::{MpiError, Result};
 pub use fault::{FaultPlan, FaultSpec, Perturb, StorageFault, StorageFaultKind, StorageFaultSpec};

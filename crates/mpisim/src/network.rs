@@ -1,5 +1,5 @@
-//! The simulated network fabric: per-rank mailboxes with condition-variable
-//! wakeups and explicit in-flight accounting.
+//! The simulated network fabric: per-rank mailboxes with engine-supplied
+//! parker wakeups and explicit in-flight accounting.
 //!
 //! A message deposited by a send stays in its destination mailbox until a
 //! matching receive removes it. [`Network::in_flight`] therefore reports
@@ -11,9 +11,9 @@
 //! parked in a per-destination *limbo* buffer instead of being queued
 //! immediately. Limbo'd envelopes are still in flight (the drain algorithm
 //! must account for them) but are invisible to matching until released.
-//! Release happens whenever the destination mailbox is locked — receives
-//! re-lock at least every `PARK_SLICE`, so a held envelope is delivered
-//! within one poll slice of its deadline.
+//! Release happens whenever the destination mailbox is locked — under a
+//! fault plan every park is capped at `FAULT_PUMP_SLICE` and re-locks on
+//! wake, so a held envelope is delivered within one slice of its deadline.
 //!
 //! Matching scans the mailbox queue in arrival order and never consults
 //! the per-pair sequence number, so MPI's non-overtaking guarantee rests
@@ -22,13 +22,20 @@
 //! always held behind it, and the release scan walks entries in insertion
 //! order, skipping every source that still has an earlier held entry.
 
+use crate::engine::{self, ParkerRef, UnparkerRef};
 use crate::envelope::{Envelope, MsgClass};
 use crate::fault::{FaultPlan, Perturb};
 use crate::trace::TraceHookRef;
-use parking_lot::{Condvar, Mutex, MutexGuard};
+use parking_lot::{Mutex, MutexGuard};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Upper bound on any single park while a fault plan is active. Limbo
+/// deadlines are wall-clock and are only pumped when the destination
+/// mailbox is locked, so a receiver must re-lock at least this often for
+/// a held envelope to be delivered within a slice of its deadline.
+const FAULT_PUMP_SLICE: Duration = Duration::from_millis(2);
 
 /// One rank's incoming message queue. Arrival order is preserved; matching
 /// scans in arrival order, which combined with per-(src,dst) sequencing
@@ -57,10 +64,13 @@ struct LimboEntry {
 }
 
 /// The fabric shared by all ranks of a world.
-#[derive(Debug)]
 pub struct Network {
     boxes: Vec<Mutex<Mailbox>>,
-    cvs: Vec<Condvar>,
+    /// Per-rank blocking primitives, supplied by the execution engine.
+    /// `parkers[dst]` is only ever used by rank `dst` itself; any thread
+    /// may call `unparkers[dst]`.
+    parkers: Vec<ParkerRef>,
+    unparkers: Vec<UnparkerRef>,
     /// Per-destination limbo for fault-held envelopes. Lock order is
     /// always mailbox → limbo.
     limbo: Vec<Mutex<Vec<LimboEntry>>>,
@@ -83,15 +93,30 @@ impl Network {
         Self::with_fault_and_trace(n, fault, None)
     }
 
-    /// Fabric for `n` ranks with a fault plan and/or a trace hook.
+    /// Fabric for `n` ranks with a fault plan and/or a trace hook, using
+    /// standalone per-rank parkers (equivalent to the thread engine's).
     pub fn with_fault_and_trace(
         n: usize,
         fault: Option<Arc<FaultPlan>>,
         trace: Option<TraceHookRef>,
     ) -> Self {
+        Self::with_engine(n, fault, trace, engine::default_parkers(n))
+    }
+
+    /// Fabric for `n` ranks whose blocking primitives are supplied by an
+    /// execution engine — one `(Parker, Unparker)` pair per rank.
+    pub fn with_engine(
+        n: usize,
+        fault: Option<Arc<FaultPlan>>,
+        trace: Option<TraceHookRef>,
+        pairs: Vec<(ParkerRef, UnparkerRef)>,
+    ) -> Self {
+        assert_eq!(pairs.len(), n, "engine must supply one parker per rank");
+        let (parkers, unparkers) = pairs.into_iter().unzip();
         Network {
             boxes: (0..n).map(|_| Mutex::new(Mailbox::default())).collect(),
-            cvs: (0..n).map(|_| Condvar::new()).collect(),
+            parkers,
+            unparkers,
             limbo: (0..n).map(|_| Mutex::new(Vec::new())).collect(),
             fault,
             trace,
@@ -110,6 +135,19 @@ impl Network {
     /// The active fault plan, if any.
     pub fn fault(&self) -> Option<&Arc<FaultPlan>> {
         self.fault.as_ref()
+    }
+
+    /// Rank `rank`'s parker — the handle that rank blocks on. Only the
+    /// rank's own thread of execution may park on it.
+    pub fn parker(&self, rank: usize) -> ParkerRef {
+        self.parkers[rank].clone()
+    }
+
+    /// The handle that wakes rank `rank` out of a park. Safe to call from
+    /// any thread; an unpark with no parked waiter is banked for the next
+    /// park.
+    pub fn unparker(&self, rank: usize) -> UnparkerRef {
+        self.unparkers[rank].clone()
     }
 
     /// Deposit a message into its destination mailbox and wake the receiver.
@@ -158,7 +196,7 @@ impl Network {
                     drop(limbo);
                     drop(mb);
                     if released_held {
-                        self.cvs[dst].notify_all();
+                        self.unparkers[dst].unpark();
                     }
                     return;
                 }
@@ -169,7 +207,7 @@ impl Network {
         mb.arrivals += 1;
         drop(mb);
         let _ = released_held;
-        self.cvs[dst].notify_all();
+        self.unparkers[dst].unpark();
     }
 
     /// Lock rank `dst`'s mailbox for matching. Under a fault plan this is
@@ -234,20 +272,39 @@ impl Network {
         }
     }
 
-    /// Block on rank `dst`'s mailbox condvar until new mail (or a poison
-    /// notification) arrives, or `timeout` elapses. The caller re-checks its
-    /// predicate after return — the wait carries no payload information.
+    /// Park rank `dst` until new mail (or a poison notification) arrives,
+    /// or `timeout` elapses, then re-lock and return its mailbox. The caller
+    /// re-checks its predicate on the returned guard — the wait carries no
+    /// payload information, and spurious wakeups are allowed.
     ///
-    /// A poisoned fabric returns immediately instead of parking: the caller
-    /// holds the mailbox lock while this check runs, and [`Network::poison`]
-    /// takes that same lock before notifying, so a waiter either sees the
-    /// flag here or is already parked when the notification lands — the
-    /// wakeup cannot be lost between check and park.
-    pub fn wait_on(&self, dst: usize, guard: &mut MutexGuard<'_, Mailbox>, timeout: Duration) {
+    /// The caller passes in the mailbox guard it checked its predicate
+    /// under. Parkers have token semantics: [`Network::deposit`] and
+    /// [`Network::poison`] unpark *after* making their state visible under
+    /// the mailbox lock, so any wakeup racing with the guard drop here is
+    /// banked and consumed by the park — the wakeup cannot be lost between
+    /// check and park.
+    ///
+    /// A poisoned fabric returns without parking. Under a fault plan the
+    /// park is capped at [`FAULT_PUMP_SLICE`] so wall-clock limbo deadlines
+    /// are pumped promptly (the re-lock goes through [`Network::lock_box`],
+    /// which flushes due limbo entries).
+    pub fn wait_on<'a>(
+        &'a self,
+        dst: usize,
+        guard: MutexGuard<'a, Mailbox>,
+        timeout: Duration,
+    ) -> MutexGuard<'a, Mailbox> {
         if self.is_poisoned() {
-            return;
+            return guard;
         }
-        self.cvs[dst].wait_for(guard, timeout);
+        let timeout = if self.fault.is_some() {
+            timeout.min(FAULT_PUMP_SLICE)
+        } else {
+            timeout
+        };
+        drop(guard);
+        self.parkers[dst].park(timeout);
+        self.lock_box(dst)
     }
 
     /// (messages, bytes) currently in the network — sent but not received,
@@ -316,13 +373,24 @@ impl Network {
             let mut mb = self.boxes[dst].lock();
             self.flush_limbo_locked(dst, &mut mb, true);
             drop(mb);
-            self.cvs[dst].notify_all();
+            self.unparkers[dst].unpark();
         }
     }
 
     /// Has the world been poisoned?
     pub fn is_poisoned(&self) -> bool {
         self.poisoned.load(Ordering::SeqCst)
+    }
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network")
+            .field("n", &self.boxes.len())
+            .field("fault", &self.fault)
+            .field("in_flight", &self.in_flight())
+            .field("poisoned", &self.is_poisoned())
+            .finish_non_exhaustive()
     }
 }
 
@@ -391,7 +459,7 @@ mod tests {
             let mut guard = n2.lock_box(1);
             let mut spins = 0;
             while guard.queue.is_empty() {
-                n2.wait_on(1, &mut guard, Duration::from_millis(500));
+                guard = n2.wait_on(1, guard, Duration::from_millis(500));
                 spins += 1;
                 if spins > 20 {
                     panic!("never woken");
@@ -414,7 +482,7 @@ mod tests {
             let start = Instant::now();
             let mut guard = n2.lock_box(0);
             while guard.queue.is_empty() && !n2.is_poisoned() {
-                n2.wait_on(0, &mut guard, Duration::from_secs(30));
+                guard = n2.wait_on(0, guard, Duration::from_secs(30));
             }
             start.elapsed()
         });
@@ -433,9 +501,9 @@ mod tests {
     fn wait_on_after_poison_returns_immediately() {
         let net = Network::new(1);
         net.poison();
-        let mut guard = net.lock_box(0);
+        let guard = net.lock_box(0);
         let start = Instant::now();
-        net.wait_on(0, &mut guard, Duration::from_secs(30));
+        let _guard = net.wait_on(0, guard, Duration::from_secs(30));
         assert!(start.elapsed() < Duration::from_secs(1));
     }
 

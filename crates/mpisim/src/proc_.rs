@@ -23,9 +23,15 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// How long a blocking call parks between progress sweeps. Wakeups arrive
-/// via the mailbox condvar, so this only bounds poison/watchdog latency.
-const PARK_SLICE: Duration = Duration::from_millis(2);
+/// Ceiling on a single park when a watchdog is armed: the deadline is
+/// checked by the parked rank itself, so every blocked call must wake at
+/// least this often to notice it.
+const WATCHDOG_SLICE: Duration = Duration::from_millis(10);
+
+/// Ceiling on a single park otherwise. All state-changing wakeups are
+/// event-driven (deposits and poison unpark the rank through the engine's
+/// parker), so this is purely a safety net against a lost wakeup bug.
+const SAFETY_SLICE: Duration = Duration::from_millis(100);
 
 /// Handle owned by one rank's thread. Not `Sync`: each rank drives its own
 /// requests (matching `MPI_THREAD_FUNNELED`, the model MANA-2.0 targets —
@@ -306,6 +312,17 @@ impl Proc {
         }
     }
 
+    /// Longest a blocking call may park between liveness checks. Under a
+    /// fault plan the network caps parks tighter still (limbo deadlines
+    /// are wall-clock and pumped on mailbox locks).
+    fn liveness_slice(&self) -> Duration {
+        if self.fabric.deadline.is_some() {
+            WATCHDOG_SLICE
+        } else {
+            SAFETY_SLICE
+        }
+    }
+
     fn check_alive(&self) -> Result<()> {
         if self.fabric.net.is_poisoned() {
             return Err(MpiError::Poisoned);
@@ -403,7 +420,10 @@ impl Proc {
             };
             self.check_alive()?;
             self.fabric.tools.set_blocked(self.rank, kind);
-            self.fabric.net.wait_on(self.rank, &mut mb, PARK_SLICE);
+            let mb = self
+                .fabric
+                .net
+                .wait_on(self.rank, mb, self.liveness_slice());
             self.fabric.tools.clear_blocked(self.rank);
             drop(mb);
             self.check_alive()?;
@@ -462,7 +482,7 @@ impl Proc {
             if let Some(s) = self.iprobe(comm, src, tag)? {
                 return Ok(s);
             }
-            self.park(PARK_SLICE)?;
+            self.park(self.liveness_slice())?;
         }
     }
 
@@ -484,11 +504,13 @@ impl Proc {
 
     // ---- scheduling helpers --------------------------------------------
 
-    /// Park until new mail arrives or `timeout` elapses; returns
-    /// immediately if the mailbox is non-empty. Used by MANA's test loops.
+    /// Park until new mail arrives or `timeout` elapses (capped at the
+    /// liveness slice); returns immediately on mail that arrived since the
+    /// last park. Spurious early returns are allowed — callers re-check
+    /// their predicate in a loop. Used by MANA's test loops.
     pub fn park(&self, timeout: Duration) -> Result<()> {
         self.check_alive()?;
-        let mut mb = self.fabric.net.lock_box(self.rank);
+        let mb = self.fabric.net.lock_box(self.rank);
         // Return immediately only on *new* mail since the last park — a
         // stale unmatched envelope must not turn the caller's poll loop
         // into a busy spin.
@@ -497,7 +519,10 @@ impl Proc {
             return Ok(());
         }
         self.fabric.tools.set_blocked(self.rank, BlockKind::Park);
-        self.fabric.net.wait_on(self.rank, &mut mb, timeout);
+        let mb = self
+            .fabric
+            .net
+            .wait_on(self.rank, mb, timeout.min(self.liveness_slice()));
         self.fabric.tools.clear_blocked(self.rank);
         self.seen_arrivals.set(mb.arrivals);
         drop(mb);
@@ -507,6 +532,14 @@ impl Proc {
     /// Simulate `units` of application compute under the machine profile.
     pub fn compute(&self, units: u64) {
         spin_ns(self.fabric.cfg.profile.compute_ns(units));
+    }
+
+    /// This rank's engine parker. Components that block a rank outside the
+    /// fabric (MANA's coordinator channel) park on this instead of
+    /// sleeping, so the engine sees the block site and — under the coop
+    /// engine — can hand the run token to another rank meanwhile.
+    pub fn parker(&self) -> crate::engine::ParkerRef {
+        self.fabric.net.parker(self.rank)
     }
 
     /// Is the world poisoned (peer panic or watchdog)?
@@ -575,7 +608,7 @@ impl Proc {
                     return Ok((i, c));
                 }
             }
-            self.park(PARK_SLICE)?;
+            self.park(self.liveness_slice())?;
         }
     }
 

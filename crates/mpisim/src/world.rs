@@ -7,12 +7,14 @@
 
 use crate::comm::CommRegistry;
 use crate::costmodel::MachineProfile;
+use crate::engine::{Engine, EngineKind, ParkerRef, UnparkerRef};
 use crate::error::MpiError;
 use crate::network::Network;
 use crate::onesided::WinRegistry;
 use crate::proc_::Proc;
 use crate::stats::{StatsSnapshot, WorldStats};
 use crate::tools::{RankActivity, ToolsState};
+use parking_lot::Mutex;
 use std::fmt;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -28,8 +30,13 @@ pub struct WorldCfg {
     /// deadlock scenarios set it.
     pub watchdog: Option<Duration>,
     /// Stack size per rank thread. Ranks are plentiful and mostly blocked,
-    /// so the default is small (512 KiB).
+    /// so the default is small (512 KiB). **Thread-engine-only**: the coop
+    /// engine sizes its own (smaller) stacks and ignores this knob.
     pub stack_size: usize,
+    /// Which execution engine runs the ranks. The default is taken from
+    /// the `MANA2_ENGINE` environment variable ([`EngineKind::from_env`]),
+    /// falling back to [`EngineKind::Thread`].
+    pub engine: EngineKind,
     /// Seed for any randomized behaviour in workloads (plumbed through,
     /// unused by the runtime itself).
     pub seed: u64,
@@ -47,6 +54,7 @@ impl Default for WorldCfg {
             profile: MachineProfile::zero(),
             watchdog: None,
             stack_size: 512 * 1024,
+            engine: EngineKind::from_env(),
             seed: 0,
             fault: None,
             trace: None,
@@ -90,17 +98,24 @@ impl std::error::Error for WorldError {}
 /// A simulated MPI world.
 pub struct World {
     fabric: Arc<Fabric>,
+    engine: Arc<dyn Engine>,
 }
 
 impl World {
-    /// Build a world of `n` ranks (threads are spawned by [`World::launch`]).
+    /// Build a world of `n` ranks (execution starts at [`World::launch`]).
     pub fn new(n: usize, cfg: WorldCfg) -> World {
         assert!(n > 0, "world must have at least one rank");
         let deadline = cfg.watchdog.map(|d| Instant::now() + d);
+        let engine = cfg.engine.build(n);
         World {
             fabric: Arc::new(Fabric {
                 n,
-                net: Network::with_fault_and_trace(n, cfg.fault.clone(), cfg.trace.clone()),
+                net: Network::with_engine(
+                    n,
+                    cfg.fault.clone(),
+                    cfg.trace.clone(),
+                    engine.parkers(n),
+                ),
                 comms: CommRegistry::new(n),
                 wins: WinRegistry::new(),
                 stats: WorldStats::new(n),
@@ -108,7 +123,28 @@ impl World {
                 deadline,
                 cfg,
             }),
+            engine,
         }
+    }
+
+    /// Name of the engine executing this world's ranks.
+    pub fn engine_name(&self) -> &'static str {
+        self.engine.name()
+    }
+
+    /// Rank `rank`'s parker — the blocking primitive its own thread of
+    /// execution uses. External components (the MANA coordinator) hand
+    /// this to the rank so *all* its waits route through the engine.
+    pub fn parker(&self, rank: usize) -> ParkerRef {
+        self.fabric.net.parker(rank)
+    }
+
+    /// One unparker per rank, for external components that need to wake
+    /// ranks out of parks (the coordinator on message delivery / intent).
+    pub fn unparkers(&self) -> Vec<UnparkerRef> {
+        (0..self.fabric.n)
+            .map(|r| self.fabric.net.unparker(r))
+            .collect()
     }
 
     /// Number of ranks.
@@ -128,37 +164,23 @@ impl World {
         F: Fn(&mut Proc) -> T + Send + Sync,
     {
         let fabric = &self.fabric;
-        let f = &f;
-        let results: Vec<std::thread::Result<T>> = std::thread::scope(|s| {
-            let handles: Vec<_> = (0..fabric.n)
-                .map(|rank| {
-                    let fab = Arc::clone(fabric);
-                    std::thread::Builder::new()
-                        .name(format!("rank-{rank}"))
-                        .stack_size(fabric.cfg.stack_size)
-                        .spawn_scoped(s, move || {
-                            let mut proc = Proc::new(rank, fab.clone());
-                            let out =
-                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                    f(&mut proc)
-                                }));
-                            if out.is_err() {
-                                fab.net.poison();
-                            }
-                            out
-                        })
-                        .expect("failed to spawn rank thread")
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("rank thread join failed"))
-                .collect()
-        });
+        // Engines run plain `Fn(usize)` bodies; per-rank results come back
+        // through slots so the same body shape works for both substrates.
+        let slots: Vec<Mutex<Option<std::thread::Result<T>>>> =
+            (0..fabric.n).map(|_| Mutex::new(None)).collect();
+        let body = |rank: usize| {
+            let mut proc = Proc::new(rank, Arc::clone(fabric));
+            let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut proc)));
+            if out.is_err() {
+                fabric.net.poison();
+            }
+            *slots[rank].lock() = Some(out);
+        };
+        self.engine.run(fabric.n, fabric.cfg.stack_size, &body);
         let mut panicked = Vec::new();
-        let mut out = Vec::with_capacity(results.len());
-        for (rank, r) in results.into_iter().enumerate() {
-            match r {
+        let mut out = Vec::with_capacity(fabric.n);
+        for (rank, slot) in slots.into_iter().enumerate() {
+            match slot.into_inner().expect("rank body never ran") {
                 Ok(v) => out.push(v),
                 Err(_) => panicked.push(rank),
             }
