@@ -7,6 +7,7 @@
 //! experiments table1    # VASP robustness matrix (9 cases, C/R transparency)
 //! experiments table2    # CaPOH: native vs master branch vs feature/2pc
 //! experiments scale     # checkpoint-round latency, 64→4096 ranks, CoopEngine
+//! experiments explore   # schedule-space exploration coverage sweep
 //! experiments all       # everything except `scale` (minutes at 4096 ranks)
 //! ```
 //!
@@ -438,6 +439,85 @@ fn trace() {
     }
 }
 
+/// `experiments explore`: time-budgeted schedule-space exploration of a
+/// 4-rank checkpoint round per workload (the coverage experiment behind
+/// the schedule-exploration subsystem). Env knobs:
+/// `MANA2_EXPLORE_SECS` (budget per workload, default 10),
+/// `MANA2_EXPLORE_SEED` (default 20260807). The JSON artifact carries
+/// schedules/sec, unique interleavings visited, the pruning ratio, and
+/// any bugs found (with minimized `CHAOS_SCHEDULE` repro lines); the
+/// process exits 1 if any workload's search found a failure.
+fn explore_exp() {
+    use chaos::explore::{explore, ExploreCfg, ExploreTarget};
+    println!("== Explore: schedule-space search over the coop engine ==");
+    let secs = std::env::var("MANA2_EXPLORE_SECS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10u64);
+    let seed = std::env::var("MANA2_EXPLORE_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20260807u64);
+    let cfg = ExploreCfg {
+        budget: std::time::Duration::from_secs(secs),
+        ..ExploreCfg::default()
+    };
+    println!(
+        "{:>8} {:>11} {:>12} {:>8} {:>12} {:>7} {:>6}",
+        "workload", "schedules", "sched/s", "unique", "equivclass", "prune", "bugs"
+    );
+    let mut reports = Vec::new();
+    let mut bugs_found = 0usize;
+    for (workload, drain) in [
+        (chaos::Workload::Gromacs, mana_core::DrainMode::Alltoall),
+        (chaos::Workload::Cg, mana_core::DrainMode::Coordinator),
+    ] {
+        let target = ExploreTarget::new(seed, 4, 1, workload, drain).expect("explore target");
+        let report = explore(&target, &cfg);
+        println!(
+            "{:>8} {:>11} {:>12.1} {:>8} {:>12} {:>7.2} {:>6}",
+            chaos::explore::workload_name(workload),
+            report.schedules_run,
+            report.schedules_per_sec(),
+            report.unique_interleavings,
+            report.unique_equiv_classes,
+            report.prune.ratio(),
+            report.failures.len()
+        );
+        for f in &report.failures {
+            bugs_found += 1;
+            eprintln!("FAIL: {}", f.error);
+            let repro_choices = f
+                .minimized
+                .as_ref()
+                .map(|m| m.choices.clone())
+                .unwrap_or_else(|| f.choices.clone());
+            eprintln!("  repro: {}", target.repro_command(&repro_choices));
+            // Flight-recorder dump of the failing schedule for the CI
+            // artifact (best effort — must never mask the failure).
+            let sink = obs::TraceSink::wall(target.ranks, 16 * 1024);
+            target.run_schedule_traced(&repro_choices, &sink);
+            let label = obs::unique_label("explore_fail");
+            if let Ok(d) = obs::flight_record(&sink, &obs::default_trace_dir(), &label, Some(seed))
+            {
+                eprintln!("  trace dump: {}", d.jsonl.display());
+            }
+        }
+        reports.push(report.to_json(&target).trim_end().to_string());
+    }
+    write_json_artifact(
+        "explore",
+        &format!(
+            "{{\"experiment\":\"explore\",\"budget_s\":{secs},\"sweeps\":[{}]}}\n",
+            reports.join(",")
+        ),
+    );
+    if bugs_found > 0 {
+        eprintln!("\n{bugs_found} schedule bug(s) found");
+        std::process::exit(1);
+    }
+}
+
 /// Rank counts for the scale sweep: `MANA2_SCALE_RANKS="64,256"`
 /// overrides the default 64 → 4096 sweep.
 fn scale_ranks() -> Vec<usize> {
@@ -555,6 +635,7 @@ fn main() {
         "table2" => table2(),
         "trace" | "--trace" => trace(),
         "scale" => scale_exp(),
+        "explore" => explore_exp(),
         "all" => {
             fig2();
             println!();
@@ -568,7 +649,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown experiment '{other}'; use fig2|fig3|fig4|table1|table2|trace|scale|all"
+                "unknown experiment '{other}'; use fig2|fig3|fig4|table1|table2|trace|scale|explore|all"
             );
             std::process::exit(2);
         }

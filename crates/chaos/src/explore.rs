@@ -1,0 +1,1249 @@
+//! Schedule-space exploration over the deterministic [`mpisim`] coop
+//! engine.
+//!
+//! PR 4 made every coop interleaving a pure function of
+//! `(workers, sched_seed)`; the [`mpisim::SchedulePolicy`] work turned
+//! each individual scheduling decision into a first-class, replayable
+//! *choice* (an index into the ready queue). This module converts that
+//! determinism investment into an active interleaving-bug detector:
+//!
+//! 1. **Search** ([`explore`]): a bounded random walk over choice-vector
+//!    *prefixes*. Every executed schedule is recorded in full; each
+//!    decision after the scripted prefix becomes a branch point, and each
+//!    untried ready-queue index at a branch point becomes a new frontier
+//!    prefix. Replaying a prefix deterministically reproduces every
+//!    decision before the deviation, so the search walks a tree of real,
+//!    reproducible executions.
+//! 2. **Pruning**: partial-order-reduction-*style*, not a model checker.
+//!    Exact duplicate prefixes are never queued twice; a deviation whose
+//!    `(ready set, chosen rank)` context previously produced an
+//!    already-seen interleaving fingerprint is treated as sterile and
+//!    skipped; runs whose fingerprint was already visited are not
+//!    expanded. The fingerprint is the *full* trace-event rings (schedule
+//!    sensitive), while bug detection uses the schedule-invariant oracle
+//!    stack: native-reference transparency, protocol round counts, and
+//!    the [`crate::determinism_token`] / `schedule_invariant()` keys.
+//!    Pruning can skip real interleavings — it trades exhaustiveness for
+//!    throughput, which is the right trade for a bug hunter.
+//! 3. **Minimization** ([`minimize_choices`]): delta debugging (ddmin)
+//!    over the failing choice vector, followed by prefix truncation, so
+//!    the repro is prefix-minimal: dropping its last choice passes.
+//! 4. **Repro**: every failure prints a one-line
+//!    `CHAOS_SCHEDULE=<hex choices>` command (alongside the existing
+//!    `CHAOS_SEED` hook) that replays the exact interleaving through the
+//!    `explore_suite::schedule_replay` test.
+
+use crate::{case_token_rings, splitmix64, WlValue, Workload};
+use mana_core::obs;
+use mana_core::{DrainMode, Mana, ManaConfig, ManaRuntime, RunReport};
+use mpisim::{
+    CoopCfg, EngineKind, SchedDecision, ScheduleDivergence, SchedulePolicy, ScheduleScript, World,
+    WorldCfg,
+};
+use std::collections::HashSet;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use workloads::{cg, gromacs, ManaFace, NativeFace};
+
+// ---- choice-vector codecs ---------------------------------------------------
+
+/// Encode a choice vector as the `CHAOS_SCHEDULE` hex string: two hex
+/// digits per choice. Ready queues are tiny (≤ world size), so a byte per
+/// decision is plenty; choices above 255 are a usage error.
+pub fn encode_choices(choices: &[u32]) -> String {
+    let mut s = String::with_capacity(choices.len() * 2);
+    for &c in choices {
+        assert!(c <= 0xFF, "choice {c} exceeds one byte");
+        s.push_str(&format!("{c:02x}"));
+    }
+    s
+}
+
+/// Decode a `CHAOS_SCHEDULE` hex string back into a choice vector.
+pub fn decode_choices(hex: &str) -> Result<Vec<u32>, String> {
+    let hex = hex.trim();
+    if !hex.len().is_multiple_of(2) {
+        return Err(format!(
+            "CHAOS_SCHEDULE must have an even number of hex digits, got {}",
+            hex.len()
+        ));
+    }
+    (0..hex.len())
+        .step_by(2)
+        .map(|i| {
+            u32::from_str_radix(&hex[i..i + 2], 16)
+                .map_err(|e| format!("bad hex byte {:?}: {e}", &hex[i..i + 2]))
+        })
+        .collect()
+}
+
+/// `CHAOS_SCHEDULE` env var, decoded (the schedule-replay hook).
+pub fn env_schedule() -> Option<Vec<u32>> {
+    let raw = std::env::var("CHAOS_SCHEDULE").ok()?;
+    match decode_choices(&raw) {
+        Ok(v) => Some(v),
+        Err(e) => {
+            eprintln!("mana2: ignoring malformed CHAOS_SCHEDULE: {e}");
+            None
+        }
+    }
+}
+
+// ---- target description -----------------------------------------------------
+
+/// Stable name of a workload for fixtures, env vars, and JSON.
+pub fn workload_name(w: Workload) -> &'static str {
+    match w {
+        Workload::Gromacs => "gromacs",
+        Workload::Cg => "cg",
+    }
+}
+
+/// Parse a workload name (inverse of [`workload_name`]).
+pub fn parse_workload(s: &str) -> Result<Workload, String> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "gromacs" => Ok(Workload::Gromacs),
+        "cg" => Ok(Workload::Cg),
+        other => Err(format!("unknown workload {other:?} (want gromacs|cg)")),
+    }
+}
+
+/// Stable name of a drain mode for fixtures, env vars, and JSON.
+pub fn drain_name(d: DrainMode) -> &'static str {
+    match d {
+        DrainMode::Alltoall => "alltoall",
+        DrainMode::Coordinator => "coordinator",
+    }
+}
+
+/// Parse a drain-mode name (inverse of [`drain_name`]).
+pub fn parse_drain(s: &str) -> Result<DrainMode, String> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "alltoall" => Ok(DrainMode::Alltoall),
+        "coordinator" => Ok(DrainMode::Coordinator),
+        other => Err(format!(
+            "unknown drain mode {other:?} (want alltoall|coordinator)"
+        )),
+    }
+}
+
+/// Extra failure oracle run over each completed schedule (after the
+/// built-in transparency/protocol checks pass). Tests inject
+/// ordering-sensitive assertions here.
+pub type Oracle = Arc<dyn Fn(&ScheduleRun) -> Result<(), String> + Send + Sync>;
+
+/// One workload shape the explorer drives schedules through: a resume-mode
+/// checkpoint round (rank 0 requests at a fixed step) with the native
+/// thread-engine reference cached up front.
+pub struct ExploreTarget {
+    /// Seed: both the coop scheduler's `sched_seed` (the seeded completion
+    /// beyond a scripted prefix) and the derivation seed in
+    /// [`ExploreTarget::from_seed`].
+    pub seed: u64,
+    /// World size.
+    pub ranks: usize,
+    /// Coop worker-token count. Exploration wants 1 (fully deterministic
+    /// interleavings); higher counts still replay prefixes best-effort.
+    pub workers: usize,
+    /// Application kernel.
+    pub workload: Workload,
+    /// Drain algorithm under test.
+    pub drain: DrainMode,
+    expected: Vec<WlValue>,
+    oracle: Option<Oracle>,
+    run_counter: AtomicU64,
+}
+
+fn explore_gromacs_cfg(ckpt: bool) -> gromacs::GromacsConfig {
+    gromacs::GromacsConfig {
+        atoms_per_rank: 48,
+        steps: 6,
+        compute_per_step: 0,
+        energy_interval: 2,
+        halo: 8,
+        ckpt_at_step: if ckpt { Some(3) } else { None },
+        ckpt_round: 0,
+    }
+}
+
+fn explore_cg_cfg(ckpt: bool) -> cg::CgConfig {
+    cg::CgConfig {
+        local_n: 24,
+        max_iters: 16,
+        tol: 1e-10,
+        ckpt_at_iter: if ckpt { Some(5) } else { None },
+        ckpt_round: 0,
+    }
+}
+
+impl ExploreTarget {
+    /// Build a target, running the fault-free native reference (thread
+    /// engine, no checkpoint) once to cache the expected results.
+    pub fn new(
+        seed: u64,
+        ranks: usize,
+        workers: usize,
+        workload: Workload,
+        drain: DrainMode,
+    ) -> Result<ExploreTarget, String> {
+        if !(1..=8).contains(&ranks) {
+            return Err(format!("ranks must be 1..=8, got {ranks}"));
+        }
+        if workers == 0 {
+            return Err("workers must be >= 1".into());
+        }
+        let wc = WorldCfg {
+            watchdog: Some(Duration::from_secs(60)),
+            engine: EngineKind::Thread,
+            ..WorldCfg::default()
+        };
+        let w = World::new(ranks, wc);
+        let expected = match workload {
+            Workload::Gromacs => {
+                let cfg = explore_gromacs_cfg(false);
+                w.launch(move |p| {
+                    let mut f = NativeFace::new(p);
+                    gromacs::run(&mut f, &cfg).map(WlValue::G)
+                })
+            }
+            Workload::Cg => {
+                let cfg = explore_cg_cfg(false);
+                w.launch(move |p| {
+                    let mut f = NativeFace::new(p);
+                    cg::run(&mut f, &cfg).map(WlValue::C)
+                })
+            }
+        }
+        .map_err(|e| format!("native reference: {e}"))?
+        .into_iter()
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(|e| format!("native reference: {e}"))?;
+        Ok(ExploreTarget {
+            seed,
+            ranks,
+            workers,
+            workload,
+            drain,
+            expected,
+            oracle: None,
+            run_counter: AtomicU64::new(0),
+        })
+    }
+
+    /// Derive the whole shape from a seed (same splitmix derivation style
+    /// as [`crate::ChaosCase::from_seed`]), at workers=1.
+    pub fn from_seed(seed: u64) -> Result<ExploreTarget, String> {
+        let h = |salt: u64| splitmix64(seed ^ splitmix64(salt));
+        let ranks = 2 + (h(0x5C4E) % 3) as usize;
+        let workload = if h(0x3017) % 2 == 0 {
+            Workload::Gromacs
+        } else {
+            Workload::Cg
+        };
+        let drain = if h(0xD2A1) % 2 == 0 {
+            DrainMode::Alltoall
+        } else {
+            DrainMode::Coordinator
+        };
+        ExploreTarget::new(seed, ranks, 1, workload, drain)
+    }
+
+    /// Like [`ExploreTarget::from_seed`], but any `CHAOS_EXPLORE_RANKS` /
+    /// `CHAOS_EXPLORE_WORKERS` / `CHAOS_EXPLORE_WORKLOAD` /
+    /// `CHAOS_EXPLORE_DRAIN` env vars override the derived shape — the
+    /// repro line for a non-derived target sets them explicitly.
+    pub fn from_env_or_seed(seed: u64) -> Result<ExploreTarget, String> {
+        let h = |salt: u64| splitmix64(seed ^ splitmix64(salt));
+        let envp = |k: &str| std::env::var(k).ok();
+        let ranks = match envp("CHAOS_EXPLORE_RANKS") {
+            Some(v) => v
+                .trim()
+                .parse::<usize>()
+                .map_err(|e| format!("CHAOS_EXPLORE_RANKS: {e}"))?,
+            None => 2 + (h(0x5C4E) % 3) as usize,
+        };
+        let workers = match envp("CHAOS_EXPLORE_WORKERS") {
+            Some(v) => v
+                .trim()
+                .parse::<usize>()
+                .map_err(|e| format!("CHAOS_EXPLORE_WORKERS: {e}"))?,
+            None => 1,
+        };
+        let workload = match envp("CHAOS_EXPLORE_WORKLOAD") {
+            Some(v) => parse_workload(&v)?,
+            None => {
+                if h(0x3017) % 2 == 0 {
+                    Workload::Gromacs
+                } else {
+                    Workload::Cg
+                }
+            }
+        };
+        let drain = match envp("CHAOS_EXPLORE_DRAIN") {
+            Some(v) => parse_drain(&v)?,
+            None => {
+                if h(0xD2A1) % 2 == 0 {
+                    DrainMode::Alltoall
+                } else {
+                    DrainMode::Coordinator
+                }
+            }
+        };
+        ExploreTarget::new(seed, ranks, workers, workload, drain)
+    }
+
+    /// Attach an extra failure oracle (ordering-sensitive assertions).
+    pub fn with_oracle(mut self, oracle: Oracle) -> Self {
+        self.oracle = Some(oracle);
+        self
+    }
+
+    /// The one-line command that replays `choices` against this target.
+    pub fn repro_command(&self, choices: &[u32]) -> String {
+        format!(
+            "CHAOS_SEED={} CHAOS_EXPLORE_RANKS={} CHAOS_EXPLORE_WORKERS={} \
+             CHAOS_EXPLORE_WORKLOAD={} CHAOS_EXPLORE_DRAIN={} CHAOS_SCHEDULE={} \
+             cargo test -p chaos --test explore_suite schedule_replay -- --nocapture",
+            self.seed,
+            self.ranks,
+            self.workers,
+            workload_name(self.workload),
+            drain_name(self.drain),
+            encode_choices(choices),
+        )
+    }
+
+    fn scratch_dir(&self) -> PathBuf {
+        let run = self.run_counter.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "mana2_explore_{}_{}_{}",
+            self.seed,
+            std::process::id(),
+            run
+        ))
+    }
+
+    fn launch(&self, rt: &ManaRuntime) -> Result<RunReport<WlValue>, String> {
+        let workload = self.workload;
+        let g = explore_gromacs_cfg(true);
+        let c = explore_cg_cfg(true);
+        rt.run_fresh(move |m: &mut Mana<'_>| -> mana_core::Result<WlValue> {
+            let mut face = ManaFace::new(m);
+            match workload {
+                Workload::Gromacs => gromacs::run(&mut face, &g)
+                    .map(WlValue::G)
+                    .map_err(|e| e.into_mana()),
+                Workload::Cg => cg::run(&mut face, &c)
+                    .map(WlValue::C)
+                    .map_err(|e| e.into_mana()),
+            }
+        })
+        .map_err(|e| e.to_string())
+    }
+
+    /// Execute one schedule: replay `choices` as the decision prefix (the
+    /// seeded policy completes the run beyond it) and collect everything
+    /// the explorer needs — the full decision log, interleaving
+    /// fingerprint, schedule-invariant equivalence key, and the verdict of
+    /// the oracle stack.
+    pub fn run_schedule(&self, choices: &[u32]) -> ScheduleRun {
+        let sink = obs::TraceSink::wall(self.ranks, 16 * 1024);
+        self.run_schedule_traced(choices, &sink)
+    }
+
+    /// [`ExploreTarget::run_schedule`] recording into the caller's sink —
+    /// the flight-recorder dump path for failing schedules.
+    pub fn run_schedule_traced(&self, choices: &[u32], sink: &Arc<obs::TraceSink>) -> ScheduleRun {
+        let script = ScheduleScript::new(choices.to_vec());
+        let wc = WorldCfg {
+            watchdog: Some(Duration::from_secs(60)),
+            engine: EngineKind::Coop(CoopCfg {
+                workers: self.workers,
+                sched_seed: self.seed,
+            }),
+            schedule: SchedulePolicy::Replay(Arc::clone(&script)),
+            ..WorldCfg::default()
+        };
+        let dir = self.scratch_dir();
+        let _ = std::fs::remove_dir_all(&dir);
+        let mcfg = ManaConfig {
+            drain: self.drain,
+            ckpt_dir: dir.clone(),
+            deadlock_timeout: Some(Duration::from_secs(20)),
+            trace: Some(sink.clone()),
+            ..ManaConfig::default()
+        };
+        let rt = ManaRuntime::new(self.ranks, mcfg).with_world_cfg(wc);
+        let result = self.launch(&rt);
+        let _ = std::fs::remove_dir_all(&dir);
+        self.judge(choices, result, sink, &script)
+    }
+
+    /// The same workload under the kernel-scheduled thread engine — the
+    /// cross-engine leg of the fixture-replay equivalence test.
+    pub fn run_thread_reference(&self) -> ScheduleRun {
+        let sink = obs::TraceSink::wall(self.ranks, 16 * 1024);
+        let wc = WorldCfg {
+            watchdog: Some(Duration::from_secs(60)),
+            engine: EngineKind::Thread,
+            ..WorldCfg::default()
+        };
+        let dir = self.scratch_dir();
+        let _ = std::fs::remove_dir_all(&dir);
+        let mcfg = ManaConfig {
+            drain: self.drain,
+            ckpt_dir: dir.clone(),
+            deadlock_timeout: Some(Duration::from_secs(20)),
+            trace: Some(sink.clone()),
+            ..ManaConfig::default()
+        };
+        let rt = ManaRuntime::new(self.ranks, mcfg).with_world_cfg(wc);
+        let result = self.launch(&rt);
+        let _ = std::fs::remove_dir_all(&dir);
+        // The thread engine never consults the schedule policy, so judge
+        // against an empty script: decision log and divergence stay empty.
+        self.judge(&[], result, &sink, &ScheduleScript::new(Vec::new()))
+    }
+
+    fn judge(
+        &self,
+        scripted: &[u32],
+        result: Result<RunReport<WlValue>, String>,
+        sink: &Arc<obs::TraceSink>,
+        script: &ScheduleScript,
+    ) -> ScheduleRun {
+        let mut error = None;
+        let mut rounds = 0;
+        let mut invariant = Vec::new();
+        match result {
+            Err(e) => error = Some(format!("run: {e}")),
+            Ok(rep) => {
+                rounds = rep.coord.rounds.len();
+                invariant = rep
+                    .rank_stats
+                    .iter()
+                    .map(|s| s.schedule_invariant().to_vec())
+                    .collect();
+                if !rep.all_finished() {
+                    error = Some(format!(
+                        "protocol: not all ranks finished: {:?}",
+                        rep.outcomes
+                    ));
+                } else if rounds != 1 {
+                    error = Some(format!(
+                        "protocol: expected exactly 1 committed checkpoint round, got {rounds}"
+                    ));
+                } else if rep.values() != self.expected {
+                    error = Some("transparency: results diverged from native reference".into());
+                }
+            }
+        }
+        let det_rings = case_token_rings(sink, self.ranks);
+        let fingerprint = hash_rings(&interleaving_rings(sink, self.ranks));
+        let equiv_key = {
+            let mut h = Fnv::new();
+            for (actor, ring) in &det_rings {
+                h.write_i64(*actor as i64);
+                for t in ring {
+                    h.write_bytes(t.as_bytes());
+                }
+            }
+            for rank in &invariant {
+                for (name, v) in rank {
+                    h.write_bytes(name.as_bytes());
+                    h.write_u64(*v);
+                }
+            }
+            h.finish()
+        };
+        let mut run = ScheduleRun {
+            scripted: scripted.to_vec(),
+            taken: script.recorded_choices(),
+            decisions: script.recorded(),
+            divergence: script.divergence(),
+            det_rings,
+            invariant,
+            fingerprint,
+            equiv_key,
+            rounds,
+            error,
+        };
+        if run.error.is_none() {
+            if let Some(oracle) = &self.oracle {
+                if let Err(e) = oracle(&run) {
+                    run.error = Some(format!("oracle: {e}"));
+                }
+            }
+        }
+        run
+    }
+}
+
+// ---- one executed schedule --------------------------------------------------
+
+/// Everything one executed schedule produced.
+#[derive(Debug, Clone)]
+pub struct ScheduleRun {
+    /// The choice prefix this run was scripted with.
+    pub scripted: Vec<u32>,
+    /// The full choice vector the run actually took (scripted prefix plus
+    /// seeded completion) — itself a complete replayable schedule.
+    pub taken: Vec<u32>,
+    /// The full decision log: ready set and chosen rank per decision.
+    pub decisions: Vec<SchedDecision>,
+    /// First script divergence, if the scripted prefix could not be
+    /// followed (an out-of-range choice).
+    pub divergence: Option<ScheduleDivergence>,
+    /// Determinism-token rings (schedule-invariant projection) — the
+    /// cross-run/cross-engine comparison key.
+    pub det_rings: Vec<(i32, Vec<String>)>,
+    /// Per-rank schedule-invariant stats totals.
+    pub invariant: Vec<Vec<(&'static str, u64)>>,
+    /// Hash of the *full* trace rings — the interleaving identity.
+    /// Distinct fingerprints ⇒ observably different interleavings.
+    pub fingerprint: u64,
+    /// Hash of `det_rings` + `invariant` — the equivalence-class key the
+    /// pruner deduplicates on.
+    pub equiv_key: u64,
+    /// Checkpoint rounds committed.
+    pub rounds: usize,
+    /// What went wrong, if anything (stage-prefixed).
+    pub error: Option<String>,
+}
+
+impl ScheduleRun {
+    /// Did the oracle stack reject this schedule?
+    pub fn failed(&self) -> bool {
+        self.error.is_some()
+    }
+}
+
+/// Project one trace event to its interleaving token. Unlike
+/// [`crate::determinism_token`] — which *excludes* everything that
+/// legitimately varies with scheduling — this keeps the schedule-sensitive
+/// payload (net traffic order, drain sweeps and captures, intent landing
+/// positions) and drops only wall-clock noise (timestamps, per-stage store
+/// timings) and the global `seq` counter (an artifact of ring merge
+/// order). Two runs with equal token rings made the same observable moves
+/// in the same per-actor order.
+pub fn interleaving_token(ev: &obs::TraceEvent) -> String {
+    use obs::EventKind;
+    let mut s = format!("{}:{}", ev.round, ev.kind.name());
+    match &ev.kind {
+        EventKind::Begin(p) | EventKind::End(p) => {
+            s.push_str(&format!(":{}", p.name()));
+            if let obs::Phase::Drain { sweep } = p {
+                s.push_str(&format!(":{sweep}"));
+            }
+        }
+        EventKind::BarrierArrive { gid, coll_seq } => s.push_str(&format!(":{gid}:{coll_seq}")),
+        EventKind::StoreAttempt { attempt, ok, .. } => s.push_str(&format!(":{attempt}:{ok}")),
+        EventKind::StoreWrite {
+            bytes,
+            retries,
+            crc,
+        } => s.push_str(&format!(":{bytes}:{retries}:{crc}")),
+        EventKind::StoreFault { fault } => s.push_str(&format!(":{}", fault.name())),
+        EventKind::NetSend { dst, bytes, user } => s.push_str(&format!(":{dst}:{bytes}:{user}")),
+        EventKind::NetMatch { src, bytes } => s.push_str(&format!(":{src}:{bytes}")),
+        EventKind::NetHold { src, reorder } => s.push_str(&format!(":{src}:{reorder}")),
+        EventKind::DrainCapture { src, bytes } => s.push_str(&format!(":{src}:{bytes}")),
+        EventKind::FaultFired { fault } => s.push_str(&format!(":{}", fault.name())),
+    }
+    s
+}
+
+/// Every actor's full interleaving-token sequence, coordinator first.
+pub fn interleaving_rings(sink: &obs::TraceSink, ranks: usize) -> Vec<(i32, Vec<String>)> {
+    std::iter::once(obs::COORD_ACTOR)
+        .chain(0..ranks as i32)
+        .map(|actor| {
+            (
+                actor,
+                sink.ring_events(actor)
+                    .iter()
+                    .map(interleaving_token)
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// FNV-1a over explicitly-fed bytes: a stable, dependency-free hash for
+/// fingerprints and equivalence keys (unlike `DefaultHasher`, its value is
+/// pinned by this code, not by the standard library's hasher choice).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn write_bytes(&mut self, b: &[u8]) {
+        for &x in b {
+            self.0 ^= x as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        // Separate fields so ("ab","c") and ("a","bc") hash apart.
+        self.0 ^= 0xFF;
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+    fn write_i64(&mut self, v: i64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+fn hash_rings(rings: &[(i32, Vec<String>)]) -> u64 {
+    let mut h = Fnv::new();
+    for (actor, ring) in rings {
+        h.write_i64(*actor as i64);
+        for t in ring {
+            h.write_bytes(t.as_bytes());
+        }
+    }
+    h.finish()
+}
+
+/// The sterile-context key: a deviation is `(ready set, chosen rank)`;
+/// once one such deviation lands on an already-seen fingerprint, trying
+/// the same choice from the same enabled set elsewhere is deprioritized.
+fn sterile_key(ready: &[usize], chosen: usize) -> u64 {
+    let mut sorted = ready.to_vec();
+    sorted.sort_unstable();
+    let mut h = Fnv::new();
+    for r in sorted {
+        h.write_u64(r as u64);
+    }
+    h.write_u64(0xDEAD_0000 ^ chosen as u64);
+    h.finish()
+}
+
+// ---- minimization -----------------------------------------------------------
+
+/// Delta-debugging (ddmin) minimization of a failing choice vector,
+/// followed by prefix truncation. `still_fails` must hold for the input;
+/// the result still fails and is prefix-minimal — dropping its last
+/// choice (if any) passes.
+///
+/// Pure in the predicate: unit tests drive it with synthetic predicates,
+/// the explorer drives it with real schedule executions.
+pub fn minimize_choices(choices: &[u32], mut still_fails: impl FnMut(&[u32]) -> bool) -> Vec<u32> {
+    let mut cur = choices.to_vec();
+    // ddmin: try removing chunks at increasing granularity.
+    let mut n = 2usize;
+    while cur.len() >= 2 {
+        let chunk = cur.len().div_ceil(n);
+        let mut reduced = None;
+        for start in (0..cur.len()).step_by(chunk) {
+            let end = (start + chunk).min(cur.len());
+            let mut candidate = Vec::with_capacity(cur.len() - (end - start));
+            candidate.extend_from_slice(&cur[..start]);
+            candidate.extend_from_slice(&cur[end..]);
+            if still_fails(&candidate) {
+                reduced = Some(candidate);
+                break;
+            }
+        }
+        match reduced {
+            Some(c) => {
+                cur = c;
+                n = 2.max(n.saturating_sub(1));
+            }
+            None if n < cur.len() => n = (n * 2).min(cur.len()),
+            None => break,
+        }
+    }
+    // Prefix truncation: the tail may be dead weight ddmin's chunking
+    // missed; pop until dropping the last choice would pass.
+    while !cur.is_empty() {
+        let shorter = &cur[..cur.len() - 1];
+        if still_fails(shorter) {
+            cur.pop();
+        } else {
+            break;
+        }
+    }
+    cur
+}
+
+/// A minimized failing schedule.
+#[derive(Debug, Clone)]
+pub struct MinimizedSchedule {
+    /// The minimal failing choice vector.
+    pub choices: Vec<u32>,
+    /// Error of the minimal reproduction.
+    pub error: String,
+    /// Schedule executions the minimizer spent.
+    pub tests: u64,
+}
+
+/// Minimize a failing choice vector against a live target, capped at
+/// `max_tests` schedule executions (each test is a full run).
+pub fn minimize_failing_schedule(
+    target: &ExploreTarget,
+    choices: &[u32],
+    max_tests: u64,
+) -> MinimizedSchedule {
+    let mut tests = 1u64;
+    let mut last_error = match target.run_schedule(choices).error {
+        Some(e) => e,
+        None => {
+            // Not reproducible — return as-is rather than minimize noise.
+            return MinimizedSchedule {
+                choices: choices.to_vec(),
+                error: "minimizer: failure did not reproduce".into(),
+                tests,
+            };
+        }
+    };
+    let minimal = minimize_choices(choices, |c| {
+        if tests >= max_tests {
+            return false; // out of budget: treat as passing, stop shrinking
+        }
+        tests += 1;
+        let r = target.run_schedule(c);
+        if let Some(e) = &r.error {
+            last_error = e.clone();
+        }
+        r.failed()
+    });
+    MinimizedSchedule {
+        choices: minimal,
+        error: last_error,
+        tests,
+    }
+}
+
+// ---- the explorer -----------------------------------------------------------
+
+/// Search budget and shape.
+#[derive(Debug, Clone)]
+pub struct ExploreCfg {
+    /// Wall-clock budget for the search loop.
+    pub budget: Duration,
+    /// Hard cap on schedules executed (0 = budget-only).
+    pub max_schedules: u64,
+    /// Deepest decision index deviations are generated at. Checkpoint
+    /// windows of the explore workloads close well within this many
+    /// decisions; deeper deviations mostly permute the epilogue.
+    pub max_depth: usize,
+    /// Stop at the first failing schedule (CI wants the artifact fast);
+    /// `false` keeps hunting and collects every distinct failure.
+    pub stop_on_first_failure: bool,
+    /// Minimize failing choice vectors before reporting.
+    pub minimize: bool,
+    /// Cap on minimizer executions per failure.
+    pub minimize_tests: u64,
+    /// Enable the sterile-context heuristic. It multiplies throughput on
+    /// redundant schedule spaces but can starve a small search — a context
+    /// is poisoned globally after one equivalent outcome anywhere.
+    pub sterile_pruning: bool,
+}
+
+impl Default for ExploreCfg {
+    fn default() -> Self {
+        ExploreCfg {
+            budget: Duration::from_secs(10),
+            max_schedules: 0,
+            max_depth: 24,
+            stop_on_first_failure: true,
+            minimize: true,
+            minimize_tests: 200,
+            sterile_pruning: true,
+        }
+    }
+}
+
+/// Pruning counters — the honesty ledger of a non-exhaustive search.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PruneStats {
+    /// Deviation candidates enumerated from executed schedules.
+    pub candidates: u64,
+    /// Candidates dropped: exact prefix already queued or executed.
+    pub pruned_duplicate: u64,
+    /// Candidates dropped: `(ready set, chosen rank)` context previously
+    /// led to an already-seen fingerprint.
+    pub pruned_sterile: u64,
+    /// Candidates dropped: frontier at capacity.
+    pub frontier_dropped: u64,
+    /// Executed schedules whose fingerprint was already visited (run but
+    /// not expanded).
+    pub equivalent_runs: u64,
+}
+
+impl PruneStats {
+    /// Fraction of enumerated candidates that were pruned away.
+    pub fn ratio(&self) -> f64 {
+        if self.candidates == 0 {
+            return 0.0;
+        }
+        (self.pruned_duplicate + self.pruned_sterile + self.frontier_dropped) as f64
+            / self.candidates as f64
+    }
+}
+
+/// One failing schedule the explorer found.
+#[derive(Debug, Clone)]
+pub struct ExploreFailure {
+    /// The failing scripted choice prefix.
+    pub choices: Vec<u32>,
+    /// What went wrong.
+    pub error: String,
+    /// The minimized repro, when minimization ran.
+    pub minimized: Option<MinimizedSchedule>,
+}
+
+/// What a search visited and found.
+#[derive(Debug)]
+pub struct ExploreReport {
+    /// Seed the target and search randomness derive from.
+    pub seed: u64,
+    /// World size.
+    pub ranks: usize,
+    /// Coop worker tokens.
+    pub workers: usize,
+    /// Application kernel.
+    pub workload: Workload,
+    /// Drain mode.
+    pub drain: DrainMode,
+    /// Schedules executed.
+    pub schedules_run: u64,
+    /// Distinct interleaving fingerprints visited.
+    pub unique_interleavings: u64,
+    /// Distinct schedule-invariant equivalence classes visited (should
+    /// stay 1 while no bug is found — that *is* the determinism claim).
+    pub unique_equiv_classes: u64,
+    /// Replays that could not follow their scripted prefix.
+    pub replay_divergences: u64,
+    /// Longest decision log seen.
+    pub max_decisions_seen: usize,
+    /// Pruning ledger.
+    pub prune: PruneStats,
+    /// Failures found (at most one when `stop_on_first_failure`).
+    pub failures: Vec<ExploreFailure>,
+    /// Non-empty scripted prefixes whose runs landed on a fingerprint not
+    /// seen before (first [`CORPUS_CAP`], in discovery order) — the raw
+    /// material of the adversarial-schedule regression corpus.
+    pub distinct_prefixes: Vec<Vec<u32>>,
+    /// Search wall time.
+    pub elapsed: Duration,
+}
+
+impl ExploreReport {
+    /// Schedules executed per wall second.
+    pub fn schedules_per_sec(&self) -> f64 {
+        let s = self.elapsed.as_secs_f64();
+        if s <= 0.0 {
+            0.0
+        } else {
+            self.schedules_run as f64 / s
+        }
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "explore seed={} {}x{} {}/{}: {} schedules ({:.1}/s), {} unique interleavings, \
+             {} equiv classes, prune ratio {:.2}, {} failure(s)",
+            self.seed,
+            self.ranks,
+            self.workers,
+            workload_name(self.workload),
+            drain_name(self.drain),
+            self.schedules_run,
+            self.schedules_per_sec(),
+            self.unique_interleavings,
+            self.unique_equiv_classes,
+            self.prune.ratio(),
+            self.failures.len()
+        )
+    }
+
+    /// The JSON artifact (hand-rolled like every artifact in this repo).
+    pub fn to_json(&self, target: &ExploreTarget) -> String {
+        let mut bugs = String::from("[");
+        for (i, f) in self.failures.iter().enumerate() {
+            if i > 0 {
+                bugs.push(',');
+            }
+            let (min_hex, min_tests) = match &f.minimized {
+                Some(m) => (encode_choices(&m.choices), m.tests),
+                None => (String::new(), 0),
+            };
+            let repro_choices = f
+                .minimized
+                .as_ref()
+                .map(|m| m.choices.clone())
+                .unwrap_or_else(|| f.choices.clone());
+            bugs.push_str(&format!(
+                "{{\"error\":\"{}\",\"choices\":\"{}\",\"minimized\":\"{}\",\
+                 \"minimize_tests\":{},\"repro\":\"{}\"}}",
+                json_escape(&f.error),
+                encode_choices(&f.choices),
+                min_hex,
+                min_tests,
+                json_escape(&target.repro_command(&repro_choices)),
+            ));
+        }
+        bugs.push(']');
+        format!(
+            "{{\n  \"experiment\": \"explore\",\n  \"seed\": {},\n  \"ranks\": {},\n  \
+             \"workers\": {},\n  \"workload\": \"{}\",\n  \"drain\": \"{}\",\n  \
+             \"elapsed_s\": {:.3},\n  \"schedules_run\": {},\n  \"schedules_per_sec\": {:.2},\n  \
+             \"unique_interleavings\": {},\n  \"unique_equiv_classes\": {},\n  \
+             \"replay_divergences\": {},\n  \"max_decisions_seen\": {},\n  \
+             \"pruning\": {{\"candidates\": {}, \"pruned_duplicate\": {}, \
+             \"pruned_sterile\": {}, \"frontier_dropped\": {}, \"equivalent_runs\": {}, \
+             \"ratio\": {:.4}}},\n  \"bugs_found\": {},\n  \"bugs\": {}\n}}\n",
+            self.seed,
+            self.ranks,
+            self.workers,
+            workload_name(self.workload),
+            drain_name(self.drain),
+            self.elapsed.as_secs_f64(),
+            self.schedules_run,
+            self.schedules_per_sec(),
+            self.unique_interleavings,
+            self.unique_equiv_classes,
+            self.replay_divergences,
+            self.max_decisions_seen,
+            self.prune.candidates,
+            self.prune.pruned_duplicate,
+            self.prune.pruned_sterile,
+            self.prune.frontier_dropped,
+            self.prune.equivalent_runs,
+            self.prune.ratio(),
+            self.failures.len(),
+            bugs,
+        )
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+const MAX_FRONTIER: usize = 8192;
+
+/// Cap on [`ExploreReport::distinct_prefixes`].
+pub const CORPUS_CAP: usize = 64;
+
+/// Bounded random-walk search over choice-vector prefixes.
+///
+/// Starts from the empty prefix (the pure seeded schedule), executes a
+/// random frontier prefix each step, folds the run into the fingerprint /
+/// equivalence-class sets, and expands every untried ready-queue index at
+/// every decision past the scripted prefix (up to `max_depth`) into new
+/// frontier prefixes. See the module docs for the pruning rules.
+pub fn explore(target: &ExploreTarget, cfg: &ExploreCfg) -> ExploreReport {
+    let start = Instant::now();
+    let mut rng = splitmix64(target.seed ^ 0xE590_12D7_33AA_41C6);
+    let mut frontier: Vec<Vec<u32>> = vec![Vec::new()];
+    let mut seen_prefix: HashSet<Vec<u32>> = HashSet::new();
+    seen_prefix.insert(Vec::new());
+    let mut seen_fp: HashSet<u64> = HashSet::new();
+    let mut seen_equiv: HashSet<u64> = HashSet::new();
+    let mut sterile: HashSet<u64> = HashSet::new();
+    let mut prune = PruneStats::default();
+    let mut failures: Vec<ExploreFailure> = Vec::new();
+    let mut seen_errors: HashSet<String> = HashSet::new();
+    let mut schedules_run = 0u64;
+    let mut replay_divergences = 0u64;
+    let mut max_decisions_seen = 0usize;
+    let mut distinct_prefixes: Vec<Vec<u32>> = Vec::new();
+
+    while !frontier.is_empty()
+        && start.elapsed() < cfg.budget
+        && (cfg.max_schedules == 0 || schedules_run < cfg.max_schedules)
+    {
+        rng = splitmix64(rng);
+        let pick = (rng % frontier.len() as u64) as usize;
+        let prefix = frontier.swap_remove(pick);
+        let run = target.run_schedule(&prefix);
+        schedules_run += 1;
+        max_decisions_seen = max_decisions_seen.max(run.decisions.len());
+        if run.divergence.is_some() {
+            replay_divergences += 1;
+        }
+        if let Some(err) = &run.error {
+            if seen_errors.insert(err.clone()) {
+                let minimized = if cfg.minimize {
+                    Some(minimize_failing_schedule(
+                        target,
+                        &run.scripted,
+                        cfg.minimize_tests,
+                    ))
+                } else {
+                    None
+                };
+                failures.push(ExploreFailure {
+                    choices: run.scripted.clone(),
+                    error: err.clone(),
+                    minimized,
+                });
+            }
+            if cfg.stop_on_first_failure {
+                break;
+            }
+            continue; // don't expand failing schedules
+        }
+        seen_equiv.insert(run.equiv_key);
+        if seen_fp.insert(run.fingerprint) {
+            if !prefix.is_empty() && distinct_prefixes.len() < CORPUS_CAP {
+                distinct_prefixes.push(prefix.clone());
+            }
+        } else {
+            prune.equivalent_runs += 1;
+            // The deviation that produced this run taught us nothing new:
+            // remember its context and deprioritize it elsewhere.
+            if let Some(last) = prefix.len().checked_sub(1) {
+                if let Some(d) = run.decisions.get(last) {
+                    sterile.insert(sterile_key(&d.ready, d.chosen_rank));
+                }
+            }
+            continue; // an already-seen interleaving expands to already-seen children
+        }
+        // Expand: every untried choice at every decision past the prefix.
+        let from = prefix.len();
+        let to = run.decisions.len().min(cfg.max_depth);
+        for k in from..to {
+            let d = &run.decisions[k];
+            for alt in 0..d.ready.len() as u32 {
+                if alt == d.chosen_idx {
+                    continue;
+                }
+                prune.candidates += 1;
+                if cfg.sterile_pruning
+                    && sterile.contains(&sterile_key(&d.ready, d.ready[alt as usize]))
+                {
+                    prune.pruned_sterile += 1;
+                    continue;
+                }
+                let mut child = Vec::with_capacity(k + 1);
+                child.extend_from_slice(&run.taken[..k]);
+                child.push(alt);
+                if seen_prefix.contains(&child) {
+                    prune.pruned_duplicate += 1;
+                    continue;
+                }
+                if frontier.len() >= MAX_FRONTIER {
+                    prune.frontier_dropped += 1;
+                    continue;
+                }
+                seen_prefix.insert(child.clone());
+                frontier.push(child);
+            }
+        }
+    }
+
+    ExploreReport {
+        seed: target.seed,
+        ranks: target.ranks,
+        workers: target.workers,
+        workload: target.workload,
+        drain: target.drain,
+        schedules_run,
+        unique_interleavings: seen_fp.len() as u64,
+        unique_equiv_classes: seen_equiv.len() as u64,
+        replay_divergences,
+        max_decisions_seen,
+        prune,
+        failures,
+        distinct_prefixes,
+        elapsed: start.elapsed(),
+    }
+}
+
+// ---- fixture corpus ---------------------------------------------------------
+
+/// One line of the adversarial-schedule corpus:
+/// `seed ranks workers workload drain choices_hex` (`#` comments, blank
+/// lines skipped).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleFixture {
+    /// Scheduler seed.
+    pub seed: u64,
+    /// World size.
+    pub ranks: usize,
+    /// Coop worker tokens.
+    pub workers: usize,
+    /// Application kernel.
+    pub workload: Workload,
+    /// Drain mode.
+    pub drain: DrainMode,
+    /// The adversarial choice prefix.
+    pub choices: Vec<u32>,
+}
+
+impl ScheduleFixture {
+    /// Parse one corpus line; `Ok(None)` for comments and blank lines.
+    pub fn parse(line: &str) -> Result<Option<ScheduleFixture>, String> {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return Ok(None);
+        }
+        let f: Vec<&str> = line.split_whitespace().collect();
+        if f.len() != 6 {
+            return Err(format!("want 6 fields, got {}: {line:?}", f.len()));
+        }
+        Ok(Some(ScheduleFixture {
+            seed: f[0].parse().map_err(|e| format!("seed: {e}"))?,
+            ranks: f[1].parse().map_err(|e| format!("ranks: {e}"))?,
+            workers: f[2].parse().map_err(|e| format!("workers: {e}"))?,
+            workload: parse_workload(f[3])?,
+            drain: parse_drain(f[4])?,
+            choices: decode_choices(f[5])?,
+        }))
+    }
+
+    /// Render as a corpus line.
+    pub fn to_line(&self) -> String {
+        format!(
+            "{} {} {} {} {} {}",
+            self.seed,
+            self.ranks,
+            self.workers,
+            workload_name(self.workload),
+            drain_name(self.drain),
+            encode_choices(&self.choices)
+        )
+    }
+
+    /// Build the live target this fixture replays against.
+    pub fn target(&self) -> Result<ExploreTarget, String> {
+        ExploreTarget::new(
+            self.seed,
+            self.ranks,
+            self.workers,
+            self.workload,
+            self.drain,
+        )
+    }
+}
+
+/// Load a corpus file.
+pub fn load_fixtures(path: &std::path::Path) -> Result<Vec<ScheduleFixture>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if let Some(fx) =
+            ScheduleFixture::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?
+        {
+            out.push(fx);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn choice_codec_round_trips() {
+        for v in [vec![], vec![0], vec![1, 2, 3], vec![255, 0, 17]] {
+            assert_eq!(decode_choices(&encode_choices(&v)).unwrap(), v);
+        }
+        assert!(decode_choices("abc").is_err()); // odd length
+        assert!(decode_choices("zz").is_err()); // bad digit
+        assert_eq!(decode_choices("  0102 ").unwrap(), vec![1, 2]);
+    }
+
+    #[test]
+    fn fixture_line_round_trips() {
+        let fx = ScheduleFixture {
+            seed: 42,
+            ranks: 4,
+            workers: 1,
+            workload: Workload::Gromacs,
+            drain: DrainMode::Coordinator,
+            choices: vec![3, 0, 2],
+        };
+        let line = fx.to_line();
+        assert_eq!(ScheduleFixture::parse(&line).unwrap().unwrap(), fx);
+        assert_eq!(ScheduleFixture::parse("# comment").unwrap(), None);
+        assert_eq!(ScheduleFixture::parse("   ").unwrap(), None);
+        assert!(ScheduleFixture::parse("1 2 3").is_err());
+        assert!(ScheduleFixture::parse("1 2 3 vasp alltoall 00").is_err());
+    }
+
+    #[test]
+    fn minimize_is_prefix_minimal_on_synthetic_predicates() {
+        // Fails iff the vector contains 7 followed (not necessarily
+        // adjacently) by 3 — minimal failing vector is [7, 3].
+        let pred = |c: &[u32]| {
+            let p7 = c.iter().position(|&x| x == 7);
+            match p7 {
+                Some(i) => c[i..].contains(&3),
+                None => false,
+            }
+        };
+        let noisy = vec![1, 7, 9, 9, 3, 4, 5];
+        assert!(pred(&noisy));
+        let min = minimize_choices(&noisy, |c| pred(c));
+        assert_eq!(min, vec![7, 3]);
+        assert!(pred(&min));
+        assert!(!pred(&min[..min.len() - 1])); // prefix-minimal
+
+        // Fails iff length >= 4: minimization keeps some 4 elements and
+        // dropping the last passes.
+        let min2 = minimize_choices(&[9, 9, 9, 9, 9, 9, 9], |c| c.len() >= 4);
+        assert_eq!(min2.len(), 4);
+
+        // Unshrinkable single-element failure survives.
+        let min3 = minimize_choices(&[5], |c| c.contains(&5));
+        assert_eq!(min3, vec![5]);
+    }
+
+    #[test]
+    fn prune_ratio_arithmetic() {
+        let mut p = PruneStats::default();
+        assert_eq!(p.ratio(), 0.0);
+        p.candidates = 10;
+        p.pruned_duplicate = 2;
+        p.pruned_sterile = 3;
+        assert!((p.ratio() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fnv_separates_field_boundaries() {
+        let mut a = Fnv::new();
+        a.write_bytes(b"ab");
+        a.write_bytes(b"c");
+        let mut b = Fnv::new();
+        b.write_bytes(b"a");
+        b.write_bytes(b"bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn sterile_key_ignores_ready_order() {
+        assert_eq!(sterile_key(&[2, 0, 3], 3), sterile_key(&[0, 2, 3], 3));
+        assert_ne!(sterile_key(&[0, 2, 3], 3), sterile_key(&[0, 2, 3], 2));
+    }
+
+    #[test]
+    fn json_escape_handles_quotes_and_controls() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

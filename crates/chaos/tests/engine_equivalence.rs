@@ -159,3 +159,50 @@ fn equivalence_cases_exercise_restart() {
     assert!(out.report.rounds >= 1);
     assert!(out.restart_stats.is_some());
 }
+
+/// Satellite (schedule exploration): the checked-in corpus of
+/// explorer-found adversarial choice vectors replays clean, and for every
+/// vector the Coop+Replay run agrees with a Thread-engine run of the same
+/// workload on the schedule-invariant stats and the determinism-token
+/// rings. Each corpus schedule also carries its own built-in oracle stack
+/// (native-reference transparency, exactly one committed round) inside
+/// [`chaos::explore::ExploreTarget::run_schedule`].
+#[test]
+fn adversarial_schedule_corpus_equivalent_across_engines() {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/adversarial_schedules.txt");
+    let fixtures = chaos::explore::load_fixtures(&path).expect("corpus parses");
+    assert!(!fixtures.is_empty(), "corpus is empty");
+    for fx in &fixtures {
+        let target = fx
+            .target()
+            .unwrap_or_else(|e| panic!("fixture {}: {e}", fx.to_line()));
+        let coop = target.run_schedule(&fx.choices);
+        assert!(
+            coop.error.is_none(),
+            "fixture {} failed under coop replay: {:?}\n  repro: {}",
+            fx.to_line(),
+            coop.error,
+            target.repro_command(&fx.choices)
+        );
+        let thread = target.run_thread_reference();
+        assert!(
+            thread.error.is_none(),
+            "fixture {} failed under thread engine: {:?}",
+            fx.to_line(),
+            thread.error
+        );
+        assert_eq!(
+            coop.invariant,
+            thread.invariant,
+            "fixture {}: schedule-invariant ManaStats diverged between engines",
+            fx.to_line()
+        );
+        assert_eq!(
+            coop.det_rings,
+            thread.det_rings,
+            "fixture {}: determinism-token rings diverged between engines",
+            fx.to_line()
+        );
+    }
+}

@@ -1,0 +1,242 @@
+//! Schedule-space exploration suite: the `CHAOS_SCHEDULE` replay hook,
+//! the Record→Replay round trip, the exploration coverage bar, and the
+//! injected-oracle find-and-minimize smoke test.
+
+use chaos::explore::{
+    encode_choices, env_schedule, explore, ExploreCfg, ExploreTarget, Oracle, ScheduleRun,
+};
+use chaos::{env_seed, Workload};
+use mana_core::DrainMode;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Replay one explicit schedule:
+///
+/// ```text
+/// CHAOS_SEED=<seed> CHAOS_SCHEDULE=<hex choices> \
+///   cargo test -p chaos --test explore_suite schedule_replay -- --nocapture
+/// ```
+///
+/// The target shape derives from the seed; `CHAOS_EXPLORE_RANKS` /
+/// `CHAOS_EXPLORE_WORKERS` / `CHAOS_EXPLORE_WORKLOAD` /
+/// `CHAOS_EXPLORE_DRAIN` override it (the explorer's repro lines set all
+/// four). Without `CHAOS_SEED` this replays one fixed schedule as a smoke
+/// test so the hook itself stays exercised.
+#[test]
+fn schedule_replay() {
+    let (seed, choices) = match env_seed() {
+        Some(s) => (s, env_schedule().unwrap_or_default()),
+        None => (0xD0_5EED, vec![2, 0, 1]),
+    };
+    let target = ExploreTarget::from_env_or_seed(seed).expect("target construction");
+    let run = target.run_schedule(&choices);
+    eprintln!(
+        "schedule_replay seed={} choices={} -> {} decisions, fingerprint {:016x}",
+        seed,
+        encode_choices(&choices),
+        run.decisions.len(),
+        run.fingerprint,
+    );
+    if let Some(d) = &run.divergence {
+        eprintln!(
+            "  note: replay diverged at decision {} (choice {} vs ready set of {})",
+            d.index, d.choice, d.ready_len
+        );
+    }
+    if let Some(e) = &run.error {
+        panic!(
+            "schedule failed: {e}\n  repro: {}",
+            target.repro_command(&choices)
+        );
+    }
+}
+
+/// Satellite: choices recorded from a seeded run replay to byte-identical
+/// trace-token rings across 6 seeds × worker counts 1–3.
+///
+/// The recording run *is* the seeded schedule (an empty script defers
+/// every pick to the seeded policy while recording the full decision
+/// log); the replay drives the recorded choice vector back through the
+/// scheduler. The determinism-token rings and the schedule-invariant
+/// stats must come back byte-identical at every worker count; at
+/// workers=1 the decision-level choice vector itself must survive the
+/// round trip (kernel racing between worker threads makes decision logs
+/// legitimately differ at workers ≥ 2).
+#[test]
+fn record_replay_round_trip() {
+    let seeds = [
+        0x5EED_0001u64,
+        0x5EED_0002,
+        0x5EED_0003,
+        0xBADC_0FFE,
+        0x1234_5678,
+        0xFEED_FACE,
+    ];
+    for (i, &seed) in seeds.iter().enumerate() {
+        let ranks = 2 + i % 3;
+        let workload = if i % 2 == 0 {
+            Workload::Gromacs
+        } else {
+            Workload::Cg
+        };
+        let drain = if i % 4 < 2 {
+            DrainMode::Alltoall
+        } else {
+            DrainMode::Coordinator
+        };
+        for workers in 1..=3usize {
+            let target = ExploreTarget::new(seed, ranks, workers, workload, drain)
+                .unwrap_or_else(|e| panic!("target seed={seed} workers={workers}: {e}"));
+            let rec = target.run_schedule(&[]);
+            assert!(
+                rec.error.is_none(),
+                "seeded run failed (seed={seed} ranks={ranks} workers={workers}): {:?}",
+                rec.error
+            );
+            assert!(
+                !rec.taken.is_empty(),
+                "seeded run recorded no decisions (seed={seed} workers={workers})"
+            );
+            let rep = target.run_schedule(&rec.taken);
+            assert!(
+                rep.error.is_none(),
+                "replay failed (seed={seed} ranks={ranks} workers={workers}): {:?}\n  repro: {}",
+                rep.error,
+                target.repro_command(&rec.taken)
+            );
+            assert_eq!(
+                rec.det_rings,
+                rep.det_rings,
+                "trace-token rings diverged across record→replay \
+                 (seed={seed} ranks={ranks} workers={workers})\n  repro: {}",
+                target.repro_command(&rec.taken)
+            );
+            assert_eq!(
+                rec.invariant, rep.invariant,
+                "schedule-invariant stats diverged across record→replay \
+                 (seed={seed} ranks={ranks} workers={workers})"
+            );
+        }
+    }
+}
+
+/// Acceptance bar: ≥ 100 distinct interleavings (distinct full token
+/// rings) of a 4-rank checkpoint round within a 10 s budget at workers=1,
+/// with the pruning ratio reported.
+#[test]
+fn explorer_visits_100_interleavings_in_10s() {
+    let target =
+        ExploreTarget::new(20260807, 4, 1, Workload::Gromacs, DrainMode::Alltoall).expect("target");
+    let cfg = ExploreCfg {
+        budget: Duration::from_secs(10),
+        ..ExploreCfg::default()
+    };
+    let report = explore(&target, &cfg);
+    eprintln!("{}", report.summary());
+    assert!(
+        report.failures.is_empty(),
+        "exploration found real failures: {:?}",
+        report.failures
+    );
+    assert!(
+        report.unique_interleavings >= 100,
+        "visited only {} distinct interleavings in {:?} ({} schedules)",
+        report.unique_interleavings,
+        report.elapsed,
+        report.schedules_run
+    );
+    assert_eq!(
+        report.unique_equiv_classes, 1,
+        "schedule-invariant outcome split into {} equivalence classes",
+        report.unique_equiv_classes
+    );
+    assert!(report.prune.candidates > 0);
+    let ratio = report.prune.ratio();
+    assert!((0.0..=1.0).contains(&ratio), "pruning ratio {ratio}");
+}
+
+/// Acceptance bar: an injected ordering-sensitive assertion is found by
+/// the search and minimized to a ≤ 8-choice repro that is prefix-minimal.
+#[test]
+fn injected_oracle_found_and_minimized() {
+    // The "bug": the first two scheduling decisions grant ranks (3, 2) in
+    // that order. Reachable only by steering both decisions, so the
+    // search must chain a second deviation off the first.
+    let oracle: Oracle = Arc::new(|run: &ScheduleRun| {
+        let first_two: Vec<usize> = run
+            .decisions
+            .iter()
+            .take(2)
+            .map(|d| d.chosen_rank)
+            .collect();
+        if first_two == [3, 2] {
+            Err("injected: ranks (3,2) granted first".into())
+        } else {
+            Ok(())
+        }
+    });
+    let target = ExploreTarget::new(0xAB_5E11, 4, 1, Workload::Gromacs, DrainMode::Alltoall)
+        .expect("target")
+        .with_oracle(oracle);
+
+    // The pure seeded schedule must pass — otherwise nothing is "hunted".
+    let baseline = target.run_schedule(&[]);
+    assert!(
+        baseline.error.is_none(),
+        "baseline seeded schedule already trips the oracle: {:?}",
+        baseline.error
+    );
+
+    let cfg = ExploreCfg {
+        budget: Duration::from_secs(60),
+        sterile_pruning: false, // don't let the heuristic starve a tiny search
+        ..ExploreCfg::default()
+    };
+    let report = explore(&target, &cfg);
+    eprintln!("{}", report.summary());
+    assert_eq!(
+        report.failures.len(),
+        1,
+        "explorer did not find the injected bug in {} schedules / {:?}",
+        report.schedules_run,
+        report.elapsed
+    );
+    let failure = &report.failures[0];
+    assert!(failure.error.contains("injected"), "{}", failure.error);
+
+    let min = failure.minimized.as_ref().expect("minimizer ran").clone();
+    eprintln!(
+        "minimized to {} choice(s) in {} tests: {}",
+        min.choices.len(),
+        min.tests,
+        encode_choices(&min.choices)
+    );
+    assert!(
+        min.choices.len() <= 8,
+        "minimized repro has {} choices: {}",
+        min.choices.len(),
+        encode_choices(&min.choices)
+    );
+
+    // Shrinker contract: the minimized vector still fails…
+    let replay = target.run_schedule(&min.choices);
+    assert!(
+        replay.failed(),
+        "minimized choice vector no longer fails: {}",
+        encode_choices(&min.choices)
+    );
+    assert!(replay.error.as_deref().unwrap_or("").contains("injected"));
+
+    // …and is prefix-minimal: dropping the last choice passes.
+    assert!(
+        !min.choices.is_empty(),
+        "empty vector cannot trip the oracle"
+    );
+    let shorter = &min.choices[..min.choices.len() - 1];
+    let pass = target.run_schedule(shorter);
+    assert!(
+        pass.error.is_none(),
+        "dropping the last choice still fails — not prefix-minimal: {:?}",
+        pass.error
+    );
+}

@@ -66,6 +66,201 @@ pub type ParkerRef = Arc<dyn Parker>;
 /// Shared handle to a rank's [`Unparker`].
 pub type UnparkerRef = Arc<dyn Unparker>;
 
+// ---- schedule policies ------------------------------------------------------
+
+/// One scheduling decision taken by a coop scheduler: at decision
+/// `index`, the ready queue held `ready` (in queue order) and the rank at
+/// `ready[chosen_idx]` was granted the freed run token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchedDecision {
+    /// 0-based decision index (the policy-hash input).
+    pub index: u64,
+    /// The ready queue at decision time, in queue order.
+    pub ready: Vec<usize>,
+    /// Index into `ready` that was picked (the *choice*).
+    pub chosen_idx: u32,
+    /// Rank granted the token (`ready[chosen_idx]`).
+    pub chosen_rank: usize,
+}
+
+/// Decision log filled in by the [`SchedulePolicy::Record`] and
+/// [`SchedulePolicy::Replay`] policies. Shared (via `Arc`) between the
+/// engine and the harness that reads the log back after the run.
+#[derive(Debug, Default)]
+pub struct ScheduleRecorder {
+    decisions: Mutex<Vec<SchedDecision>>,
+}
+
+impl ScheduleRecorder {
+    /// Fresh shared recorder.
+    pub fn new() -> Arc<ScheduleRecorder> {
+        Arc::new(ScheduleRecorder::default())
+    }
+
+    fn record(&self, d: SchedDecision) {
+        self.decisions.lock().push(d);
+    }
+
+    /// Copy of the decision log so far.
+    pub fn decisions(&self) -> Vec<SchedDecision> {
+        self.decisions.lock().clone()
+    }
+
+    /// The decision log projected to its choice vector (one index per
+    /// decision) — the form [`ScheduleScript`] replays.
+    pub fn choices(&self) -> Vec<u32> {
+        self.decisions.lock().iter().map(|d| d.chosen_idx).collect()
+    }
+
+    /// Number of decisions recorded.
+    pub fn len(&self) -> usize {
+        self.decisions.lock().len()
+    }
+
+    /// Whether no decision has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.decisions.lock().is_empty()
+    }
+
+    /// Drop all recorded decisions (reuse across runs).
+    pub fn clear(&self) {
+        self.decisions.lock().clear();
+    }
+}
+
+/// Replay could not apply a scripted choice: at decision `index` the
+/// ready queue had only `ready_len` entries but the script demanded
+/// index `choice`. The run continues under the seeded policy from that
+/// decision on; the harness checks [`ScheduleScript::divergence`] after
+/// the run and treats `Some` as a failed replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduleDivergence {
+    /// Decision index at which the script stopped being applicable.
+    pub index: u64,
+    /// Size of the ready queue at that decision.
+    pub ready_len: usize,
+    /// The out-of-range scripted choice.
+    pub choice: u32,
+}
+
+/// An explicit choice vector driving [`SchedulePolicy::Replay`].
+///
+/// Each entry is an index into the ready queue at the corresponding
+/// decision; decisions past the end of the vector fall back to the
+/// seeded pick (so a *prefix* pins the interesting part of a schedule
+/// and the rest completes deterministically). Replay always records the
+/// decisions it actually took — [`ScheduleScript::recorded`] — which is
+/// how the schedule explorer learns each decision's fan-out.
+#[derive(Debug, Default)]
+pub struct ScheduleScript {
+    choices: Vec<u32>,
+    recorder: ScheduleRecorder,
+    divergence: Mutex<Option<ScheduleDivergence>>,
+}
+
+impl ScheduleScript {
+    /// Script replaying `choices` (then seeded completion).
+    pub fn new(choices: Vec<u32>) -> Arc<ScheduleScript> {
+        Arc::new(ScheduleScript {
+            choices,
+            recorder: ScheduleRecorder::default(),
+            divergence: Mutex::new(None),
+        })
+    }
+
+    /// The scripted choice vector.
+    pub fn choices(&self) -> &[u32] {
+        &self.choices
+    }
+
+    /// Decisions actually taken during the replay (scripted prefix plus
+    /// seeded completion), in order.
+    pub fn recorded(&self) -> Vec<SchedDecision> {
+        self.recorder.decisions()
+    }
+
+    /// The full choice vector the replayed run actually followed.
+    pub fn recorded_choices(&self) -> Vec<u32> {
+        self.recorder.choices()
+    }
+
+    /// First divergence between the script and the run, if any.
+    pub fn divergence(&self) -> Option<ScheduleDivergence> {
+        *self.divergence.lock()
+    }
+
+    /// Whether the run consumed every scripted choice. A run that ended
+    /// before the script did never exercised the scripted suffix — the
+    /// other way a replay can silently diverge.
+    pub fn fully_consumed(&self) -> bool {
+        self.recorder.len() >= self.choices.len()
+    }
+
+    fn pick(&self, index: u64, ready_len: usize, seeded: usize) -> usize {
+        match self.choices.get(index as usize) {
+            Some(&c) if (c as usize) < ready_len => c as usize,
+            Some(&c) => {
+                let mut div = self.divergence.lock();
+                if div.is_none() {
+                    *div = Some(ScheduleDivergence {
+                        index,
+                        ready_len,
+                        choice: c,
+                    });
+                }
+                seeded
+            }
+            None => seeded,
+        }
+    }
+}
+
+/// How a [`CoopEngine`] picks which ready rank gets a freed run token.
+///
+/// The policy only *selects among ready ranks*; liveness (every parked
+/// rank eventually reconsidered) is the scheduler's own contract and
+/// holds under every policy. The thread engine ignores this knob — its
+/// interleavings are kernel-owned.
+#[derive(Debug, Clone, Default)]
+pub enum SchedulePolicy {
+    /// The seeded splitmix64 pick keyed by `CoopCfg::sched_seed` (the
+    /// default, and the behavior of every policy past its script).
+    #[default]
+    Seeded,
+    /// Seeded pick, logging every decision as
+    /// `(decision_index, ready_queue, chosen)` into the recorder.
+    Record(Arc<ScheduleRecorder>),
+    /// Drive an explicit choice vector (then seeded completion),
+    /// recording what actually ran and flagging divergence.
+    Replay(Arc<ScheduleScript>),
+}
+
+impl SchedulePolicy {
+    /// Short policy name for logs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedulePolicy::Seeded => "seeded",
+            SchedulePolicy::Record(_) => "record",
+            SchedulePolicy::Replay(_) => "replay",
+        }
+    }
+}
+
+impl PartialEq for SchedulePolicy {
+    /// Identity semantics: `Seeded` equals `Seeded`; `Record`/`Replay`
+    /// compare by shared-state identity (two handles to the same log).
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (SchedulePolicy::Seeded, SchedulePolicy::Seeded) => true,
+            (SchedulePolicy::Record(a), SchedulePolicy::Record(b)) => Arc::ptr_eq(a, b),
+            (SchedulePolicy::Replay(a), SchedulePolicy::Replay(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
+impl Eq for SchedulePolicy {}
+
 /// Configuration of a [`CoopEngine`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CoopCfg {
@@ -94,8 +289,13 @@ impl EngineKind {
     ///
     /// * `thread`
     /// * `coop` — auto worker count, schedule seed 0
-    /// * `coop:<workers>` — explicit worker count (`0` = auto)
+    /// * `coop:<workers>` — explicit worker count (must be ≥ 1; ask for
+    ///   auto with the bare `coop` spec)
     /// * `coop:<workers>:<seed>` — plus an explicit schedule seed
+    ///
+    /// An explicit `coop:0` is rejected: zero run tokens could never
+    /// grant, so it must not silently mean "auto" — a worker-count typo
+    /// has to surface, not deadlock or re-interpret itself.
     ///
     /// Unrecognized values fall back to `Thread` with a warning on stderr
     /// (a typo must not silently change the substrate under a test run).
@@ -123,6 +323,12 @@ impl EngineKind {
         let mut cfg = CoopCfg::default();
         if let Some(w) = parts.next() {
             cfg.workers = w.trim().parse().ok()?;
+            // `CoopCfg::workers == 0` means auto internally, but an
+            // *explicit* zero in a spec is a malformed worker count: a
+            // token-less engine could never run a rank.
+            if cfg.workers == 0 {
+                return None;
+            }
         }
         if let Some(s) = parts.next() {
             cfg.sched_seed = s.trim().parse().ok()?;
@@ -141,11 +347,13 @@ impl EngineKind {
         }
     }
 
-    /// Instantiate the engine for an `n`-rank world.
-    pub(crate) fn build(&self, n: usize) -> Arc<dyn Engine> {
+    /// Instantiate the engine for an `n`-rank world. `policy` selects the
+    /// coop scheduler's pick strategy (the thread engine ignores it — the
+    /// kernel owns its interleavings).
+    pub(crate) fn build(&self, n: usize, policy: SchedulePolicy) -> Arc<dyn Engine> {
         match *self {
             EngineKind::Thread => Arc::new(ThreadEngine),
-            EngineKind::Coop(cfg) => Arc::new(CoopEngine::new(n, cfg)),
+            EngineKind::Coop(cfg) => Arc::new(CoopEngine::new(n, cfg, policy)),
         }
     }
 }
@@ -300,6 +508,8 @@ struct CoopShared {
     n: usize,
     seed: u64,
     workers: usize,
+    /// How a freed token picks its next holder (seeded / record / replay).
+    policy: SchedulePolicy,
     state: Mutex<CoopState>,
     /// Per-rank wake channels, all paired with `state`'s mutex.
     cvs: Vec<Condvar>,
@@ -323,11 +533,31 @@ impl CoopShared {
         st.free = self.workers;
         st.started = 0;
     }
-    /// Grant free tokens to ready ranks, one seeded pick per token. Held
+    /// Grant free tokens to ready ranks, one policy pick per token. Held
     /// back until the start barrier completes.
     fn grant(&self, st: &mut CoopState) {
         while st.free > 0 && !st.ready.is_empty() && st.started == self.n {
-            let idx = (splitmix64(self.seed ^ st.decisions) as usize) % st.ready.len();
+            let k = st.decisions;
+            let seeded = (splitmix64(self.seed ^ k) as usize) % st.ready.len();
+            let idx = match &self.policy {
+                SchedulePolicy::Seeded | SchedulePolicy::Record(_) => seeded,
+                SchedulePolicy::Replay(script) => script.pick(k, st.ready.len(), seeded),
+            };
+            match &self.policy {
+                SchedulePolicy::Seeded => {}
+                SchedulePolicy::Record(rec) => rec.record(SchedDecision {
+                    index: k,
+                    ready: st.ready.clone(),
+                    chosen_idx: idx as u32,
+                    chosen_rank: st.ready[idx],
+                }),
+                SchedulePolicy::Replay(script) => script.recorder.record(SchedDecision {
+                    index: k,
+                    ready: st.ready.clone(),
+                    chosen_idx: idx as u32,
+                    chosen_rank: st.ready[idx],
+                }),
+            }
             st.decisions = st.decisions.wrapping_add(1);
             let rank = st.ready.remove(idx);
             st.free -= 1;
@@ -336,24 +566,25 @@ impl CoopShared {
         }
     }
 
-    /// Enqueue `rank` for a token and block until granted. Caller must
-    /// have set a non-Running status for `rank` already.
-    fn acquire(&self, rank: usize, st: &mut parking_lot::MutexGuard<'_, CoopState>) {
-        st.status[rank] = RankState::Ready;
-        st.ready.push(rank);
-        self.grant(st);
-        while st.status[rank] != RankState::Running {
-            self.cvs[rank].wait(st);
-        }
-    }
-
     /// Start barrier + initial token acquisition. Grants are held until
-    /// the last rank arrives (see [`CoopState::started`]), so the arrival
-    /// that completes the barrier unblocks every earlier arriver's grant.
+    /// the last rank arrives (see [`CoopState::started`]); that arrival
+    /// also sorts the ready queue into ascending rank order, so the first
+    /// scheduling decision sees a canonical ready set — a pure function of
+    /// `(workers, sched_seed, policy)` — instead of the spawn race's
+    /// arrival order. (Every later enqueue is ordered by unpark calls,
+    /// which the running ranks' actions determine.)
     fn start(&self, rank: usize) {
         let mut st = self.state.lock();
         st.started += 1;
-        self.acquire(rank, &mut st);
+        st.status[rank] = RankState::Ready;
+        st.ready.push(rank);
+        if st.started == self.n {
+            st.ready.sort_unstable();
+        }
+        self.grant(&mut st);
+        while st.status[rank] != RankState::Running {
+            self.cvs[rank].wait(&mut st);
+        }
     }
 
     /// Retire a finished rank's token.
@@ -453,7 +684,7 @@ pub(crate) struct CoopEngine {
 }
 
 impl CoopEngine {
-    fn new(n: usize, cfg: CoopCfg) -> Self {
+    fn new(n: usize, cfg: CoopCfg, policy: SchedulePolicy) -> Self {
         let workers = match cfg.workers {
             0 => std::thread::available_parallelism()
                 .map(|p| p.get())
@@ -466,6 +697,7 @@ impl CoopEngine {
                 n,
                 seed: cfg.sched_seed,
                 workers,
+                policy,
                 state: Mutex::new(CoopState {
                     status: vec![RankState::Starting; n],
                     ready: Vec::with_capacity(n),
@@ -560,6 +792,52 @@ mod tests {
     }
 
     #[test]
+    fn parse_rejects_explicit_zero_workers() {
+        // `coop` (bare) means auto, but an explicit zero is a malformed
+        // worker count: zero run tokens could never grant a rank.
+        assert_eq!(EngineKind::parse("coop:0"), None);
+        assert_eq!(EngineKind::parse("coop:0:42"), None);
+        assert_eq!(EngineKind::parse("coop: 0 "), None);
+    }
+
+    #[test]
+    fn parse_edge_cases() {
+        // Whitespace and case are forgiven.
+        assert_eq!(EngineKind::parse("  thread  "), Some(EngineKind::Thread));
+        assert_eq!(
+            EngineKind::parse("COOP"),
+            Some(EngineKind::Coop(CoopCfg::default()))
+        );
+        assert_eq!(
+            EngineKind::parse("coop: 3 : 9 "),
+            Some(EngineKind::Coop(CoopCfg {
+                workers: 3,
+                sched_seed: 9
+            }))
+        );
+        // Malformed specs are rejected, never reinterpreted.
+        assert_eq!(EngineKind::parse(""), None);
+        assert_eq!(EngineKind::parse("coop:"), None);
+        assert_eq!(EngineKind::parse("coop::5"), None);
+        assert_eq!(EngineKind::parse("coop:1:"), None);
+        assert_eq!(EngineKind::parse("coop:-1"), None);
+        assert_eq!(EngineKind::parse("coop:1:-2"), None);
+        assert_eq!(EngineKind::parse("coop:1:0x10"), None);
+        assert_eq!(EngineKind::parse("thread:1"), None);
+        assert_eq!(EngineKind::parse("coop:2:3:"), None);
+        assert_eq!(EngineKind::parse("coop,2"), None);
+        // Saturating-large values still parse as plain integers.
+        assert_eq!(
+            EngineKind::parse(&format!("coop:1:{}", u64::MAX)),
+            Some(EngineKind::Coop(CoopCfg {
+                workers: 1,
+                sched_seed: u64::MAX
+            }))
+        );
+        assert_eq!(EngineKind::parse(&format!("coop:1:{}0", u64::MAX)), None);
+    }
+
+    #[test]
     fn thread_parker_banks_unpark() {
         let p = Arc::new(ThreadParker::new());
         let start = Instant::now();
@@ -599,6 +877,7 @@ mod tests {
                 workers: 2,
                 sched_seed: 7,
             },
+            SchedulePolicy::Seeded,
         );
         let pairs = eng.parkers(n);
         let running = AtomicUsize::new(0);
@@ -630,6 +909,7 @@ mod tests {
                 workers: 1,
                 sched_seed: 0,
             },
+            SchedulePolicy::Seeded,
         );
         let pairs = eng.parkers(n);
         let unparker0 = pairs[0].1.clone();
@@ -648,5 +928,114 @@ mod tests {
                 unparker0.unpark();
             }
         });
+    }
+
+    /// Run an `n`-rank do-nothing body under the given policy and return
+    /// (for Record) the recorder. Every rank just parks once with a banked
+    /// self-wake, so the decision log is short but non-trivial.
+    fn run_policy(n: usize, seed: u64, policy: SchedulePolicy) {
+        let eng = CoopEngine::new(
+            n,
+            CoopCfg {
+                workers: 1,
+                sched_seed: seed,
+            },
+            policy,
+        );
+        let pairs = eng.parkers(n);
+        eng.run(n, 0, &|rank| {
+            pairs[rank].1.unpark();
+            pairs[rank].0.park(Duration::from_secs(5));
+        });
+    }
+
+    #[test]
+    fn record_logs_consistent_decisions() {
+        let rec = ScheduleRecorder::new();
+        run_policy(4, 0xABCD, SchedulePolicy::Record(rec.clone()));
+        let log = rec.decisions();
+        assert!(log.len() >= 4, "at least one grant per rank: {log:?}");
+        for (i, d) in log.iter().enumerate() {
+            assert_eq!(d.index, i as u64, "decision indices are dense");
+            assert_eq!(d.chosen_rank, d.ready[d.chosen_idx as usize]);
+            assert!(!d.ready.is_empty());
+        }
+        // The first decision is taken after the start barrier, so it sees
+        // every rank in the ready set.
+        assert_eq!(log[0].ready.len(), 4);
+    }
+
+    #[test]
+    fn replay_follows_recorded_choices() {
+        let rec = ScheduleRecorder::new();
+        run_policy(4, 0x5EED, SchedulePolicy::Record(rec.clone()));
+        let choices = rec.choices();
+        let script = ScheduleScript::new(choices.clone());
+        run_policy(4, 0x5EED, SchedulePolicy::Replay(script.clone()));
+        assert_eq!(script.divergence(), None);
+        assert!(script.fully_consumed());
+        assert_eq!(
+            script.recorded(),
+            rec.decisions(),
+            "single-worker replay must retake identical decisions"
+        );
+    }
+
+    #[test]
+    fn replay_deviates_where_told() {
+        let rec = ScheduleRecorder::new();
+        run_policy(4, 7, SchedulePolicy::Record(rec.clone()));
+        let base = rec.decisions();
+        // Flip decision 0 to a different ready index: the replayed first
+        // grant must pick that rank instead.
+        let alt = (base[0].chosen_idx + 1) % base[0].ready.len() as u32;
+        let script = ScheduleScript::new(vec![alt]);
+        run_policy(4, 7, SchedulePolicy::Replay(script.clone()));
+        assert_eq!(script.divergence(), None);
+        let replayed = script.recorded();
+        assert_eq!(replayed[0].ready, base[0].ready);
+        assert_eq!(replayed[0].chosen_rank, base[0].ready[alt as usize]);
+    }
+
+    #[test]
+    fn replay_flags_out_of_range_choice() {
+        // A 2-rank world can never have 9 ready ranks; the script must
+        // flag divergence at decision 0 and fall back to the seeded pick
+        // (the run itself still completes).
+        let script = ScheduleScript::new(vec![9]);
+        run_policy(2, 3, SchedulePolicy::Replay(script.clone()));
+        let div = script.divergence().expect("divergence must be flagged");
+        assert_eq!(div.index, 0);
+        assert_eq!(div.choice, 9);
+        assert!(div.ready_len <= 2);
+    }
+
+    #[test]
+    fn replay_reports_unconsumed_script() {
+        // Far more choices than a 2-rank park-once body takes decisions.
+        let script = ScheduleScript::new(vec![0; 64]);
+        run_policy(2, 3, SchedulePolicy::Replay(script.clone()));
+        assert!(!script.fully_consumed());
+    }
+
+    #[test]
+    fn schedule_policy_identity_eq() {
+        let r = ScheduleRecorder::new();
+        let s = ScheduleScript::new(vec![1]);
+        assert_eq!(SchedulePolicy::Seeded, SchedulePolicy::Seeded);
+        assert_eq!(
+            SchedulePolicy::Record(r.clone()),
+            SchedulePolicy::Record(r.clone())
+        );
+        assert_ne!(
+            SchedulePolicy::Record(r.clone()),
+            SchedulePolicy::Record(ScheduleRecorder::new())
+        );
+        assert_ne!(
+            SchedulePolicy::Replay(s.clone()),
+            SchedulePolicy::Replay(ScheduleScript::new(vec![1]))
+        );
+        assert_ne!(SchedulePolicy::Seeded, SchedulePolicy::Record(r));
+        assert_eq!(SchedulePolicy::Replay(s.clone()), SchedulePolicy::Replay(s));
     }
 }

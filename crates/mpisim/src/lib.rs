@@ -75,7 +75,10 @@ pub use collective::{frame_chunks, unframe_chunks};
 pub use comm::{Comm, CommRegistry};
 pub use costmodel::{spin_ns, MachineProfile};
 pub use datatype::{decode_slice, encode_slice, Datatype, Scalar};
-pub use engine::{CoopCfg, EngineKind, Parker, ParkerRef, Unparker, UnparkerRef};
+pub use engine::{
+    CoopCfg, EngineKind, Parker, ParkerRef, SchedDecision, ScheduleDivergence, SchedulePolicy,
+    ScheduleRecorder, ScheduleScript, Unparker, UnparkerRef,
+};
 pub use envelope::{Envelope, MatchSpec, MsgClass, SrcSel, TagSel, INTERNAL_TAG_BIT, MAX_USER_TAG};
 pub use error::{MpiError, Result};
 pub use fault::{FaultPlan, FaultSpec, Perturb, StorageFault, StorageFaultKind, StorageFaultSpec};

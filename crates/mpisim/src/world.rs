@@ -7,7 +7,7 @@
 
 use crate::comm::CommRegistry;
 use crate::costmodel::MachineProfile;
-use crate::engine::{Engine, EngineKind, ParkerRef, UnparkerRef};
+use crate::engine::{Engine, EngineKind, ParkerRef, SchedulePolicy, UnparkerRef};
 use crate::error::MpiError;
 use crate::network::Network;
 use crate::onesided::WinRegistry;
@@ -37,6 +37,10 @@ pub struct WorldCfg {
     /// the `MANA2_ENGINE` environment variable ([`EngineKind::from_env`]),
     /// falling back to [`EngineKind::Thread`].
     pub engine: EngineKind,
+    /// How the coop scheduler picks among ready ranks: the seeded default,
+    /// a recording run, or an explicit choice-vector replay. Ignored by
+    /// the thread engine, whose interleavings are kernel-owned.
+    pub schedule: SchedulePolicy,
     /// Seed for any randomized behaviour in workloads (plumbed through,
     /// unused by the runtime itself).
     pub seed: u64,
@@ -55,6 +59,7 @@ impl Default for WorldCfg {
             watchdog: None,
             stack_size: 512 * 1024,
             engine: EngineKind::from_env(),
+            schedule: SchedulePolicy::Seeded,
             seed: 0,
             fault: None,
             trace: None,
@@ -106,7 +111,7 @@ impl World {
     pub fn new(n: usize, cfg: WorldCfg) -> World {
         assert!(n > 0, "world must have at least one rank");
         let deadline = cfg.watchdog.map(|d| Instant::now() + d);
-        let engine = cfg.engine.build(n);
+        let engine = cfg.engine.build(n, cfg.schedule.clone());
         World {
             fabric: Arc::new(Fabric {
                 n,
