@@ -7,16 +7,16 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mana_bench::world_cfg;
-use mana_core::{ManaConfig, ManaRuntime, RestartMode};
+use mana_core::{CommRestore, ManaConfig, ManaRuntime};
 use mpisim::{MachineProfile, ReduceOp};
 use std::path::PathBuf;
 
 /// Prepare images for a run that created (and freed) `churn` communicators,
 /// then return the checkpoint dir.
-fn prepare(churn: u64, mode: RestartMode, tag: &str) -> (PathBuf, ManaConfig) {
+fn prepare(churn: u64, mode: CommRestore, tag: &str) -> (PathBuf, ManaConfig) {
     let dir = mana_bench::scratch_dir(tag);
     let cfg = ManaConfig {
-        restart_mode: mode,
+        comm_restore: mode,
         exit_after_ckpt: true,
         ckpt_dir: dir.clone(),
         ..ManaConfig::default()
@@ -63,11 +63,11 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_restart");
     g.sample_size(10);
     for churn in [4u64, 16] {
-        let (dir_a, cfg_a) = prepare(churn, RestartMode::ActiveList, "abl_rs_active");
+        let (dir_a, cfg_a) = prepare(churn, CommRestore::ActiveList, "abl_rs_active");
         g.bench_with_input(BenchmarkId::new("active_list", churn), &churn, |b, _| {
             b.iter(|| restart_once(&cfg_a))
         });
-        let (dir_b, cfg_b) = prepare(churn, RestartMode::ReplayLog, "abl_rs_replay");
+        let (dir_b, cfg_b) = prepare(churn, CommRestore::ReplayLog, "abl_rs_replay");
         g.bench_with_input(BenchmarkId::new("replay_log", churn), &churn, |b, _| {
             b.iter(|| restart_once(&cfg_b))
         });

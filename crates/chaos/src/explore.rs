@@ -551,6 +551,10 @@ pub fn interleaving_token(ev: &obs::TraceEvent) -> String {
         EventKind::NetHold { src, reorder } => s.push_str(&format!(":{src}:{reorder}")),
         EventKind::DrainCapture { src, bytes } => s.push_str(&format!(":{src}:{bytes}")),
         EventKind::FaultFired { fault } => s.push_str(&format!(":{}", fault.name())),
+        EventKind::RestartSkip { gen, code } => s.push_str(&format!(":{gen}:{}", code.name())),
+        EventKind::JournalAppend {
+            epoch, step, rank, ..
+        } => s.push_str(&format!(":{epoch}:{}:{rank}", step.name())),
     }
     s
 }

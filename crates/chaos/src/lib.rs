@@ -24,7 +24,7 @@
 #![warn(missing_docs)]
 
 use mana_core::obs;
-use mana_core::{DrainMode, Mana, ManaConfig, ManaRuntime, ManaStats, RunReport};
+use mana_core::{DrainMode, Mana, ManaConfig, ManaRuntime, ManaStats, RunReport, RuntimeError};
 use mpisim::{
     EngineKind, FaultPlan, FaultSpec, StorageFaultKind, StorageFaultSpec, World, WorldCfg,
 };
@@ -905,6 +905,422 @@ pub fn check_storage_case(case: &StorageCase) -> Result<StorageReport, String> {
             f.error,
             f.trace_dump_line(),
             f.repro()
+        )
+    })
+}
+
+// ---- reentrant-restart (restart-kill) chaos --------------------------------
+
+/// One reentrant-restart chaos scenario: a committed checkpoint store, a
+/// sequence of restart attempts each killed at a seeded journal-step
+/// boundary (`FaultSpec::restart_kill`), then a clean restart that must
+/// converge — same final state as an uncrashed restart, journal
+/// idempotent, no restored rank lost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RestartKillCase {
+    /// The seed — drives the derived shape and kill boundaries.
+    pub seed: u64,
+    /// World size (derived: 2–4 ranks).
+    pub ranks: usize,
+    /// Journal-step boundaries at which successive restart attempts die.
+    /// One entry = single crash; two = a double crash (crash during the
+    /// crash recovery), and so on.
+    pub kills: Vec<u64>,
+    /// `Some(failed)`: partial restart replacing only these ranks.
+    /// `None`: full restart of every rank.
+    pub partial: Option<Vec<usize>>,
+    /// Optional storage-fault cross: the newest generation is silently
+    /// damaged before the killed restarts, so recovery must *also* fall
+    /// back to the older committed generation while surviving crashes.
+    pub storage: Option<StorageFaultKind>,
+    /// Execution engine for every leg.
+    pub engine: EngineKind,
+}
+
+impl RestartKillCase {
+    /// How many ranks this case's restarts journal (`RankRestored`).
+    pub fn scope(&self) -> u64 {
+        self.partial
+            .as_ref()
+            .map(|f| f.len() as u64)
+            .unwrap_or(self.ranks as u64)
+    }
+
+    /// Journal-step boundaries one restart attempt passes: two per step
+    /// (just before and just after the durable append), over intent,
+    /// validation, one `rank_restored` per replaced rank, `comms_rebuilt`
+    /// and `restart_committed`. Kills at `0..boundaries()` cover crashing
+    /// the restart around every record it writes.
+    pub fn boundaries(&self) -> u64 {
+        2 * (self.scope() + 4)
+    }
+
+    /// Derive the seed-dependent shape for a chosen (storage, partial,
+    /// engine) cell of the sweep matrix.
+    pub fn derive(
+        seed: u64,
+        storage: Option<StorageFaultKind>,
+        partial: bool,
+        engine: EngineKind,
+    ) -> Self {
+        let h = |salt: u64| splitmix64(seed ^ splitmix64(salt));
+        let ranks = 2 + (h(0xF00D) % 3) as usize;
+        let partial = partial.then(|| {
+            // 1..ranks replaced ranks, contiguous from a seeded start, so
+            // at least one survivor remains. For a storage cross the
+            // start is the storage victim: a survivor keeps its state in
+            // a real partial restart and never reads its image, but this
+            // in-process simulation rebuilds survivors from their images
+            // too — so the damaged rank must be in the replaced set for
+            // subset validation to see (and reject) the damage.
+            let k = 1 + (h(0xFA11) % (ranks as u64 - 1)) as usize;
+            let start = if storage.is_some() {
+                (h(0x71C7) % ranks as u64) as usize
+            } else {
+                (h(0x57A7) % ranks as u64) as usize
+            };
+            let mut failed: Vec<usize> = (0..k).map(|i| (start + i) % ranks).collect();
+            failed.sort_unstable();
+            failed
+        });
+        let scope = partial.as_ref().map(|f| f.len()).unwrap_or(ranks) as u64;
+        let total = 2 * (scope + 4);
+        let n_kills = 1 + (h(0x2CA5) % 2) as usize;
+        let kills = (0..n_kills as u64)
+            .map(|i| h(0x517E ^ (i << 8)) % total)
+            .collect();
+        RestartKillCase {
+            seed,
+            ranks,
+            kills,
+            partial,
+            storage,
+            engine,
+        }
+    }
+}
+
+/// What a passing restart-kill case demonstrated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RestartKillReport {
+    /// Killed restart attempts observed before convergence.
+    pub attempts: usize,
+    /// Did recovery fall back past a damaged generation?
+    pub fell_back: bool,
+    /// Journal records on disk after convergence.
+    pub journal_records: usize,
+}
+
+fn restart_kill_plan(seed: u64, kill: u64) -> Arc<FaultPlan> {
+    let spec = FaultSpec {
+        restart_kill: Some(kill),
+        ..FaultSpec::quiet()
+    };
+    Arc::new(FaultPlan::new(seed, spec))
+}
+
+fn rk_wcfg(engine: EngineKind) -> WorldCfg {
+    WorldCfg { engine, ..wcfg() }
+}
+
+fn rk_run(
+    case: &RestartKillCase,
+    mcfg: &ManaConfig,
+    gcfg: gromacs::GromacsConfig,
+    restart: bool,
+) -> Result<RunReport<gromacs::GromacsResult>, RuntimeError> {
+    let rt = ManaRuntime::new(case.ranks, mcfg.clone()).with_world_cfg(rk_wcfg(case.engine));
+    let f = move |m: &mut Mana<'_>| -> mana_core::Result<gromacs::GromacsResult> {
+        let mut face = ManaFace::new(m);
+        gromacs::run(&mut face, &gcfg).map_err(|e| e.into_mana())
+    };
+    match (&case.partial, restart) {
+        (_, false) => rt.run_fresh(f),
+        (None, true) => rt.run_restart(f),
+        (Some(failed), true) => rt.run_restart_partial(failed, f),
+    }
+}
+
+/// Build the checkpoint store a restart-kill case recovers from: a clean
+/// committed generation 0, plus — for the storage cross — a silently
+/// damaged generation 1 that restart validation must reject.
+fn rk_prepare(case: &RestartKillCase, base: &ManaConfig) -> Result<(), String> {
+    let exit_cfg = ManaConfig {
+        exit_after_ckpt: true,
+        ..base.clone()
+    };
+    let leg = rk_run(case, &exit_cfg, storage_gromacs_cfg(Some(2), 0), false)
+        .map_err(|e| format!("prepare leg 1: {e}"))?;
+    if !leg.all_checkpointed() {
+        return Err(format!(
+            "prepare leg 1 did not checkpoint: {:?}",
+            leg.outcomes
+        ));
+    }
+    if let Some(kind) = case.storage {
+        let h = |salt: u64| splitmix64(case.seed ^ splitmix64(salt));
+        let victim = (h(0x71C7) % case.ranks as u64) as usize;
+        let spec = FaultSpec {
+            storage: Some(StorageFaultSpec {
+                rank: victim,
+                round: 1,
+                kind,
+            }),
+            ..FaultSpec::quiet()
+        };
+        let mcfg = ManaConfig {
+            fault: Some(Arc::new(FaultPlan::new(case.seed, spec))),
+            exit_after_ckpt: true,
+            ..base.clone()
+        };
+        // A *full* restart here regardless of case.partial: the damaged
+        // round-1 generation must exist before the killed restarts start.
+        let rt = ManaRuntime::new(case.ranks, mcfg).with_world_cfg(rk_wcfg(case.engine));
+        let gcfg = storage_gromacs_cfg(Some(5), 1);
+        let leg2 = rt
+            .run_restart(move |m: &mut Mana<'_>| {
+                let mut face = ManaFace::new(m);
+                gromacs::run(&mut face, &gcfg).map_err(|e| e.into_mana())
+            })
+            .map_err(|e| format!("prepare leg 2: {e}"))?;
+        match kind {
+            // The write error aborts round 1, so the job finishes instead
+            // of exiting; gen 0 remains the only (clean) generation.
+            StorageFaultKind::WriteError => {
+                if !leg2.all_finished() {
+                    return Err(format!("prepare leg 2 did not finish: {:?}", leg2.outcomes));
+                }
+            }
+            // Silent damage commits; the killed restarts must skip it.
+            StorageFaultKind::TornWrite | StorageFaultKind::BitFlip => {
+                if !leg2.all_checkpointed() {
+                    return Err(format!(
+                        "prepare leg 2 did not checkpoint: {:?}",
+                        leg2.outcomes
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Run one restart-kill scenario end to end:
+///
+/// 1. Build identical stores in a baseline dir and a victim dir.
+/// 2. Baseline: one clean (uncrashed) restart to completion.
+/// 3. Victim: one restart attempt per kill boundary in `case.kills`, each
+///    of which must die with `RuntimeError::RestartKilled`, then a clean
+///    restart that must converge.
+/// 4. Oracle: victim's final values and restored generation equal the
+///    baseline's (and the native reference), the on-disk journal passes
+///    [`mana_core::check_journal`], its final epoch is committed, and the
+///    set of journaled `RankRestored` ranks is exactly the restart scope —
+///    no step duplicated, no rank lost, no matter where the crashes hit.
+pub fn run_restart_kill_case(case: &RestartKillCase) -> Result<RestartKillReport, CaseFailure> {
+    let sink = obs::TraceSink::wall(case.ranks, 4096);
+    let fail = |stage: &str, e: String| CaseFailure {
+        case: ChaosCase {
+            seed: case.seed,
+            ranks: case.ranks,
+            workload: Workload::Gromacs,
+            drain: DrainMode::Alltoall,
+            restart: true,
+        },
+        error: format!("restart_kill{:?} {stage}: {e}", case.kills),
+        trace_dump: None,
+    };
+    // Native reference: same kernel, no checkpoints.
+    let expected = {
+        let cfg = storage_gromacs_cfg(None, 0);
+        let w = World::new(case.ranks, rk_wcfg(case.engine));
+        w.launch(move |p| {
+            let mut f = NativeFace::new(p);
+            gromacs::run(&mut f, &cfg)
+        })
+        .map_err(|e| e.to_string())
+        .and_then(|outs| {
+            outs.into_iter()
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(|e| e.to_string())
+        })
+        .map_err(|e| fail("native reference", e))?
+    };
+    let mk_dir = |tag: &str| {
+        std::env::temp_dir().join(format!(
+            "mana2_chaos_rkill_{tag}_{}_{}",
+            case.seed,
+            std::process::id()
+        ))
+    };
+    let (bdir, vdir) = (mk_dir("base"), mk_dir("victim"));
+    let _ = std::fs::remove_dir_all(&bdir);
+    let _ = std::fs::remove_dir_all(&vdir);
+    let result = rk_case_inner(case, &expected, &bdir, &vdir, &sink, &fail);
+    // `CHAOS_KEEP_STORES` leaves the stormed stores (and their restart
+    // journals) on disk so CI can point `mana2-inspect journal --verify`
+    // at the real artifact of a storm instead of a synthetic fixture.
+    let keep = std::env::var("CHAOS_KEEP_STORES").is_ok_and(|v| v != "0");
+    if keep {
+        eprintln!("chaos: keeping stormed stores: {}", vdir.display());
+    } else {
+        let _ = std::fs::remove_dir_all(&bdir);
+        let _ = std::fs::remove_dir_all(&vdir);
+    }
+    result.map_err(|mut f| {
+        f.trace_dump = dump_case_trace(&sink, case.seed, "chaos_rkill_fail");
+        f
+    })
+}
+
+fn rk_case_inner(
+    case: &RestartKillCase,
+    expected: &[gromacs::GromacsResult],
+    bdir: &std::path::Path,
+    vdir: &std::path::Path,
+    sink: &Arc<obs::TraceSink>,
+    fail: &impl Fn(&str, String) -> CaseFailure,
+) -> Result<RestartKillReport, CaseFailure> {
+    use splitproc::journal;
+    let final_gcfg = storage_gromacs_cfg(None, 0);
+    let base_of = |dir: &std::path::Path| ManaConfig {
+        ckpt_dir: dir.to_path_buf(),
+        deadlock_timeout: Some(Duration::from_secs(30)),
+        trace: Some(sink.clone()),
+        ..ManaConfig::default()
+    };
+    rk_prepare(case, &base_of(bdir)).map_err(|e| fail("baseline prepare", e))?;
+    rk_prepare(case, &base_of(vdir)).map_err(|e| fail("victim prepare", e))?;
+    // Baseline: the uncrashed restart this case's crashed one must match.
+    let baseline = rk_run(case, &base_of(bdir), final_gcfg.clone(), true)
+        .map_err(|e| fail("baseline restart", e.to_string()))?;
+    if !baseline.all_finished() {
+        return Err(fail(
+            "baseline restart",
+            format!("did not finish: {:?}", baseline.outcomes),
+        ));
+    }
+    let baseline_restored = baseline.restored_round;
+    if baseline.values() != expected {
+        return Err(fail(
+            "baseline restart",
+            "baseline diverged from native reference".into(),
+        ));
+    }
+    // Victim: killed attempts...
+    for (i, &k) in case.kills.iter().enumerate() {
+        let mcfg = ManaConfig {
+            fault: Some(restart_kill_plan(case.seed, k)),
+            ..base_of(vdir)
+        };
+        match rk_run(case, &mcfg, final_gcfg.clone(), true) {
+            Err(RuntimeError::RestartKilled { step }) if step == k => {}
+            Err(RuntimeError::RestartKilled { step }) => {
+                return Err(fail(
+                    "kill",
+                    format!("attempt {i} killed at boundary {step}, armed {k}"),
+                ));
+            }
+            Ok(_) => {
+                return Err(fail(
+                    "kill",
+                    format!("attempt {i} survived an armed kill at boundary {k}"),
+                ));
+            }
+            Err(e) => {
+                return Err(fail(
+                    "kill",
+                    format!("attempt {i} (boundary {k}) died of the wrong error: {e}"),
+                ));
+            }
+        }
+    }
+    // ...then the clean restart that must converge.
+    let report = rk_run(case, &base_of(vdir), final_gcfg, true)
+        .map_err(|e| fail("final restart", e.to_string()))?;
+    if !report.all_finished() {
+        return Err(fail(
+            "final restart",
+            format!("did not finish: {:?}", report.outcomes),
+        ));
+    }
+    if report.restored_round != baseline_restored {
+        return Err(fail(
+            "oracle",
+            format!(
+                "restored generation {:?} differs from baseline {:?}",
+                report.restored_round, baseline_restored
+            ),
+        ));
+    }
+    let fell_back = report.restored_round == Some(0)
+        && matches!(
+            case.storage,
+            Some(StorageFaultKind::TornWrite | StorageFaultKind::BitFlip)
+        );
+    let scope: Vec<u64> = case
+        .partial
+        .clone()
+        .map(|f| f.into_iter().map(|r| r as u64).collect())
+        .unwrap_or_else(|| (0..case.ranks as u64).collect());
+    if report.restored_ranks
+        != Some(
+            case.partial
+                .clone()
+                .unwrap_or_else(|| (0..case.ranks).collect()),
+        )
+    {
+        return Err(fail(
+            "oracle",
+            format!("restored_ranks {:?} != scope", report.restored_ranks),
+        ));
+    }
+    if report.values() != expected {
+        return Err(fail(
+            "oracle",
+            "final state diverged from the uncrashed baseline".into(),
+        ));
+    }
+    // Journal oracle: protocol invariants hold over everything the crash
+    // storm wrote, and the final epoch committed with the full scope.
+    let records = journal::read_records(vdir).map_err(|e| fail("journal", e.to_string()))?;
+    let violations = mana_core::check_journal(&records);
+    if !violations.is_empty() {
+        return Err(fail("journal", violations.join("; ")));
+    }
+    let epochs = journal::replay_epochs(&records);
+    let Some(last) = epochs.last() else {
+        return Err(fail("journal", "no epochs journaled".into()));
+    };
+    if !last.committed {
+        return Err(fail(
+            "journal",
+            format!("final epoch {} never committed", last.epoch),
+        ));
+    }
+    let restored: Vec<u64> = last.restored.iter().copied().collect();
+    if restored != scope {
+        return Err(fail(
+            "journal",
+            format!("epoch {} restored {restored:?}, want {scope:?}", last.epoch),
+        ));
+    }
+    Ok(RestartKillReport {
+        attempts: case.kills.len(),
+        fell_back,
+        journal_records: records.len(),
+    })
+}
+
+/// Run a restart-kill case, formatting failures with the case description.
+pub fn check_restart_kill_case(case: &RestartKillCase) -> Result<RestartKillReport, String> {
+    run_restart_kill_case(case).map_err(|f| {
+        format!(
+            "restart-kill chaos case failed\n  seed: {}\n  case: {case:?}\n  error: {}\n  \
+             trace dump: {}",
+            case.seed,
+            f.error,
+            f.trace_dump_line(),
         )
     })
 }

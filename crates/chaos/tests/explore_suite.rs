@@ -187,13 +187,25 @@ fn injected_oracle_found_and_minimized() {
         baseline.error
     );
 
-    let cfg = ExploreCfg {
-        budget: Duration::from_secs(60),
-        sterile_pruning: false, // don't let the heuristic starve a tiny search
-        ..ExploreCfg::default()
+    // An idle machine finds this in well under a second, but the suite can
+    // run heavily oversubscribed (the whole workspace testing in parallel
+    // on a small box), starving a wall-clock budget of schedules. Retry
+    // with the budget doubled until the search either finds the bug or has
+    // run enough schedules that coming up empty is meaningful.
+    let mut budget = Duration::from_secs(60);
+    let report = loop {
+        let cfg = ExploreCfg {
+            budget,
+            sterile_pruning: false, // don't let the heuristic starve a tiny search
+            ..ExploreCfg::default()
+        };
+        let report = explore(&target, &cfg);
+        eprintln!("{}", report.summary());
+        if !report.failures.is_empty() || report.schedules_run >= 300 {
+            break report;
+        }
+        budget *= 2;
     };
-    let report = explore(&target, &cfg);
-    eprintln!("{}", report.summary());
     assert_eq!(
         report.failures.len(),
         1,

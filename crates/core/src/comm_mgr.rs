@@ -69,7 +69,7 @@ impl Decode for CommRecord {
     }
 }
 
-/// One entry of the legacy constructor replay log (`RestartMode::ReplayLog`
+/// One entry of the legacy constructor replay log (`CommRestore::ReplayLog`
 /// baseline): enough to re-execute the construction at restart.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CommCall {

@@ -34,7 +34,7 @@ pub enum DrainMode {
 
 /// Communicator-restoration strategy at restart (paper §III-C).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum RestartMode {
+pub enum CommRestore {
     /// MANA-2.0: recreate only communicators on the active list, directly
     /// from their saved groups.
     ActiveList,
@@ -54,8 +54,8 @@ pub struct ManaConfig {
     pub vtable: VtBackend,
     /// FS-register switching cost model (§III-G).
     pub fs_mode: FsMode,
-    /// Restart strategy (§III-C ablation).
-    pub restart_mode: RestartMode,
+    /// Communicator-restoration strategy at restart (§III-C ablation).
+    pub comm_restore: CommRestore,
     /// Wrapper callback style (§III-H ablation).
     pub callback_style: CallbackStyle,
     /// If true, ranks exit after writing a checkpoint (checkpoint-and-kill,
@@ -101,7 +101,7 @@ impl Default for ManaConfig {
             drain: DrainMode::Alltoall,
             vtable: VtBackend::FxHash,
             fs_mode: FsMode::Workaround,
-            restart_mode: RestartMode::ActiveList,
+            comm_restore: CommRestore::ActiveList,
             callback_style: CallbackStyle::Prepared,
             exit_after_ckpt: false,
             ckpt_dir: std::env::temp_dir().join("mana2_ckpt"),
@@ -149,7 +149,7 @@ mod tests {
         let c = ManaConfig::default();
         assert_eq!(c.tpc, TpcMode::Hybrid);
         assert_eq!(c.drain, DrainMode::Alltoall);
-        assert_eq!(c.restart_mode, RestartMode::ActiveList);
+        assert_eq!(c.comm_restore, CommRestore::ActiveList);
     }
 
     #[test]

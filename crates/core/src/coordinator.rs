@@ -658,7 +658,9 @@ fn coordinator_loop(
                 });
                 // The committed round supersedes older generations: sweep
                 // beyond the retention window (best-effort; GC failure
-                // must not fail the job).
+                // must not fail the job). Generations pinned by an open
+                // restart-journal epoch are exempt — a restart in flight
+                // must never have its source collected out from under it.
                 if let Some(cs) = &ckpt_store {
                     let _ = store::gc_generations(&cs.root, cs.retain);
                 }

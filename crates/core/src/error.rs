@@ -28,6 +28,15 @@ pub enum ManaError {
     CoordinatorGone,
     /// Restart-time inconsistency (e.g. image world size mismatch).
     RestartMismatch(String),
+    /// An injected `RestartKill` fault killed the restart at journal-step
+    /// boundary `k`. Models the coordinator dying mid-restart: the
+    /// journal is left exactly as the crash would leave it and a
+    /// subsequent restart must resume from it. Only ever produced under
+    /// a chaos fault plan, never in normal operation.
+    RestartKilled {
+        /// Which journal-step boundary (0-based, global counter) died.
+        step: u64,
+    },
     /// A checkpoint-window invariant was violated: the drain left traffic
     /// in flight, a request is in an illegal retirement state, or the
     /// active-communicator list disagrees with the live bindings. Always a
@@ -50,6 +59,12 @@ impl fmt::Display for ManaError {
             ManaError::CkptExit => write!(f, "checkpoint written; exiting as configured"),
             ManaError::CoordinatorGone => write!(f, "checkpoint coordinator disappeared"),
             ManaError::RestartMismatch(s) => write!(f, "restart mismatch: {s}"),
+            ManaError::RestartKilled { step } => {
+                write!(
+                    f,
+                    "restart killed at journal-step boundary {step} (injected)"
+                )
+            }
             ManaError::InvariantViolation(s) => {
                 write!(f, "checkpoint invariant violated: {s}")
             }

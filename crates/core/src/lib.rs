@@ -58,7 +58,7 @@ pub mod error;
 pub mod fortran;
 pub mod fxhash;
 pub mod ids;
-mod invariants;
+pub mod invariants;
 mod mana;
 mod mana_ckpt;
 mod mana_coll;
@@ -75,7 +75,7 @@ pub use obs;
 pub use callbacks::{CallbackStyle, CommitState};
 pub use collective_emu::{emu_tag, CollOp, CollOpTable, EmuIo, EmuKind, IRecvSlot, MANA_TAG_BASE};
 pub use comm_mgr::{global_comm_id, CommManager, CommRecord};
-pub use config::{DrainMode, ManaConfig, RestartMode, TpcMode};
+pub use config::{CommRestore, DrainMode, ManaConfig, TpcMode};
 pub use coordinator::{
     spawn_coordinator, spawn_coordinator_ext, AbortedRound, CkptRoundStats, CkptTrigger,
     CommitCheck, CoordHandle, CoordReport, CoordStore,
@@ -83,11 +83,12 @@ pub use coordinator::{
 pub use error::{ManaError, Result};
 pub use fortran::{FortranConstants, NamedConstant};
 pub use ids::{VComm, VReq, VCOMM_NULL, VCOMM_WORLD, VREQ_NULL};
+pub use invariants::check_journal;
 pub use mana::{Mana, ManaStats};
 pub use mana_ckpt::ManaMeta;
 pub use mana_win::{VWin, WinManager, WinMeta, WinRecord};
 pub use p2p_log::{DrainBuffer, DrainedMsg, P2pLog};
 pub use requests::{Binding, RequestManager, StoredCompletion, VReqEntry, VReqKind};
-pub use runtime::{AppOutcome, ManaRuntime, RunReport, RuntimeError};
+pub use runtime::{AppOutcome, ManaRuntime, RestartMode, RunReport, RuntimeError};
 pub use trace_adapter::FabricTraceAdapter;
 pub use vtable::{VirtualTable, VtBackend};

@@ -20,7 +20,7 @@
 
 use crate::collective_emu::CollOpMeta;
 use crate::comm_mgr::{CommManager, CommMeta};
-use crate::config::{DrainMode, ManaConfig, RestartMode};
+use crate::config::{CommRestore, DrainMode, ManaConfig};
 use crate::coordinator::{CoordHandle, CoordMsg, RankMsg};
 use crate::error::{ManaError, Result};
 use crate::ids::{VComm, VCOMM_WORLD};
@@ -580,8 +580,8 @@ impl<'p> Mana<'p> {
         // World first.
         comms.rebind(VCOMM_WORLD.0, Comm::WORLD);
         let me = proc.rank();
-        match cfg.restart_mode {
-            RestartMode::ActiveList => {
+        match cfg.comm_restore {
+            CommRestore::ActiveList => {
                 // §III-C: only live communicators, straight from their
                 // groups. vid order is creation order, consistent among
                 // shared members.
@@ -597,7 +597,7 @@ impl<'p> Mana<'p> {
                     stats.restored_comms += 1;
                 }
             }
-            RestartMode::ReplayLog => {
+            CommRestore::ReplayLog => {
                 // Original MANA baseline: replay every constructor, freed
                 // or not (freed ones are wasted work + table bloat).
                 for call in &meta.comm.replay_log {

@@ -14,8 +14,11 @@ use crate::coordinator::{
 use crate::error::{ManaError, Result};
 use crate::mana::{Mana, ManaStats};
 use mpisim::{StatsSnapshot, World, WorldCfg};
+use splitproc::journal::{Journal, JournalStep};
 use splitproc::{store, CkptImage};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// How one rank's application run ended.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -42,6 +45,25 @@ impl<T> AppOutcome<T> {
     }
 }
 
+/// What a restart run replaces. This is the restart *scope* — distinct
+/// from [`crate::config::CommRestore`], which picks the communicator
+/// *restoration strategy* used once the scope is decided.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RestartMode {
+    /// Rebuild every rank from the selected generation.
+    Full,
+    /// Replace only `failed` ranks from the newest committed generation
+    /// whose *failed-rank* images validate. Survivor ranks re-enter the
+    /// world with their images read leniently — a survivor whose on-disk
+    /// image has since rotted cannot veto the restart — and communicators
+    /// are rebuilt around them. Only the failed ranks' restores are
+    /// journaled.
+    Partial {
+        /// The ranks being replaced (sorted, deduplicated).
+        failed: Vec<usize>,
+    },
+}
+
 /// Everything a run produces.
 #[derive(Debug)]
 pub struct RunReport<T> {
@@ -57,6 +79,10 @@ pub struct RunReport<T> {
     /// from (it may be older than the newest on disk if newer generations
     /// failed validation). `None` for fresh runs.
     pub restored_round: Option<u64>,
+    /// For restart runs: the ranks whose images were store-validated and
+    /// journaled as restored — every rank for a full restart, exactly the
+    /// failed set for a partial one. `None` for fresh runs.
+    pub restored_ranks: Option<Vec<usize>>,
 }
 
 impl<T> RunReport<T> {
@@ -98,6 +124,14 @@ pub enum RuntimeError {
     /// Restart found no usable checkpoint generation (or the store itself
     /// failed); the payload names every rejected generation and why.
     Store(store::StoreError),
+    /// An injected `RestartKill` fault (chaos testing) killed the restart
+    /// at the given journal-step boundary. The journal on disk is exactly
+    /// what a real mid-restart crash would leave behind; rerunning the
+    /// restart resumes the open epoch from it.
+    RestartKilled {
+        /// The 0-based global journal-step boundary that died.
+        step: u64,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -110,11 +144,98 @@ impl fmt::Display for RuntimeError {
                 write!(f, "checkpoint commit invariant violated: {s}")
             }
             RuntimeError::Store(e) => write!(f, "checkpoint store: {e}"),
+            RuntimeError::RestartKilled { step } => {
+                write!(
+                    f,
+                    "restart killed at journal-step boundary {step} (injected)"
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for RuntimeError {}
+
+/// Map a [`JournalStep`] to its flight-recorder payload.
+fn obs_step(step: &JournalStep) -> (obs::RestartStep, i64) {
+    match step {
+        JournalStep::RestartIntent { .. } => (obs::RestartStep::Intent, -1),
+        JournalStep::GenValidated { .. } => (obs::RestartStep::Validated, -1),
+        JournalStep::RankRestored { rank } => (obs::RestartStep::RankRestored, *rank as i64),
+        JournalStep::CommsRebuilt => (obs::RestartStep::CommsRebuilt, -1),
+        JournalStep::RestartCommitted => (obs::RestartStep::Committed, -1),
+    }
+}
+
+/// Shared restart-protocol state: the open journal, the epoch being
+/// driven, and the injected kill point. One instance per restart run,
+/// shared by the pre-spawn coordinator-side steps and every rank closure.
+struct RestartGuard {
+    journal: Mutex<Journal>,
+    /// The restart epoch this run is driving (resumed or freshly opened).
+    epoch: u64,
+    /// Kill the restart at this journal-step boundary (chaos only).
+    kill_at: Option<u64>,
+    /// Global boundary counter. Each [`RestartGuard::step`] passes two
+    /// boundaries — one before and one after the durable append — so a
+    /// sweep over `kill_at` crashes the restart both just-before and
+    /// just-after every record it would write.
+    boundary: AtomicU64,
+    /// Ranks still restoring; the last one to finish journals the
+    /// world-level `CommsRebuilt` and `RestartCommitted` steps.
+    remaining: AtomicUsize,
+    trace: Option<Arc<obs::TraceSink>>,
+}
+
+impl RestartGuard {
+    fn kill_point(&self, actor: i32) -> Result<()> {
+        let Some(k) = self.kill_at else {
+            return Ok(());
+        };
+        if self.boundary.fetch_add(1, Ordering::SeqCst) == k {
+            if let Some(s) = &self.trace {
+                s.record(
+                    actor,
+                    obs::NO_ROUND,
+                    obs::EventKind::FaultFired {
+                        fault: obs::FaultKind::RestartKill,
+                    },
+                );
+            }
+            return Err(ManaError::RestartKilled { step: k });
+        }
+        Ok(())
+    }
+
+    /// Drive one protocol step: kill point, durable idempotent append,
+    /// trace event, kill point. Returns whether the record was freshly
+    /// written (`false` means a resumed restart found it already durable
+    /// and skipped it — the step is never redone).
+    fn step(&self, actor: i32, step: JournalStep) -> Result<bool> {
+        self.kill_point(actor)?;
+        let fresh = self
+            .journal
+            .lock()
+            .expect("restart journal lock poisoned")
+            .append(self.epoch, step.clone())
+            .map_err(|e| ManaError::Image(splitproc::ImageError::Io(e)))?;
+        if let Some(s) = &self.trace {
+            let (st, rank) = obs_step(&step);
+            s.record(
+                actor,
+                obs::NO_ROUND,
+                obs::EventKind::JournalAppend {
+                    epoch: self.epoch,
+                    step: st,
+                    rank,
+                    fresh,
+                },
+            );
+        }
+        self.kill_point(actor)?;
+        Ok(fresh)
+    }
+}
 
 /// Launch configuration for MANA-wrapped worlds.
 pub struct ManaRuntime {
@@ -162,7 +283,7 @@ impl ManaRuntime {
         T: Send + 'static,
         F: Fn(&mut Mana<'_>) -> Result<T> + Send + Sync,
     {
-        self.run_inner(false, f, None::<fn(CkptTrigger)>)
+        self.run_inner(None, f, None::<fn(CkptTrigger)>)
     }
 
     /// Fresh run with an external driver thread holding the checkpoint
@@ -177,22 +298,61 @@ impl ManaRuntime {
         F: Fn(&mut Mana<'_>) -> Result<T> + Send + Sync,
         G: FnOnce(CkptTrigger) + Send + 'static,
     {
-        self.run_inner(false, f, Some(driver))
+        self.run_inner(None, f, Some(driver))
     }
 
     /// Restart run: each rank is rebuilt from its image in
-    /// `cfg.ckpt_dir`, then `f` is re-entered.
+    /// `cfg.ckpt_dir`, then `f` is re-entered. Every restart step is
+    /// journaled (crash-safe, idempotent): if the process dies mid-restart
+    /// — modeled by the chaos `RestartKill` fault — calling `run_restart`
+    /// again resumes the open journal epoch instead of redoing completed
+    /// steps.
     pub fn run_restart<T, F>(&self, f: F) -> std::result::Result<RunReport<T>, RuntimeError>
     where
         T: Send + 'static,
         F: Fn(&mut Mana<'_>) -> Result<T> + Send + Sync,
     {
-        self.run_inner(true, f, None::<fn(CkptTrigger)>)
+        self.run_inner(Some(RestartMode::Full), f, None::<fn(CkptTrigger)>)
+    }
+
+    /// Partial (survivor-preserving) restart: only `failed` ranks must
+    /// restore from pristine, store-validated images — a survivor whose
+    /// on-disk image has rotted cannot veto generation selection.
+    /// Communicators are rebuilt across the whole world, and only the
+    /// failed ranks' restores are journaled as `RankRestored`.
+    pub fn run_restart_partial<T, F>(
+        &self,
+        failed: &[usize],
+        f: F,
+    ) -> std::result::Result<RunReport<T>, RuntimeError>
+    where
+        T: Send + 'static,
+        F: Fn(&mut Mana<'_>) -> Result<T> + Send + Sync,
+    {
+        let mut failed: Vec<usize> = failed.to_vec();
+        failed.sort_unstable();
+        failed.dedup();
+        if failed.is_empty() {
+            return Err(RuntimeError::World(
+                "partial restart needs a non-empty failed-rank set".into(),
+            ));
+        }
+        if let Some(&r) = failed.iter().find(|&&r| r >= self.n) {
+            return Err(RuntimeError::World(format!(
+                "partial restart of rank {r} in a {}-rank world",
+                self.n
+            )));
+        }
+        self.run_inner(
+            Some(RestartMode::Partial { failed }),
+            f,
+            None::<fn(CkptTrigger)>,
+        )
     }
 
     fn run_inner<T, F, G>(
         &self,
-        restart: bool,
+        restart: Option<RestartMode>,
         f: F,
         driver: Option<G>,
     ) -> std::result::Result<RunReport<T>, RuntimeError>
@@ -201,44 +361,22 @@ impl ManaRuntime {
         F: Fn(&mut Mana<'_>) -> Result<T> + Send + Sync,
         G: FnOnce(CkptTrigger) + Send + 'static,
     {
-        // Restart: pick the generation *before* spawning anything — scan
-        // newest-first, validate every rank image against the manifest,
-        // fall back to the newest globally-complete generation. Failing
-        // here is cheap; failing inside the launched world is a mess.
-        let selected = if restart {
-            // Generation scanning + manifest/CRC validation is its own
-            // restart phase on the coordinator's timeline.
-            let rec = self
-                .cfg
-                .trace
-                .as_ref()
-                .map(|s| s.recorder(obs::COORD_ACTOR));
-            if let Some(r) = &rec {
-                r.begin(obs::NO_ROUND, obs::Phase::RestartValidate);
-            }
-            let sel = store::select_generation(&self.cfg.ckpt_dir, Some(self.n));
-            if let Some(r) = &rec {
-                r.end(obs::NO_ROUND, obs::Phase::RestartValidate);
-            }
-            match sel {
-                Ok(sel) => {
-                    for rej in &sel.rejected {
-                        eprintln!(
-                            "mana2: restart skipping generation {}: {}",
-                            rej.round, rej.reason
-                        );
-                    }
-                    Some(sel)
-                }
-                Err(e) => {
-                    self.dump_trace("store_fail");
-                    return Err(RuntimeError::Store(e));
-                }
-            }
-        } else {
-            None
+        // Restart: replay the journal and pick the generation *before*
+        // spawning anything. Failing here is cheap; failing inside the
+        // launched world is a mess.
+        let prepared = match &restart {
+            Some(mode) => Some(self.prepare_restart(mode)?),
+            None => None,
+        };
+        let (selected, guard) = match prepared {
+            Some((sel, g)) => (Some(sel), Some(g)),
+            None => (None, None),
         };
         let restored_round = selected.as_ref().map(|s| s.round);
+        let restored_ranks = restart.as_ref().map(|m| match m {
+            RestartMode::Full => (0..self.n).collect::<Vec<_>>(),
+            RestartMode::Partial { failed } => failed.clone(),
+        });
         // The world must exist before the coordinator: the commit-time
         // invariant checker captures an introspection handle over it.
         let mut world_cfg = self.world_cfg.clone();
@@ -337,6 +475,8 @@ impl ManaRuntime {
         let f = &f;
         let handles_ref = &handles;
         let selected_ref = &selected;
+        let guard_ref = &guard;
+        let restored_ranks_ref = &restored_ranks;
         let launched = world.launch(move |proc| -> Result<(AppOutcome<T>, ManaStats)> {
             let mut coord = handles_ref[proc.rank()].clone();
             // Route the control channel's blocking points through the
@@ -344,8 +484,36 @@ impl ManaRuntime {
             // on the coordinator must release its run token.
             coord.attach_parker(proc.parker());
             let mut mana = if let Some(sel) = selected_ref {
-                let image = CkptImage::read_from_dir(&sel.dir, proc.rank())?;
-                Mana::restore(proc, cfg.clone(), coord, &image)?
+                let rank = proc.rank();
+                let image = CkptImage::read_from_dir(&sel.dir, rank)?;
+                let mana = Mana::restore(proc, cfg.clone(), coord, &image)?;
+                if let Some(g) = guard_ref {
+                    // Journal this rank's restore (only ranks in the
+                    // restart scope — survivors of a partial restart are
+                    // rebuilt but not journaled), and let the last rank in
+                    // journal the world-level completion steps. An
+                    // injected kill here must poison the world so peers
+                    // fail fast instead of blocking on a rank that will
+                    // never speak.
+                    let journaled = restored_ranks_ref
+                        .as_ref()
+                        .is_some_and(|v| v.contains(&rank));
+                    let res = (|| -> Result<()> {
+                        if journaled {
+                            g.step(rank as i32, JournalStep::RankRestored { rank: rank as u64 })?;
+                        }
+                        if g.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
+                            g.step(rank as i32, JournalStep::CommsRebuilt)?;
+                            g.step(rank as i32, JournalStep::RestartCommitted)?;
+                        }
+                        Ok(())
+                    })();
+                    if let Err(e) = res {
+                        mana.abort_world();
+                        return Err(e);
+                    }
+                }
+                mana
             } else {
                 Mana::fresh(proc, cfg.clone(), coord)
             };
@@ -411,6 +579,17 @@ impl ManaRuntime {
                 CoordReport::default()
             }
         };
+        // An injected restart kill poisons the world, so peer ranks die of
+        // secondary (fabric/coordinator) errors. Scan for the kill first
+        // and report it, not the collateral.
+        // No trace dump here: the kill only exists under an armed chaos
+        // plan, so it is the expected outcome, not a diagnosable failure.
+        if let Some(step) = results.iter().find_map(|r| match r {
+            Err(ManaError::RestartKilled { step }) => Some(*step),
+            _ => None,
+        }) {
+            return Err(RuntimeError::RestartKilled { step });
+        }
         let mut outcomes = Vec::with_capacity(self.n);
         let mut rank_stats = Vec::with_capacity(self.n);
         for (rank, r) in results.into_iter().enumerate() {
@@ -437,7 +616,142 @@ impl ManaRuntime {
             rank_stats,
             coord,
             restored_round,
+            restored_ranks,
         })
+    }
+
+    /// Restart preamble, run before anything is spawned: replay the
+    /// journal, resume the open epoch (or open a fresh one), select and
+    /// validate the generation, and journal `RestartIntent` /
+    /// `GenValidated`.
+    fn prepare_restart(
+        &self,
+        mode: &RestartMode,
+    ) -> std::result::Result<(store::Selected, Arc<RestartGuard>), RuntimeError> {
+        let rec = self
+            .cfg
+            .trace
+            .as_ref()
+            .map(|s| s.recorder(obs::COORD_ACTOR));
+        // Journal replay is its own phase on the coordinator's timeline: a
+        // crash during a previous attempt leaves an open epoch that this
+        // attempt resumes instead of redoing completed steps.
+        if let Some(r) = &rec {
+            r.begin(obs::NO_ROUND, obs::Phase::JournalReplay);
+        }
+        let journal = Journal::open(&self.cfg.ckpt_dir)
+            .map_err(|e| RuntimeError::Store(store::StoreError::Io(e)))?;
+        let failed_u64: Vec<u64> = match mode {
+            RestartMode::Full => Vec::new(),
+            RestartMode::Partial { failed } => failed.iter().map(|&r| r as u64).collect(),
+        };
+        // Resume the open epoch only if it was attempting the same kind of
+        // restart (same failed-rank set); a different scope supersedes it.
+        let resume = journal.open_epoch().filter(|e| e.failed == failed_u64);
+        let mut epoch = resume
+            .as_ref()
+            .map(|e| e.epoch)
+            .unwrap_or_else(|| journal.next_epoch());
+        if let Some(r) = &rec {
+            r.end(obs::NO_ROUND, obs::Phase::JournalReplay);
+        }
+        // Generation scanning + manifest/CRC validation is its own restart
+        // phase. A resumed epoch that already journaled `GenValidated`
+        // re-validates that same generation (the open epoch pins it
+        // against GC); if it has rotted anyway, the epoch is abandoned for
+        // a fresh one rather than silently restoring a different
+        // generation under an epoch that vouched for this one.
+        if let Some(r) = &rec {
+            r.begin(obs::NO_ROUND, obs::Phase::RestartValidate);
+        }
+        let only: Option<&[u64]> = match mode {
+            RestartMode::Full => None,
+            RestartMode::Partial { .. } => Some(&failed_u64),
+        };
+        let mut sel = None;
+        if let Some(g) = resume.as_ref().and_then(|e| e.validated_gen) {
+            let dir = store::generation_dir(&self.cfg.ckpt_dir, g);
+            match store::validate_generation_ranks(&dir, g, Some(self.n), only) {
+                Ok(manifest) => {
+                    sel = Some(store::Selected {
+                        round: g,
+                        dir,
+                        manifest,
+                        rejected: Vec::new(),
+                    });
+                }
+                Err(rej) => {
+                    self.skip_generation(&rec, g, rej.code, &rej.reason);
+                    epoch = journal.next_epoch();
+                }
+            }
+        }
+        let sel = match sel {
+            Some(s) => Ok(s),
+            None => store::select_generation_ranks(&self.cfg.ckpt_dir, Some(self.n), only),
+        };
+        if let Some(r) = &rec {
+            r.end(obs::NO_ROUND, obs::Phase::RestartValidate);
+        }
+        let sel = match sel {
+            Ok(sel) => {
+                for rej in &sel.rejected {
+                    self.skip_generation(&rec, rej.round, rej.code, &rej.reason);
+                }
+                sel
+            }
+            Err(e) => {
+                self.dump_trace("store_fail");
+                return Err(RuntimeError::Store(e));
+            }
+        };
+        let guard = Arc::new(RestartGuard {
+            journal: Mutex::new(journal),
+            epoch,
+            kill_at: self.cfg.fault.as_ref().and_then(|p| p.restart_kill()),
+            boundary: AtomicU64::new(0),
+            remaining: AtomicUsize::new(self.n),
+            trace: self.cfg.trace.clone(),
+        });
+        for step in [
+            JournalStep::RestartIntent {
+                gen: sel.round,
+                failed: failed_u64.clone(),
+            },
+            JournalStep::GenValidated { gen: sel.round },
+        ] {
+            if let Err(e) = guard.step(obs::COORD_ACTOR, step) {
+                return Err(self.map_restart_err(e));
+            }
+        }
+        Ok((sel, guard))
+    }
+
+    /// A generation was rejected during restart validation. Not silent:
+    /// it lands on stderr *and* as a `restart_skip` trace event so the
+    /// fallback shows up in `mana2-trace` output.
+    fn skip_generation(
+        &self,
+        rec: &Option<obs::Recorder>,
+        gen: u64,
+        code: obs::RejectCode,
+        reason: &str,
+    ) {
+        eprintln!("mana2: restart skipping generation {gen}: {reason}");
+        if let Some(r) = rec {
+            r.event(obs::NO_ROUND, obs::EventKind::RestartSkip { gen, code });
+        }
+    }
+
+    /// Map a pre-launch restart-step failure onto the runtime error space.
+    fn map_restart_err(&self, e: ManaError) -> RuntimeError {
+        match e {
+            ManaError::RestartKilled { step } => RuntimeError::RestartKilled { step },
+            ManaError::Image(splitproc::ImageError::Io(io)) => {
+                RuntimeError::Store(store::StoreError::Io(io))
+            }
+            other => RuntimeError::Rank(0, other),
+        }
     }
 
     /// Dump the flight recorder (JSONL + Chrome trace) on a runtime

@@ -1,7 +1,7 @@
 //! End-to-end checkpoint/restart integration tests for the MANA-2.0 layer.
 
 use mana_core::{
-    CallbackStyle, DrainMode, ManaConfig, ManaRuntime, RestartMode, RuntimeError, TpcMode, VReq,
+    CallbackStyle, CommRestore, DrainMode, ManaConfig, ManaRuntime, RuntimeError, TpcMode, VReq,
     VtBackend,
 };
 use mpisim::{ReduceOp, SrcSel, TagSel, WorldCfg};
@@ -277,7 +277,7 @@ fn replay_log_restart_recreates_freed_comms() {
     let n = 2;
     let mut config = cfg("replay_restart");
     config.exit_after_ckpt = true;
-    config.restart_mode = RestartMode::ReplayLog;
+    config.comm_restore = CommRestore::ReplayLog;
     let dir = config.ckpt_dir.clone();
 
     let work = |m: &mut mana_core::Mana<'_>| -> mana_core::Result<(u64, u64)> {

@@ -119,6 +119,14 @@ pub struct FaultSpec {
     /// every committed round is durable; the storage chaos suite arms this
     /// explicitly.)
     pub storage: Option<StorageFaultSpec>,
+    /// Kill the restart at the `k`-th journal-step boundary (a global
+    /// 0-based counter over the restart protocol's pre-/post-append
+    /// checkpoints). The dying restart leaves the journal exactly as a
+    /// crashed coordinator would; a subsequent run must resume from it.
+    /// `None` (and any `k` past the last boundary) leaves restart alone.
+    /// Not armed by [`FaultPlan::from_seed`] — the restart chaos suite
+    /// sweeps `k` explicitly.
+    pub restart_kill: Option<u64>,
 }
 
 impl FaultSpec {
@@ -134,6 +142,7 @@ impl FaultSpec {
             max_coord_delay_us: 0,
             trigger_at_call: None,
             storage: None,
+            restart_kill: None,
         }
     }
 
@@ -145,6 +154,7 @@ impl FaultSpec {
             && self.coord_delay_pct == 0
             && self.trigger_at_call.is_none()
             && self.storage.is_none()
+            && self.restart_kill.is_none()
     }
 }
 
@@ -201,6 +211,7 @@ impl FaultPlan {
             max_coord_delay_us: 100 + h(9) % 1_900,
             trigger_at_call: Some(((h(10) % n.max(1) as u64) as usize, 5 + h(11) % 35)),
             storage: None,
+            restart_kill: None,
         };
         Arc::new(FaultPlan { seed, spec })
     }
@@ -272,6 +283,13 @@ impl FaultPlan {
     /// counter?
     pub fn should_trigger(&self, rank: usize, wrapper_calls: u64) -> bool {
         matches!(self.spec.trigger_at_call, Some((r, c)) if r == rank && wrapper_calls >= c)
+    }
+
+    /// The journal-step boundary (0-based, pre-/post-append checkpoints
+    /// counted globally across the restart protocol) at which the restart
+    /// is killed, if armed.
+    pub fn restart_kill(&self) -> Option<u64> {
+        self.spec.restart_kill
     }
 
     /// The storage fault hitting `rank`'s image write at checkpoint

@@ -11,7 +11,7 @@ use std::fmt;
 use std::fmt::Write as _;
 
 /// Fixed row order for the phase table.
-const PHASE_ORDER: [&str; 9] = [
+const PHASE_ORDER: [&str; 10] = [
     "intent",
     "tpc_barrier",
     "emu_collective",
@@ -21,6 +21,7 @@ const PHASE_ORDER: [&str; 9] = [
     "abort_round",
     "restart_validate",
     "restore_comms",
+    "journal_replay",
 ];
 
 fn us(ns: u64) -> f64 {
@@ -292,6 +293,45 @@ fn fault_summary(events: &[TraceEvent], out: &mut String) {
     }
 }
 
+fn restart_summary(events: &[TraceEvent], out: &mut String) {
+    let mut skips: Vec<(u64, &'static str)> = Vec::new();
+    // (epoch, step) -> (fresh appends, skipped-as-duplicate appends)
+    let mut appends: BTreeMap<(u64, &'static str), (u64, u64)> = BTreeMap::new();
+    for ev in events {
+        match ev.kind {
+            EventKind::RestartSkip { gen, code } => skips.push((gen, code.name())),
+            EventKind::JournalAppend {
+                epoch, step, fresh, ..
+            } => {
+                let e = appends.entry((epoch, step.name())).or_insert((0, 0));
+                if fresh {
+                    e.0 += 1;
+                } else {
+                    e.1 += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    if skips.is_empty() && appends.is_empty() {
+        out.push_str("  (no restart activity)\n");
+        return;
+    }
+    for (gen, code) in &skips {
+        let _ = writeln!(out, "  skipped gen {gen:<5} reason {code}");
+    }
+    if !appends.is_empty() {
+        let _ = writeln!(
+            out,
+            "  {:>5}  {:<18} {:>8} {:>10}",
+            "epoch", "journal step", "appends", "replayed"
+        );
+        for ((epoch, step), (fresh, dup)) in &appends {
+            let _ = writeln!(out, "  {epoch:>5}  {step:<18} {fresh:>8} {dup:>10}");
+        }
+    }
+}
+
 /// Render the full human-readable summary of a dump: per-round phase
 /// durations, drain-sweep histogram, 2PC barrier skew, store breakdown,
 /// and fault-plan firings.
@@ -325,6 +365,8 @@ pub fn render_summary(meta: &DumpMeta, events: &[TraceEvent]) -> String {
     store_breakdown(events, &mut out);
     out.push_str("\nfault-plan firings\n");
     fault_summary(events, &mut out);
+    out.push_str("\nrestart journal & validation fallbacks\n");
+    restart_summary(events, &mut out);
     out
 }
 

@@ -39,6 +39,8 @@ pub enum Phase {
     RestartValidate,
     /// Rebuilding communicators from checkpoint metadata on restart.
     RestoreComms,
+    /// Opening and replaying the restart journal (reentrant restart).
+    JournalReplay,
 }
 
 impl Phase {
@@ -54,6 +56,7 @@ impl Phase {
             Phase::AbortRound => "abort_round",
             Phase::RestartValidate => "restart_validate",
             Phase::RestoreComms => "restore_comms",
+            Phase::JournalReplay => "journal_replay",
         }
     }
 
@@ -70,6 +73,7 @@ impl Phase {
             "abort_round" => Phase::AbortRound,
             "restart_validate" => Phase::RestartValidate,
             "restore_comms" => Phase::RestoreComms,
+            "journal_replay" => Phase::JournalReplay,
             _ => return None,
         })
     }
@@ -106,6 +110,103 @@ impl InjectedFault {
     }
 }
 
+/// Why a generation was skipped during restart validation. Coarse,
+/// `Copy` mirror of the store layer's rejection reasons — the ring needs
+/// a scalar, the full prose lives in `RejectedGeneration::reason`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectCode {
+    /// No `MANIFEST` — the round never committed.
+    Uncommitted,
+    /// Manifest unreadable or self-inconsistent.
+    BadManifest,
+    /// Manifest round disagrees with the directory round.
+    RoundMismatch,
+    /// Manifest world size disagrees with the runtime world size.
+    WorldMismatch,
+    /// A required rank image is missing or unreadable.
+    MissingImage,
+    /// An image's on-disk size disagrees with the manifest (torn write).
+    TornImage,
+    /// An image's CRC disagrees with the manifest (corruption).
+    CorruptImage,
+    /// An image fails to parse or its header disagrees.
+    BadImage,
+    /// A legacy bare-image layout failed validation.
+    Legacy,
+}
+
+impl RejectCode {
+    /// Stable schema name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RejectCode::Uncommitted => "uncommitted",
+            RejectCode::BadManifest => "bad_manifest",
+            RejectCode::RoundMismatch => "round_mismatch",
+            RejectCode::WorldMismatch => "world_mismatch",
+            RejectCode::MissingImage => "missing_image",
+            RejectCode::TornImage => "torn_image",
+            RejectCode::CorruptImage => "corrupt_image",
+            RejectCode::BadImage => "bad_image",
+            RejectCode::Legacy => "legacy",
+        }
+    }
+
+    fn from_name(s: &str) -> Option<Self> {
+        Some(match s {
+            "uncommitted" => RejectCode::Uncommitted,
+            "bad_manifest" => RejectCode::BadManifest,
+            "round_mismatch" => RejectCode::RoundMismatch,
+            "world_mismatch" => RejectCode::WorldMismatch,
+            "missing_image" => RejectCode::MissingImage,
+            "torn_image" => RejectCode::TornImage,
+            "corrupt_image" => RejectCode::CorruptImage,
+            "bad_image" => RejectCode::BadImage,
+            "legacy" => RejectCode::Legacy,
+            _ => return None,
+        })
+    }
+}
+
+/// One step of the restart protocol as journaled (mirrors
+/// `splitproc::journal::JournalStep` kinds, payload-free).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RestartStep {
+    /// `RestartIntent` — a restart attempt opened.
+    Intent,
+    /// `GenValidated` — the generation passed validation.
+    Validated,
+    /// `RankRestored` — one rank's image restored.
+    RankRestored,
+    /// `CommsRebuilt` — communicators rebuilt.
+    CommsRebuilt,
+    /// `RestartCommitted` — the epoch committed.
+    Committed,
+}
+
+impl RestartStep {
+    /// Stable schema name (matches the journal's step names).
+    pub fn name(&self) -> &'static str {
+        match self {
+            RestartStep::Intent => "restart_intent",
+            RestartStep::Validated => "gen_validated",
+            RestartStep::RankRestored => "rank_restored",
+            RestartStep::CommsRebuilt => "comms_rebuilt",
+            RestartStep::Committed => "restart_committed",
+        }
+    }
+
+    fn from_name(s: &str) -> Option<Self> {
+        Some(match s {
+            "restart_intent" => RestartStep::Intent,
+            "gen_validated" => RestartStep::Validated,
+            "rank_restored" => RestartStep::RankRestored,
+            "comms_rebuilt" => RestartStep::CommsRebuilt,
+            "restart_committed" => RestartStep::Committed,
+            _ => return None,
+        })
+    }
+}
+
 /// A fault-plan firing outside the store (fabric and coordinator faults).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultKind {
@@ -115,6 +216,8 @@ pub enum FaultKind {
     CoordDelay,
     /// The plan's checkpoint trigger fired on this rank.
     Trigger,
+    /// The plan killed the restart at a journal-step boundary.
+    RestartKill,
 }
 
 impl FaultKind {
@@ -124,6 +227,7 @@ impl FaultKind {
             FaultKind::ReadyStall => "ready_stall",
             FaultKind::CoordDelay => "coord_delay",
             FaultKind::Trigger => "trigger",
+            FaultKind::RestartKill => "restart_kill",
         }
     }
 
@@ -132,6 +236,7 @@ impl FaultKind {
             "ready_stall" => FaultKind::ReadyStall,
             "coord_delay" => FaultKind::CoordDelay,
             "trigger" => FaultKind::Trigger,
+            "restart_kill" => FaultKind::RestartKill,
             _ => return None,
         })
     }
@@ -214,6 +319,26 @@ pub enum EventKind {
         /// Which fault fired.
         fault: FaultKind,
     },
+    /// Restart validation skipped (fell back past) a damaged generation.
+    RestartSkip {
+        /// Round of the skipped generation.
+        gen: u64,
+        /// Coarse reason it was rejected.
+        code: RejectCode,
+    },
+    /// A restart-journal step was durably appended (or found already
+    /// journaled and skipped — `fresh` distinguishes the two).
+    JournalAppend {
+        /// Restart epoch the step belongs to.
+        epoch: u64,
+        /// Which protocol step.
+        step: RestartStep,
+        /// Restored rank for `rank_restored`, else `-1`.
+        rank: i64,
+        /// `true` if the record was newly written, `false` if its
+        /// idempotency key was already present (resumed restart).
+        fresh: bool,
+    },
 }
 
 impl EventKind {
@@ -231,6 +356,8 @@ impl EventKind {
             EventKind::NetHold { .. } => "net_hold",
             EventKind::DrainCapture { .. } => "drain_capture",
             EventKind::FaultFired { .. } => "fault_fired",
+            EventKind::RestartSkip { .. } => "restart_skip",
+            EventKind::JournalAppend { .. } => "journal_append",
         }
     }
 }
@@ -310,6 +437,21 @@ impl TraceEvent {
             }
             EventKind::FaultFired { fault } => {
                 let _ = write!(s, ",\"fault\":\"{}\"", fault.name());
+            }
+            EventKind::RestartSkip { gen, code } => {
+                let _ = write!(s, ",\"gen\":{gen},\"code\":\"{}\"", code.name());
+            }
+            EventKind::JournalAppend {
+                epoch,
+                step,
+                rank,
+                fresh,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"epoch\":{epoch},\"step\":\"{}\",\"rank\":{rank},\"fresh\":{fresh}",
+                    step.name()
+                );
             }
         }
         s.push('}');
@@ -403,6 +545,30 @@ impl TraceEvent {
                 EventKind::FaultFired {
                     fault: FaultKind::from_name(name)
                         .ok_or_else(|| format!("unknown fault kind {name:?}"))?,
+                }
+            }
+            "restart_skip" => {
+                let name = v
+                    .get("code")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| "missing field \"code\"".to_string())?;
+                EventKind::RestartSkip {
+                    gen: need_u64("gen")?,
+                    code: RejectCode::from_name(name)
+                        .ok_or_else(|| format!("unknown reject code {name:?}"))?,
+                }
+            }
+            "journal_append" => {
+                let name = v
+                    .get("step")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| "missing field \"step\"".to_string())?;
+                EventKind::JournalAppend {
+                    epoch: need_u64("epoch")?,
+                    step: RestartStep::from_name(name)
+                        .ok_or_else(|| format!("unknown restart step {name:?}"))?,
+                    rank: need_i64("rank")?,
+                    fresh: need_bool("fresh")?,
                 }
             }
             other => return Err(format!("unknown event kind {other:?}")),

@@ -60,6 +60,9 @@ pub use dump::{
     chrome_trace, default_trace_dir, events_to_jsonl, flight_record, parse_jsonl, unique_label,
     DumpMeta, FlightDump, SCHEMA,
 };
-pub use event::{EventKind, FaultKind, InjectedFault, Phase, TraceEvent, COORD_ACTOR, NO_ROUND};
+pub use event::{
+    EventKind, FaultKind, InjectedFault, Phase, RejectCode, RestartStep, TraceEvent, COORD_ACTOR,
+    NO_ROUND,
+};
 pub use ring::Ring;
 pub use sink::{Recorder, TraceSink};

@@ -6,13 +6,19 @@
 //! mana2-inspect <ckpt_dir> <rank>     dump one rank's image
 //! mana2-inspect <ckpt_dir> --verify   validate every generation the way
 //!                                     restart would; exit 0 iff usable
+//! mana2-inspect <ckpt_dir> journal    list restart-journal epochs and
+//!                                     steps, flag pinned generations
+//! mana2-inspect <ckpt_dir> journal --verify
+//!                                     CRC-check every frame and report
+//!                                     what open() would truncate (dry
+//!                                     run); exit 0 iff the tail is clean
 //! ```
 //!
 //! Prints, per image: header fields, CRC status, upper-half segment names
 //! and sizes, and metadata-section size — the operational tool an admin
 //! reaches for when a restart misbehaves.
 
-use splitproc::store;
+use splitproc::{journal, store};
 use splitproc::{CkptImage, Decode, UpperHalf};
 use std::io::Write;
 use std::path::Path;
@@ -111,8 +117,8 @@ fn verify(root: &Path, gens: &[store::GenInfo]) -> i32 {
                     m.total_bytes()
                 );
             }
-            Err(reason) => {
-                out!("gen {:>5}: REJECTED: {reason}", g.round);
+            Err(rej) => {
+                out!("gen {:>5}: REJECTED ({}): {rej}", g.round, rej.code.name());
             }
         }
     }
@@ -128,13 +134,114 @@ fn verify(root: &Path, gens: &[store::GenInfo]) -> i32 {
     }
 }
 
+/// `journal`: list restart-journal epochs and steps (read-only — the
+/// torn-tail truncation that `Journal::open` performs is only *reported*
+/// here, never applied). With `do_verify`, also exit non-zero when the
+/// tail is damaged.
+fn journal_cmd(root: &Path, do_verify: bool) -> i32 {
+    let report = match journal::verify(root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("journal: {e}");
+            return 1;
+        }
+    };
+    if !report.exists {
+        out!("no restart journal at {}", report.path.display());
+        return 0;
+    }
+    out!(
+        "restart journal {}: {} record(s), {} B ({} B clean)",
+        report.path.display(),
+        report.records,
+        report.file_len,
+        report.good_len
+    );
+    let records = match journal::read_records(root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("journal: {e}");
+            return 1;
+        }
+    };
+    let pinned = journal::pinned_generations(root);
+    for ep in journal::replay_epochs(&records) {
+        let status = if ep.committed {
+            "committed"
+        } else if ep.superseded {
+            "superseded"
+        } else {
+            "OPEN"
+        };
+        out!(
+            "  epoch {:>3}  {status:<10}  gen {:<9}  failed {:?}  {} rank(s) restored{}{}",
+            ep.epoch,
+            ep.gen.map(|g| g.to_string()).unwrap_or_else(|| "?".into()),
+            ep.failed,
+            ep.restored.len(),
+            if ep.comms_rebuilt {
+                ", comms rebuilt"
+            } else {
+                ""
+            },
+            if ep.gen.is_some_and(|g| pinned.contains(&g))
+                || ep.validated_gen.is_some_and(|g| pinned.contains(&g))
+            {
+                "  [pins generation against GC]"
+            } else {
+                ""
+            }
+        );
+        for rec in records.iter().filter(|r| r.epoch == ep.epoch) {
+            out!("      {}", describe_step(rec));
+        }
+    }
+    match &report.tail_error {
+        None => {
+            if do_verify {
+                out!("verify: clean (no tail to truncate)");
+            }
+            0
+        }
+        Some(err) => {
+            let torn = report.file_len - report.good_len;
+            out!(
+                "TAIL DAMAGE after byte {}: {err} — open() would truncate {torn} B",
+                report.good_len
+            );
+            i32::from(do_verify)
+        }
+    }
+}
+
+/// One human line per journal record.
+fn describe_step(rec: &journal::JournalRecord) -> String {
+    use journal::JournalStep as S;
+    match &rec.step {
+        S::RestartIntent { gen, failed } if failed.is_empty() => {
+            format!("restart_intent     gen {gen} (full restart)")
+        }
+        S::RestartIntent { gen, failed } => {
+            format!("restart_intent     gen {gen} (partial, failed {failed:?})")
+        }
+        S::GenValidated { gen } => format!("gen_validated      gen {gen}"),
+        S::RankRestored { rank } => format!("rank_restored      rank {rank}"),
+        S::CommsRebuilt => "comms_rebuilt".into(),
+        S::RestartCommitted => "restart_committed".into(),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let Some(dir) = args.get(1) else {
-        eprintln!("usage: mana2-inspect <ckpt_dir> [rank | --verify]");
+        eprintln!("usage: mana2-inspect <ckpt_dir> [rank | --verify | journal [--verify]]");
         std::process::exit(2);
     };
     let root = Path::new(dir);
+    if args.get(2).is_some_and(|a| a == "journal") {
+        let do_verify = args.iter().any(|a| a == "--verify");
+        std::process::exit(journal_cmd(root, do_verify));
+    }
     let gens = store::list_generations(root).unwrap_or_else(|e| {
         eprintln!("cannot read {}: {e}", root.display());
         std::process::exit(1);

@@ -1,0 +1,790 @@
+//! Crash-safe restart journal.
+//!
+//! Restart is the one window where a second failure used to be fatal: a
+//! coordinator that dies mid-restart left half-restored state and no
+//! record of how far it got. This module makes restart itself
+//! checkpointed — an append-only, fsynced, CRC-framed journal under the
+//! store root records every restart step, so a coordinator that dies at
+//! *any* point resumes by replaying the journal prefix instead of
+//! redoing (or corrupting) completed steps.
+//!
+//! Layout (`<root>/RESTART_JOURNAL`):
+//!
+//! ```text
+//! [8B magic "MANA2JNL"][4B version]
+//! [4B len][4B crc32(payload)][payload]    ← one framed record
+//! [4B len][4B crc32(payload)][payload]
+//! …
+//! ```
+//!
+//! Records and their meaning, in protocol order within one **epoch**
+//! (one logical restart attempt; crashes resume the same epoch):
+//!
+//! * [`JournalStep::RestartIntent`] — a restart of generation `gen` has
+//!   begun; `failed` lists the ranks being replaced (empty = full
+//!   restart of every rank).
+//! * [`JournalStep::GenValidated`] — the generation passed validation
+//!   and is now pinned against GC until the epoch commits.
+//! * [`JournalStep::RankRestored`] — one rank's image was restored.
+//! * [`JournalStep::CommsRebuilt`] — communicators were rebuilt around
+//!   the restored ranks.
+//! * [`JournalStep::RestartCommitted`] — the epoch is complete; its
+//!   generation pin is released.
+//!
+//! Invariants:
+//!
+//! * Every append is `write_all` + `fdatasync` before it is reported
+//!   durable; a reader never trusts an unsynced record.
+//! * Each record carries an **idempotency key** `(epoch, kind, rank)`.
+//!   Appending a key that is already present is a no-op — a resumed
+//!   coordinator can blindly re-drive the protocol and completed steps
+//!   are skipped, never duplicated.
+//! * A torn or corrupt tail (partial frame, CRC mismatch — the write
+//!   that was in flight when the coordinator died) is truncated on
+//!   [`Journal::open`]; the intact prefix is the authoritative history.
+//! * A new `RestartIntent` **supersedes** any older uncommitted epoch:
+//!   only the newest epoch can be open, so abandoned attempts (e.g.
+//!   whose generation vanished) do not pin storage forever.
+//!
+//! `store::gc` consults [`pinned_generations`] so a generation
+//! referenced by the open epoch is never collected out from under the
+//! restart reading it.
+
+use crate::codec::crc32;
+use std::collections::BTreeSet;
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Journal file name under a store root.
+pub const JOURNAL_FILE: &str = "RESTART_JOURNAL";
+
+const JOURNAL_MAGIC: &[u8; 8] = b"MANA2JNL";
+const JOURNAL_VERSION: u32 = 1;
+const HEADER_LEN: usize = 12;
+/// Sanity bound on one frame's payload — a corrupt length field must not
+/// make the parser swallow the rest of the file as "one giant record".
+const MAX_RECORD_LEN: u32 = 1 << 20;
+
+/// One restart step as recorded in the journal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalStep {
+    /// A restart has begun against generation `gen`. `failed` lists the
+    /// ranks being replaced; empty means a full restart of every rank.
+    RestartIntent {
+        /// Round of the generation being restored.
+        gen: u64,
+        /// Ranks being replaced (sorted); empty = full restart.
+        failed: Vec<u64>,
+    },
+    /// Generation `gen` passed validation for this epoch.
+    GenValidated {
+        /// Round of the validated generation.
+        gen: u64,
+    },
+    /// Rank `rank` was restored from its image.
+    RankRestored {
+        /// The restored world rank.
+        rank: u64,
+    },
+    /// Communicators were rebuilt around the restored ranks.
+    CommsRebuilt,
+    /// The epoch completed; its generation pin is released.
+    RestartCommitted,
+}
+
+impl JournalStep {
+    /// Wire kind code (also the idempotency-key kind).
+    pub fn kind(&self) -> u8 {
+        match self {
+            JournalStep::RestartIntent { .. } => 1,
+            JournalStep::GenValidated { .. } => 2,
+            JournalStep::RankRestored { .. } => 3,
+            JournalStep::CommsRebuilt => 4,
+            JournalStep::RestartCommitted => 5,
+        }
+    }
+
+    /// Stable lowercase name (used by `mana2-inspect` and traces).
+    pub fn name(&self) -> &'static str {
+        match self {
+            JournalStep::RestartIntent { .. } => "restart_intent",
+            JournalStep::GenValidated { .. } => "gen_validated",
+            JournalStep::RankRestored { .. } => "rank_restored",
+            JournalStep::CommsRebuilt => "comms_rebuilt",
+            JournalStep::RestartCommitted => "restart_committed",
+        }
+    }
+
+    /// The rank component of the idempotency key (0 for rank-less steps).
+    fn key_arg(&self) -> u64 {
+        match self {
+            JournalStep::RankRestored { rank } => *rank,
+            _ => 0,
+        }
+    }
+}
+
+/// Idempotency key of one record: `(epoch, kind, rank)`.
+pub type StepKey = (u64, u8, u64);
+
+/// One journal record: a step attributed to a restart epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalRecord {
+    /// Restart epoch (one logical restart attempt).
+    pub epoch: u64,
+    /// The step taken.
+    pub step: JournalStep,
+}
+
+impl JournalRecord {
+    /// This record's idempotency key.
+    pub fn key(&self) -> StepKey {
+        (self.epoch, self.step.kind(), self.step.key_arg())
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        out.push(self.step.kind());
+        out.extend_from_slice(&self.epoch.to_le_bytes());
+        match &self.step {
+            JournalStep::RestartIntent { gen, failed } => {
+                out.extend_from_slice(&gen.to_le_bytes());
+                out.extend_from_slice(&(failed.len() as u64).to_le_bytes());
+                for r in failed {
+                    out.extend_from_slice(&r.to_le_bytes());
+                }
+            }
+            JournalStep::GenValidated { gen } => out.extend_from_slice(&gen.to_le_bytes()),
+            JournalStep::RankRestored { rank } => out.extend_from_slice(&rank.to_le_bytes()),
+            JournalStep::CommsRebuilt | JournalStep::RestartCommitted => {}
+        }
+        out
+    }
+
+    fn decode(buf: &[u8]) -> Result<Self, String> {
+        if buf.len() < 9 {
+            return Err("record payload truncated".into());
+        }
+        let kind = buf[0];
+        let rd = |off: usize| -> Result<u64, String> {
+            buf.get(off..off + 8)
+                .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+                .ok_or_else(|| "record payload truncated".into())
+        };
+        let epoch = rd(1)?;
+        let exact = |want: usize| -> Result<(), String> {
+            if buf.len() == want {
+                Ok(())
+            } else {
+                Err(format!("record has {} bytes, expected {want}", buf.len()))
+            }
+        };
+        let step = match kind {
+            1 => {
+                let gen = rd(9)?;
+                let n = rd(17)? as usize;
+                exact(25 + n.checked_mul(8).ok_or("rank count overflows")?)?;
+                let failed = (0..n).map(|i| rd(25 + i * 8)).collect::<Result<_, _>>()?;
+                JournalStep::RestartIntent { gen, failed }
+            }
+            2 => {
+                exact(17)?;
+                JournalStep::GenValidated { gen: rd(9)? }
+            }
+            3 => {
+                exact(17)?;
+                JournalStep::RankRestored { rank: rd(9)? }
+            }
+            4 => {
+                exact(9)?;
+                JournalStep::CommsRebuilt
+            }
+            5 => {
+                exact(9)?;
+                JournalStep::RestartCommitted
+            }
+            other => return Err(format!("unknown record kind {other}")),
+        };
+        Ok(JournalRecord { epoch, step })
+    }
+}
+
+/// The replayed state of one restart epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochState {
+    /// Epoch number.
+    pub epoch: u64,
+    /// Generation named by the intent (None if the intent record itself
+    /// is missing — possible only for malformed hand-edited journals).
+    pub gen: Option<u64>,
+    /// Ranks being replaced; empty = full restart.
+    pub failed: Vec<u64>,
+    /// Did validation complete?
+    pub validated: bool,
+    /// The generation `GenValidated` named — normally equal to `gen`,
+    /// but a crash-and-resume can validate a different (older) one if
+    /// the intent's generation rotted in between. Pinning covers both.
+    pub validated_gen: Option<u64>,
+    /// Ranks whose restore was journaled.
+    pub restored: BTreeSet<u64>,
+    /// Were communicators rebuilt?
+    pub comms_rebuilt: bool,
+    /// Did the epoch commit?
+    pub committed: bool,
+    /// Was this uncommitted epoch superseded by a newer intent?
+    pub superseded: bool,
+}
+
+/// Result of scanning raw journal bytes (shared by open / verify /
+/// read-only consumers).
+struct Scan {
+    records: Vec<JournalRecord>,
+    /// Byte length of the clean prefix (header + intact frames).
+    good_len: u64,
+    /// Why the tail after `good_len` was rejected, if any.
+    tail_error: Option<String>,
+}
+
+fn scan(bytes: &[u8]) -> Result<Scan, String> {
+    if bytes.len() < HEADER_LEN {
+        // A torn header is a journal that never got its first durable
+        // byte pattern down; treat the whole file as tail.
+        return Ok(Scan {
+            records: Vec::new(),
+            good_len: 0,
+            tail_error: Some("torn header".into()),
+        });
+    }
+    if &bytes[0..8] != JOURNAL_MAGIC {
+        return Err("not a MANA-2.0 restart journal (bad magic)".into());
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version != JOURNAL_VERSION {
+        return Err(format!("unsupported journal version {version}"));
+    }
+    let mut records = Vec::new();
+    let mut off = HEADER_LEN;
+    let mut tail_error = None;
+    while off < bytes.len() {
+        let Some(frame) = bytes.get(off..off + 8) else {
+            tail_error = Some("torn frame header".into());
+            break;
+        };
+        let len = u32::from_le_bytes(frame[0..4].try_into().unwrap());
+        if len > MAX_RECORD_LEN {
+            tail_error = Some(format!("frame length {len} exceeds sanity bound"));
+            break;
+        }
+        let stored_crc = u32::from_le_bytes(frame[4..8].try_into().unwrap());
+        let Some(payload) = bytes.get(off + 8..off + 8 + len as usize) else {
+            tail_error = Some("torn record payload".into());
+            break;
+        };
+        if crc32(payload) != stored_crc {
+            tail_error = Some("record CRC mismatch".into());
+            break;
+        }
+        match JournalRecord::decode(payload) {
+            Ok(rec) => records.push(rec),
+            Err(e) => {
+                tail_error = Some(format!("undecodable record: {e}"));
+                break;
+            }
+        }
+        off += 8 + len as usize;
+    }
+    Ok(Scan {
+        records,
+        good_len: off as u64,
+        tail_error,
+    })
+}
+
+/// Replay records into per-epoch state, ascending by epoch. Every
+/// uncommitted epoch other than the newest is marked superseded.
+pub fn replay_epochs(records: &[JournalRecord]) -> Vec<EpochState> {
+    let mut epochs: Vec<EpochState> = Vec::new();
+    for rec in records {
+        let state = match epochs.iter_mut().find(|e| e.epoch == rec.epoch) {
+            Some(s) => s,
+            None => {
+                epochs.push(EpochState {
+                    epoch: rec.epoch,
+                    gen: None,
+                    failed: Vec::new(),
+                    validated: false,
+                    validated_gen: None,
+                    restored: BTreeSet::new(),
+                    comms_rebuilt: false,
+                    committed: false,
+                    superseded: false,
+                });
+                epochs.last_mut().unwrap()
+            }
+        };
+        match &rec.step {
+            JournalStep::RestartIntent { gen, failed } => {
+                state.gen = Some(*gen);
+                state.failed = failed.clone();
+            }
+            JournalStep::GenValidated { gen } => {
+                state.validated = true;
+                state.validated_gen = Some(*gen);
+                if state.gen.is_none() {
+                    state.gen = Some(*gen);
+                }
+            }
+            JournalStep::RankRestored { rank } => {
+                state.restored.insert(*rank);
+            }
+            JournalStep::CommsRebuilt => state.comms_rebuilt = true,
+            JournalStep::RestartCommitted => state.committed = true,
+        }
+    }
+    epochs.sort_by_key(|e| e.epoch);
+    if let Some(newest) = epochs.last().map(|e| e.epoch) {
+        for e in &mut epochs {
+            e.superseded = !e.committed && e.epoch != newest;
+        }
+    }
+    epochs
+}
+
+/// An open restart journal: the replayed history plus an append handle.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: fs::File,
+    records: Vec<JournalRecord>,
+    keys: BTreeSet<StepKey>,
+    truncated_tail: u64,
+}
+
+impl Journal {
+    /// Journal path under a store root.
+    pub fn path_in(root: &Path) -> PathBuf {
+        root.join(JOURNAL_FILE)
+    }
+
+    /// Open (creating if absent) the journal under `root`, replaying
+    /// existing records and truncating any torn/corrupt tail left by a
+    /// crash mid-append.
+    pub fn open(root: &Path) -> io::Result<Journal> {
+        fs::create_dir_all(root)?;
+        let path = Self::path_in(root);
+        let mut truncated_tail = 0u64;
+        let records = match fs::read(&path) {
+            Ok(bytes) => {
+                let s = scan(&bytes).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+                if s.tail_error.is_some() {
+                    truncated_tail = bytes.len() as u64 - s.good_len;
+                    let f = fs::OpenOptions::new().write(true).open(&path)?;
+                    if s.good_len < HEADER_LEN as u64 {
+                        // Torn header: rewrite a fresh one.
+                        f.set_len(0)?;
+                        let mut w = &f;
+                        w.write_all(JOURNAL_MAGIC)?;
+                        w.write_all(&JOURNAL_VERSION.to_le_bytes())?;
+                    } else {
+                        f.set_len(s.good_len)?;
+                    }
+                    f.sync_all()?;
+                }
+                s.records
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                let f = fs::File::create(&path)?;
+                {
+                    let mut w = &f;
+                    w.write_all(JOURNAL_MAGIC)?;
+                    w.write_all(&JOURNAL_VERSION.to_le_bytes())?;
+                }
+                f.sync_all()?;
+                Vec::new()
+            }
+            Err(e) => return Err(e),
+        };
+        let file = fs::OpenOptions::new().append(true).open(&path)?;
+        let keys = records.iter().map(|r| r.key()).collect();
+        Ok(Journal {
+            path,
+            file,
+            records,
+            keys,
+            truncated_tail,
+        })
+    }
+
+    /// The journal file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// All replayed records, in append order.
+    pub fn records(&self) -> &[JournalRecord] {
+        &self.records
+    }
+
+    /// Bytes of torn/corrupt tail dropped by [`Journal::open`].
+    pub fn truncated_tail(&self) -> u64 {
+        self.truncated_tail
+    }
+
+    /// Is this step already journaled (same idempotency key)?
+    pub fn contains(&self, epoch: u64, step: &JournalStep) -> bool {
+        self.keys.contains(&(epoch, step.kind(), step.key_arg()))
+    }
+
+    /// Durably append one step. Returns `false` without touching the
+    /// file when the step's idempotency key is already present — replay
+    /// after a crash never duplicates a completed step.
+    pub fn append(&mut self, epoch: u64, step: JournalStep) -> io::Result<bool> {
+        let rec = JournalRecord { epoch, step };
+        let key = rec.key();
+        if self.keys.contains(&key) {
+            return Ok(false);
+        }
+        let payload = rec.encode();
+        let mut frame = Vec::with_capacity(8 + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        self.file.write_all(&frame)?;
+        self.file.sync_data()?;
+        self.keys.insert(key);
+        self.records.push(rec);
+        Ok(true)
+    }
+
+    /// Replayed per-epoch state, ascending by epoch.
+    pub fn epochs(&self) -> Vec<EpochState> {
+        replay_epochs(&self.records)
+    }
+
+    /// The open epoch, if any: the newest epoch when it has not
+    /// committed. Older uncommitted epochs are superseded, not open.
+    pub fn open_epoch(&self) -> Option<EpochState> {
+        self.epochs().into_iter().last().filter(|e| !e.committed)
+    }
+
+    /// The epoch number a brand-new restart attempt should use.
+    pub fn next_epoch(&self) -> u64 {
+        self.records.iter().map(|r| r.epoch + 1).max().unwrap_or(0)
+    }
+}
+
+/// Generations pinned by the open journal epoch under `root` — these
+/// must never be garbage-collected. A missing or unreadable journal
+/// pins nothing (read-only: never truncates or repairs the file).
+pub fn pinned_generations(root: &Path) -> BTreeSet<u64> {
+    let mut pinned = BTreeSet::new();
+    let Ok(bytes) = fs::read(Journal::path_in(root)) else {
+        return pinned;
+    };
+    let Ok(s) = scan(&bytes) else {
+        return pinned;
+    };
+    if let Some(open) = replay_epochs(&s.records)
+        .into_iter()
+        .last()
+        .filter(|e| !e.committed)
+    {
+        pinned.extend(open.gen);
+        pinned.extend(open.validated_gen);
+    }
+    pinned
+}
+
+/// Read-only verification report for `mana2-inspect journal --verify`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// The journal path.
+    pub path: PathBuf,
+    /// Does the file exist?
+    pub exists: bool,
+    /// Intact records in the clean prefix.
+    pub records: usize,
+    /// On-disk file length.
+    pub file_len: u64,
+    /// Length of the clean prefix (what open would keep).
+    pub good_len: u64,
+    /// Why the tail past `good_len` is rejected (what open would
+    /// truncate), if anything.
+    pub tail_error: Option<String>,
+}
+
+/// Read the journal's clean prefix under `root` without modifying it —
+/// exactly the records [`Journal::open`] would keep, with any torn or
+/// corrupt tail ignored instead of truncated. A missing journal is an
+/// empty record list. Errors only on unreadable files or a foreign magic.
+pub fn read_records(root: &Path) -> io::Result<Vec<JournalRecord>> {
+    let bytes = match fs::read(Journal::path_in(root)) {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    let s = scan(&bytes).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    Ok(s.records)
+}
+
+/// Verify the journal under `root` without modifying it: CRC-check every
+/// frame and report what [`Journal::open`] would truncate (the dry run).
+pub fn verify(root: &Path) -> io::Result<VerifyReport> {
+    let path = Journal::path_in(root);
+    let bytes = match fs::read(&path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {
+            return Ok(VerifyReport {
+                path,
+                exists: false,
+                records: 0,
+                file_len: 0,
+                good_len: 0,
+                tail_error: None,
+            });
+        }
+        Err(e) => return Err(e),
+    };
+    let s = scan(&bytes).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    Ok(VerifyReport {
+        path,
+        exists: true,
+        records: s.records.len(),
+        file_len: bytes.len() as u64,
+        good_len: s.good_len,
+        tail_error: s.tail_error,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tdir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("mana2_jnl_{}_{}", name, std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn full_epoch(j: &mut Journal, epoch: u64, gen: u64, world: u64) {
+        j.append(
+            epoch,
+            JournalStep::RestartIntent {
+                gen,
+                failed: vec![],
+            },
+        )
+        .unwrap();
+        j.append(epoch, JournalStep::GenValidated { gen }).unwrap();
+        for rank in 0..world {
+            j.append(epoch, JournalStep::RankRestored { rank }).unwrap();
+        }
+        j.append(epoch, JournalStep::CommsRebuilt).unwrap();
+        j.append(epoch, JournalStep::RestartCommitted).unwrap();
+    }
+
+    #[test]
+    fn append_replay_roundtrip() {
+        let root = tdir("roundtrip");
+        let mut j = Journal::open(&root).unwrap();
+        assert_eq!(j.next_epoch(), 0);
+        full_epoch(&mut j, 0, 4, 3);
+        drop(j);
+        let j = Journal::open(&root).unwrap();
+        assert_eq!(j.records().len(), 7);
+        assert_eq!(j.truncated_tail(), 0);
+        let epochs = j.epochs();
+        assert_eq!(epochs.len(), 1);
+        let e = &epochs[0];
+        assert_eq!(e.gen, Some(4));
+        assert!(e.validated && e.comms_rebuilt && e.committed);
+        assert_eq!(e.restored.len(), 3);
+        assert!(j.open_epoch().is_none());
+        assert_eq!(j.next_epoch(), 1);
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn idempotent_append_skips_duplicates() {
+        let root = tdir("idem");
+        let mut j = Journal::open(&root).unwrap();
+        assert!(j.append(0, JournalStep::RankRestored { rank: 2 }).unwrap());
+        assert!(!j.append(0, JournalStep::RankRestored { rank: 2 }).unwrap());
+        assert!(j.append(0, JournalStep::RankRestored { rank: 3 }).unwrap());
+        // Same step kind in a different epoch is a different key.
+        assert!(j.append(1, JournalStep::RankRestored { rank: 2 }).unwrap());
+        assert_eq!(j.records().len(), 3);
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_open() {
+        let root = tdir("torn");
+        let mut j = Journal::open(&root).unwrap();
+        j.append(
+            0,
+            JournalStep::RestartIntent {
+                gen: 7,
+                failed: vec![],
+            },
+        )
+        .unwrap();
+        j.append(0, JournalStep::GenValidated { gen: 7 }).unwrap();
+        drop(j);
+        // Simulate a crash mid-append: chop the last record in half.
+        let path = Journal::path_in(&root);
+        let len = fs::metadata(&path).unwrap().len();
+        let f = fs::OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 5).unwrap();
+        drop(f);
+        let report = verify(&root).unwrap();
+        assert_eq!(report.records, 1);
+        assert!(report.tail_error.is_some());
+        assert!(report.good_len < report.file_len);
+        let j = Journal::open(&root).unwrap();
+        assert_eq!(j.records().len(), 1);
+        assert!(j.truncated_tail() > 0);
+        // The file is now clean again and the lost step can re-append.
+        drop(j);
+        let mut j = Journal::open(&root).unwrap();
+        assert_eq!(j.truncated_tail(), 0);
+        assert!(j.append(0, JournalStep::GenValidated { gen: 7 }).unwrap());
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn corrupt_record_crc_truncates_from_there() {
+        let root = tdir("crc");
+        let mut j = Journal::open(&root).unwrap();
+        j.append(
+            0,
+            JournalStep::RestartIntent {
+                gen: 1,
+                failed: vec![],
+            },
+        )
+        .unwrap();
+        let good_len = fs::metadata(j.path()).unwrap().len();
+        j.append(0, JournalStep::GenValidated { gen: 1 }).unwrap();
+        j.append(0, JournalStep::RankRestored { rank: 0 }).unwrap();
+        drop(j);
+        // Flip a payload byte of the second record.
+        let path = Journal::path_in(&root);
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[good_len as usize + 9] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        let j = Journal::open(&root).unwrap();
+        assert_eq!(j.records().len(), 1, "everything after the bad CRC goes");
+        assert_eq!(fs::metadata(&path).unwrap().len(), good_len);
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn torn_header_resets_to_empty_journal() {
+        let root = tdir("hdr");
+        fs::create_dir_all(&root).unwrap();
+        fs::write(Journal::path_in(&root), b"MANA2").unwrap();
+        let j = Journal::open(&root).unwrap();
+        assert!(j.records().is_empty());
+        assert_eq!(j.truncated_tail(), 5);
+        drop(j);
+        assert_eq!(
+            fs::metadata(Journal::path_in(&root)).unwrap().len(),
+            HEADER_LEN as u64
+        );
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn foreign_file_is_rejected_not_destroyed() {
+        let root = tdir("foreign");
+        fs::create_dir_all(&root).unwrap();
+        fs::write(Journal::path_in(&root), b"definitely not a journal").unwrap();
+        let err = Journal::open(&root).unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
+        // The file is untouched.
+        assert_eq!(
+            fs::read(Journal::path_in(&root)).unwrap(),
+            b"definitely not a journal"
+        );
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn open_epoch_and_pinning() {
+        let root = tdir("pin");
+        let mut j = Journal::open(&root).unwrap();
+        full_epoch(&mut j, 0, 3, 2);
+        // Epoch 1 crashes after validation: gen 5 must be pinned.
+        j.append(
+            1,
+            JournalStep::RestartIntent {
+                gen: 5,
+                failed: vec![1],
+            },
+        )
+        .unwrap();
+        j.append(1, JournalStep::GenValidated { gen: 5 }).unwrap();
+        drop(j);
+        let j = Journal::open(&root).unwrap();
+        let open = j.open_epoch().unwrap();
+        assert_eq!(open.epoch, 1);
+        assert_eq!(open.gen, Some(5));
+        assert_eq!(open.failed, vec![1]);
+        assert!(open.validated && !open.committed);
+        assert_eq!(
+            pinned_generations(&root).into_iter().collect::<Vec<_>>(),
+            vec![5]
+        );
+        // Committing releases the pin.
+        drop(j);
+        let mut j = Journal::open(&root).unwrap();
+        j.append(1, JournalStep::RestartCommitted).unwrap();
+        assert!(j.open_epoch().is_none());
+        assert!(pinned_generations(&root).is_empty());
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn new_intent_supersedes_stale_open_epoch() {
+        let root = tdir("supersede");
+        let mut j = Journal::open(&root).unwrap();
+        j.append(
+            0,
+            JournalStep::RestartIntent {
+                gen: 2,
+                failed: vec![],
+            },
+        )
+        .unwrap();
+        // Epoch 0 never commits; a fresh attempt opens epoch 1 on gen 4.
+        j.append(
+            1,
+            JournalStep::RestartIntent {
+                gen: 4,
+                failed: vec![],
+            },
+        )
+        .unwrap();
+        let epochs = j.epochs();
+        assert!(epochs[0].superseded);
+        assert!(!epochs[1].superseded);
+        assert_eq!(j.open_epoch().unwrap().epoch, 1);
+        assert_eq!(
+            pinned_generations(&root).into_iter().collect::<Vec<_>>(),
+            vec![4],
+            "only the newest open epoch pins its generation"
+        );
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn missing_journal_pins_nothing_and_verifies_clean() {
+        let root = tdir("missing");
+        assert!(pinned_generations(&root).is_empty());
+        let report = verify(&root).unwrap();
+        assert!(!report.exists);
+        assert_eq!(report.records, 0);
+    }
+}

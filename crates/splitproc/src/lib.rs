@@ -15,6 +15,9 @@
 //! * [`store`] — durable generational checkpoint store: atomic image
 //!   writes, committed-round `MANIFEST`s, restart-time fallback selection,
 //!   and retention GC.
+//! * [`journal`] — crash-safe restart journal: append-only, fsynced,
+//!   CRC-framed record of every restart step, replayed idempotently so a
+//!   coordinator that dies mid-restart resumes instead of redoing work.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,6 +25,7 @@
 pub mod codec;
 mod fsreg;
 mod image;
+pub mod journal;
 mod lowerhalf;
 pub mod store;
 mod upperhalf;
@@ -29,9 +33,10 @@ mod upperhalf;
 pub use codec::{crc32, CodecError, Decode, Encode, Reader};
 pub use fsreg::{ContextSwitcher, FsMode};
 pub use image::{CkptImage, ImageError};
+pub use journal::{EpochState, Journal, JournalRecord, JournalStep};
 pub use lowerhalf::LowerHalf;
 pub use store::{
-    GenInfo, Manifest, ManifestEntry, RejectedGeneration, Selected, StoreConfig, StoreError,
-    WriteFault, WriteOutcome,
+    GenInfo, Manifest, ManifestEntry, RejectedGeneration, Rejection, Selected, StoreConfig,
+    StoreError, WriteFault, WriteOutcome,
 };
 pub use upperhalf::UpperHalf;

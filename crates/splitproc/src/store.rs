@@ -55,8 +55,34 @@ const MANIFEST_VERSION: u32 = 1;
 pub struct RejectedGeneration {
     /// Round number of the rejected generation.
     pub round: u64,
+    /// Coarse machine-readable reason (what the trace event carries).
+    pub code: obs::RejectCode,
     /// Why it was rejected (human-readable, names the failing rank/file).
     pub reason: String,
+}
+
+/// A validation failure: a coarse code plus the human-readable detail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rejection {
+    /// Coarse machine-readable reason.
+    pub code: obs::RejectCode,
+    /// Human-readable detail (names the failing rank/file).
+    pub reason: String,
+}
+
+impl fmt::Display for Rejection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.reason)
+    }
+}
+
+impl Rejection {
+    fn new(code: obs::RejectCode, reason: impl Into<String>) -> Self {
+        Rejection {
+            code,
+            reason: reason.into(),
+        }
+    }
 }
 
 /// Errors from the generational checkpoint store.
@@ -571,10 +597,14 @@ pub fn list_generations(root: &Path) -> io::Result<Vec<GenInfo>> {
 /// Garbage-collect old generations: keep the newest `retain` committed
 /// generations (floor 1 — GC never deletes the only good checkpoint) and
 /// drop everything older, including stale uncommitted directories left by
-/// aborted rounds. Returns the removed rounds.
+/// aborted rounds. A generation pinned by an open restart-journal epoch
+/// ([`crate::journal::pinned_generations`]) is never removed, no matter
+/// how old — GC must not collect the generation a restart is reading.
+/// Returns the removed rounds.
 pub fn gc_generations(root: &Path, retain: usize) -> io::Result<Vec<u64>> {
     let retain = retain.max(1);
     let gens = list_generations(root)?;
+    let pinned = crate::journal::pinned_generations(root);
     let committed: Vec<u64> = gens
         .iter()
         .filter(|g| g.committed)
@@ -588,6 +618,9 @@ pub fn gc_generations(root: &Path, retain: usize) -> io::Result<Vec<u64>> {
     let keep_from = committed[cutoff_idx]; // oldest committed round we keep
     let mut removed = Vec::new();
     for g in &gens {
+        if pinned.contains(&g.round) {
+            continue;
+        }
         let stale_committed = g.committed && g.round < keep_from;
         let stale_partial = !g.committed && g.round < newest;
         if stale_committed || stale_partial {
@@ -607,89 +640,140 @@ pub fn gc_generations(root: &Path, retain: usize) -> io::Result<Vec<u64>> {
 /// self-consistent, agreeing with `round` (and `expected_world` when
 /// given), exactly one image per rank, every image parseable (magic,
 /// version, section CRCs) with header fields and whole-file CRC matching
-/// the manifest. Returns the manifest on success, a rejection reason
-/// otherwise.
+/// the manifest. Returns the manifest on success, a rejection otherwise.
 pub fn validate_generation(
     dir: &Path,
     round: u64,
     expected_world: Option<usize>,
-) -> Result<Manifest, String> {
+) -> Result<Manifest, Rejection> {
+    validate_generation_ranks(dir, round, expected_world, None)
+}
+
+/// [`validate_generation`] scoped to a rank subset: manifest-level checks
+/// stay global, but only the listed ranks' images are opened and
+/// verified. This is what partial restart needs — the ranks being
+/// replaced must restore from pristine images, while a survivor whose
+/// image has since rotted on disk must not veto the whole restart (it is
+/// not being read).
+pub fn validate_generation_ranks(
+    dir: &Path,
+    round: u64,
+    expected_world: Option<usize>,
+    only_ranks: Option<&[u64]>,
+) -> Result<Manifest, Rejection> {
+    use obs::RejectCode as C;
     let manifest = match read_manifest(dir) {
         Ok(m) => m,
         Err(StoreError::Io(e)) if e.kind() == io::ErrorKind::NotFound => {
-            return Err("uncommitted (no MANIFEST)".into());
+            return Err(Rejection::new(C::Uncommitted, "uncommitted (no MANIFEST)"));
         }
-        Err(e) => return Err(e.to_string()),
+        Err(e) => return Err(Rejection::new(C::BadManifest, e.to_string())),
     };
     if manifest.round != round {
-        return Err(format!(
-            "manifest round {} disagrees with directory round {round}",
-            manifest.round
+        return Err(Rejection::new(
+            C::RoundMismatch,
+            format!(
+                "manifest round {} disagrees with directory round {round}",
+                manifest.round
+            ),
         ));
     }
     if let Some(w) = expected_world {
         if manifest.world_size != w as u64 {
-            return Err(format!(
-                "manifest world size {} != runtime world size {w}",
-                manifest.world_size
+            return Err(Rejection::new(
+                C::WorldMismatch,
+                format!(
+                    "manifest world size {} != runtime world size {w}",
+                    manifest.world_size
+                ),
             ));
         }
     }
     if manifest.entries.len() as u64 != manifest.world_size {
-        return Err(format!(
-            "manifest has {} entries for world size {}",
-            manifest.entries.len(),
-            manifest.world_size
+        return Err(Rejection::new(
+            C::BadManifest,
+            format!(
+                "manifest has {} entries for world size {}",
+                manifest.entries.len(),
+                manifest.world_size
+            ),
         ));
     }
     let mut ranks: Vec<u64> = manifest.entries.iter().map(|e| e.rank).collect();
     ranks.sort_unstable();
     if ranks.iter().enumerate().any(|(i, &r)| r != i as u64) {
-        return Err(format!(
-            "manifest ranks are not exactly 0..{}",
-            manifest.world_size
+        return Err(Rejection::new(
+            C::BadManifest,
+            format!("manifest ranks are not exactly 0..{}", manifest.world_size),
         ));
     }
     for entry in &manifest.entries {
+        if let Some(only) = only_ranks {
+            if !only.contains(&entry.rank) {
+                continue;
+            }
+        }
         let path = CkptImage::path_for(dir, entry.rank as usize);
         let bytes = match fs::read(&path) {
             Ok(b) => b,
-            Err(e) => return Err(format!("rank {} image unreadable: {e}", entry.rank)),
+            Err(e) => {
+                return Err(Rejection::new(
+                    C::MissingImage,
+                    format!("rank {} image unreadable: {e}", entry.rank),
+                ))
+            }
         };
         if bytes.len() as u64 != entry.bytes {
-            return Err(format!(
-                "rank {} image is {} bytes, manifest says {} (torn write)",
-                entry.rank,
-                bytes.len(),
-                entry.bytes
+            return Err(Rejection::new(
+                C::TornImage,
+                format!(
+                    "rank {} image is {} bytes, manifest says {} (torn write)",
+                    entry.rank,
+                    bytes.len(),
+                    entry.bytes
+                ),
             ));
         }
         if crc32(&bytes) != entry.crc {
-            return Err(format!(
-                "rank {} image CRC mismatch against manifest (corrupt image)",
-                entry.rank
+            return Err(Rejection::new(
+                C::CorruptImage,
+                format!(
+                    "rank {} image CRC mismatch against manifest (corrupt image)",
+                    entry.rank
+                ),
             ));
         }
         let img = match CkptImage::from_bytes(&bytes) {
             Ok(i) => i,
-            Err(e) => return Err(format!("rank {} image invalid: {e}", entry.rank)),
+            Err(e) => {
+                return Err(Rejection::new(
+                    C::BadImage,
+                    format!("rank {} image invalid: {e}", entry.rank),
+                ))
+            }
         };
         if img.rank as u64 != entry.rank {
-            return Err(format!(
-                "rank {} image claims rank {}",
-                entry.rank, img.rank
+            return Err(Rejection::new(
+                C::BadImage,
+                format!("rank {} image claims rank {}", entry.rank, img.rank),
             ));
         }
         if img.world_size as u64 != manifest.world_size {
-            return Err(format!(
-                "rank {} image world size {} != manifest world size {}",
-                entry.rank, img.world_size, manifest.world_size
+            return Err(Rejection::new(
+                C::BadImage,
+                format!(
+                    "rank {} image world size {} != manifest world size {}",
+                    entry.rank, img.world_size, manifest.world_size
+                ),
             ));
         }
         if img.round != manifest.round {
-            return Err(format!(
-                "rank {} image round {} != manifest round {}",
-                entry.rank, img.round, manifest.round
+            return Err(Rejection::new(
+                C::BadImage,
+                format!(
+                    "rank {} image round {} != manifest round {}",
+                    entry.rank, img.round, manifest.round
+                ),
             ));
         }
     }
@@ -717,10 +801,22 @@ pub fn select_generation(
     root: &Path,
     expected_world: Option<usize>,
 ) -> Result<Selected, StoreError> {
+    select_generation_ranks(root, expected_world, None)
+}
+
+/// [`select_generation`] with image validation scoped to `only_ranks`
+/// (see [`validate_generation_ranks`]) — the selection partial restart
+/// uses: the replaced ranks' images must be pristine, survivors' images
+/// are not read and cannot veto.
+pub fn select_generation_ranks(
+    root: &Path,
+    expected_world: Option<usize>,
+    only_ranks: Option<&[u64]>,
+) -> Result<Selected, StoreError> {
     let gens = list_generations(root)?;
     let mut rejected = Vec::new();
     for g in gens.iter().rev() {
-        match validate_generation(&g.dir, g.round, expected_world) {
+        match validate_generation_ranks(&g.dir, g.round, expected_world, only_ranks) {
             Ok(manifest) => {
                 return Ok(Selected {
                     round: g.round,
@@ -729,9 +825,10 @@ pub fn select_generation(
                     rejected,
                 });
             }
-            Err(reason) => rejected.push(RejectedGeneration {
+            Err(rej) => rejected.push(RejectedGeneration {
                 round: g.round,
-                reason,
+                code: rej.code,
+                reason: rej.reason,
             }),
         }
     }
@@ -759,6 +856,7 @@ fn select_legacy(
     let reject = |round: u64, reason: String, rejected: &mut Vec<RejectedGeneration>| {
         rejected.push(RejectedGeneration {
             round,
+            code: obs::RejectCode::Legacy,
             reason: format!("legacy layout: {reason}"),
         });
         Ok(None)
@@ -1074,6 +1172,67 @@ mod tests {
         let removed = gc_generations(&root, 0).unwrap();
         assert_eq!(removed, vec![1]);
         assert_eq!(list_generations(&root).unwrap().len(), 1);
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn gc_never_collects_generation_pinned_by_open_journal_epoch() {
+        use crate::journal::{Journal, JournalStep};
+        let root = tdir("gc_pin");
+        for round in 0..4u64 {
+            commit_round(&root, 2, round);
+        }
+        // A restart of gen 0 is in flight: intent + validation journaled,
+        // not yet committed. Even with retain=1 (which would normally
+        // keep only gen 3), gen 0 must survive the GC racing the restart.
+        let mut j = Journal::open(&root).unwrap();
+        j.append(
+            0,
+            JournalStep::RestartIntent {
+                gen: 0,
+                failed: vec![],
+            },
+        )
+        .unwrap();
+        j.append(0, JournalStep::GenValidated { gen: 0 }).unwrap();
+        drop(j);
+        let removed = gc_generations(&root, 1).unwrap();
+        assert_eq!(removed, vec![1, 2], "pinned gen 0 must not be removed");
+        assert!(generation_dir(&root, 0).exists());
+        assert!(validate_generation(&generation_dir(&root, 0), 0, Some(2)).is_ok());
+        // Once the epoch commits the pin is released and GC may collect.
+        let mut j = Journal::open(&root).unwrap();
+        j.append(0, JournalStep::RestartCommitted).unwrap();
+        drop(j);
+        let removed = gc_generations(&root, 1).unwrap();
+        assert_eq!(removed, vec![0]);
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn subset_validation_ignores_survivor_image_damage() {
+        let root = tdir("subset");
+        commit_round(&root, 3, 0);
+        let dir = generation_dir(&root, 0);
+        // Rot rank 2's image on disk after commit (flip one byte).
+        let path = CkptImage::path_for(&dir, 2);
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        // Full validation rejects the generation…
+        let rej = validate_generation(&dir, 0, Some(3)).unwrap_err();
+        assert_eq!(rej.code, obs::RejectCode::CorruptImage);
+        assert!(rej.reason.contains("rank 2"), "{}", rej.reason);
+        // …but a partial restart replacing only ranks {0, 1} never reads
+        // rank 2's image, so the generation is still usable for it.
+        let m = validate_generation_ranks(&dir, 0, Some(3), Some(&[0, 1])).unwrap();
+        assert_eq!(m.world_size, 3);
+        let sel = select_generation_ranks(&root, Some(3), Some(&[0, 1])).unwrap();
+        assert_eq!(sel.round, 0);
+        // If the damaged rank IS being replaced, the veto stands.
+        let err = select_generation_ranks(&root, Some(3), Some(&[1, 2])).unwrap_err();
+        assert!(matches!(err, StoreError::NoUsableGeneration { .. }));
         fs::remove_dir_all(&root).ok();
     }
 

@@ -2,7 +2,7 @@
 //! simulator → split-process → MANA layer → workloads.
 
 use mana2::mana_core::{
-    CallbackStyle, DrainMode, ManaConfig, ManaRuntime, RestartMode, TpcMode, VtBackend,
+    CallbackStyle, CommRestore, DrainMode, ManaConfig, ManaRuntime, TpcMode, VtBackend,
 };
 use mana2::mpisim::WorldCfg;
 use mana2::splitproc::FsMode;
@@ -157,7 +157,7 @@ fn configuration_matrix_smoke() {
             "fsgsbase_replaylog",
             ManaConfig {
                 fs_mode: FsMode::Fsgsbase,
-                restart_mode: RestartMode::ReplayLog,
+                comm_restore: CommRestore::ReplayLog,
                 ckpt_dir: ckpt_dir("cfg_fsgr"),
                 ..ManaConfig::default()
             },
