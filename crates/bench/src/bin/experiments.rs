@@ -8,6 +8,8 @@
 //! experiments table2    # CaPOH: native vs master branch vs feature/2pc
 //! experiments scale     # checkpoint-round latency, 64→4096 ranks, CoopEngine
 //! experiments explore   # schedule-space exploration coverage sweep
+//! experiments metrics   # metrics-plane bench: round/restart latency percentiles,
+//!                       # metrics-on/off overhead, BENCH_round_latency.json
 //! experiments all       # everything except `scale` (minutes at 4096 ranks)
 //! ```
 //!
@@ -424,6 +426,7 @@ fn trace() {
         ranks,
         seed: None,
         dropped: sink.dropped(),
+        dropped_by_ring: sink.dropped_by_ring(),
     };
     println!("\n{}", obs::analyze::render_summary(&meta, &sink.merged()));
     let out = obs::default_trace_dir();
@@ -516,6 +519,282 @@ fn explore_exp() {
         eprintln!("\n{bugs_found} schedule bug(s) found");
         std::process::exit(1);
     }
+}
+
+/// `experiments metrics`: the perf-trajectory benchmark behind the
+/// always-on metrics plane. Runs the standard 64-rank checkpoint-round
+/// workload (CoopEngine, coordinator drain — the `scale` shape) and emits
+/// `BENCH_round_latency.json` with:
+///
+/// * p50/p95/p99 checkpoint-round latency and restart latency, read from
+///   the run's own metrics histograms (`RunReport::metrics`);
+/// * checkpoint bytes per round;
+/// * the measured wall-clock overhead of metrics-on vs metrics-off
+///   (median of interleaved runs; budget: < 1%).
+///
+/// Regression gate: when `MANA2_BENCH_BASELINE` names a baseline JSON
+/// (CI points it at the checked-in one), a p95 round latency more than
+/// 15% above the baseline exits 1; a missing baseline file is created
+/// from this run (the "first run commits the baseline" path).
+///
+/// Env knobs: `MANA2_METRICS_RANKS` (default 64), `MANA2_METRICS_ROUNDS`
+/// (default 5), `MANA2_METRICS_REPS` (overhead on/off pairs, default 5).
+fn metrics_exp() {
+    use mana_core::RunReport;
+    use workloads::gromacs::GromacsResult;
+
+    let ranks = std::env::var("MANA2_METRICS_RANKS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64usize);
+    let rounds = std::env::var("MANA2_METRICS_ROUNDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5u64);
+    let reps = std::env::var("MANA2_METRICS_REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5usize);
+    println!("== Metrics: checkpoint-round latency plane, {ranks} ranks ==");
+
+    let md = gromacs::GromacsConfig {
+        atoms_per_rank: 32,
+        steps: 4,
+        compute_per_step: 0,
+        energy_interval: 2,
+        halo: 8,
+        ckpt_at_step: Some(2),
+        ckpt_round: 0,
+    };
+    let wc = || WorldCfg {
+        engine: EngineKind::Coop(CoopCfg {
+            workers: 0,
+            sched_seed: 0x0B5E_55ED,
+        }),
+        ..world_cfg(MachineProfile::zero())
+    };
+    let mcfg_of = |dir: std::path::PathBuf, exit_after: bool| ManaConfig {
+        drain: DrainMode::Coordinator,
+        exit_after_ckpt: exit_after,
+        ckpt_dir: dir,
+        ..ManaConfig::default()
+    };
+
+    // Leg A — round latency: `rounds` committed checkpoint rounds in one
+    // resume-mode run; the latency histogram collects one sample each.
+    let dir = scratch_dir("metrics_rounds");
+    let mdc = md.clone();
+    let report = ManaRuntime::new(ranks, mcfg_of(dir.clone(), false))
+        .with_world_cfg(wc())
+        .run_fresh(move |m| {
+            let mut f = ManaFace::new(m);
+            let mut cfg = mdc.clone();
+            for r in 0..rounds {
+                cfg.steps = (r + 1) * 3;
+                cfg.ckpt_at_step = Some(r * 3 + 1);
+                cfg.ckpt_round = r;
+                gromacs::run(&mut f, &cfg).map_err(|e| e.into_mana())?;
+            }
+            cfg.steps = rounds * 3 + 2;
+            cfg.ckpt_at_step = None;
+            gromacs::run(&mut f, &cfg).map_err(|e| e.into_mana())
+        })
+        .expect("metrics round leg");
+    let _ = std::fs::remove_dir_all(&dir);
+    let snap = report.metrics.as_ref().expect("run carries metrics");
+    let round_hist = snap
+        .hist("mana2_round_latency_ns")
+        .expect("round latency histogram")
+        .clone();
+    assert_eq!(
+        round_hist.count, rounds,
+        "every committed round must land one latency sample"
+    );
+    let bytes = snap.value("mana2_store_bytes_written_total").unwrap_or(0);
+    let bytes_per_round = bytes / rounds.max(1);
+    let q = |h: &obs::metrics::HistSnapshot, p: f64| h.quantile(p).unwrap_or(0);
+    println!(
+        "round latency over {rounds} round(s): p50 {:.2}ms  p95 {:.2}ms  p99 {:.2}ms  ({bytes_per_round} B/round)",
+        q(&round_hist, 0.50) as f64 / 1e6,
+        q(&round_hist, 0.95) as f64 / 1e6,
+        q(&round_hist, 0.99) as f64 / 1e6,
+    );
+
+    // Leg B — restart latency: checkpoint-and-exit, then a restart leg
+    // whose registry observes the full restart duration.
+    let dir2 = scratch_dir("metrics_restart");
+    let run_leg = |restart: bool| -> RunReport<GromacsResult> {
+        let mdc = md.clone();
+        let rt = ManaRuntime::new(ranks, mcfg_of(dir2.clone(), true)).with_world_cfg(wc());
+        let f = move |m: &mut mana_core::Mana<'_>| {
+            let mut f = ManaFace::new(m);
+            gromacs::run(&mut f, &mdc).map_err(|e| e.into_mana())
+        };
+        if restart {
+            rt.run_restart(f).expect("metrics restart leg")
+        } else {
+            rt.run_fresh(f).expect("metrics checkpoint leg")
+        }
+    };
+    let pass1 = run_leg(false);
+    assert!(pass1.all_checkpointed());
+    let pass2 = run_leg(true);
+    assert!(pass2.all_finished());
+    let restart_hist = pass2
+        .metrics
+        .as_ref()
+        .unwrap()
+        .hist("mana2_restart_full_ns")
+        .expect("restart latency histogram")
+        .clone();
+    assert_eq!(restart_hist.count, 1);
+    println!(
+        "restart latency: p50 {:.2}ms  p95 {:.2}ms  p99 {:.2}ms",
+        q(&restart_hist, 0.50) as f64 / 1e6,
+        q(&restart_hist, 0.95) as f64 / 1e6,
+        q(&restart_hist, 0.99) as f64 / 1e6,
+    );
+    let _ = std::fs::remove_dir_all(&dir2);
+
+    // Overhead — metrics-on vs metrics-off on the same single
+    // checkpoint-round leg, interleaved to cancel drift, medians compared.
+    let time_leg = |off: bool| -> f64 {
+        if off {
+            std::env::set_var("MANA2_METRICS_OFF", "1");
+        } else {
+            std::env::remove_var("MANA2_METRICS_OFF");
+        }
+        let dir = scratch_dir("metrics_ovh");
+        let mdc = md.clone();
+        // Time the same multi-round resume-mode workload as leg A: world
+        // setup/teardown (milliseconds of thread churn) amortizes over
+        // `rounds` checkpoint rounds instead of swamping the measurement.
+        let t = Instant::now();
+        let r = ManaRuntime::new(ranks, mcfg_of(dir.clone(), false))
+            .with_world_cfg(wc())
+            .run_fresh(move |m| {
+                let mut f = ManaFace::new(m);
+                let mut cfg = mdc.clone();
+                for r in 0..rounds {
+                    cfg.steps = (r + 1) * 3;
+                    cfg.ckpt_at_step = Some(r * 3 + 1);
+                    cfg.ckpt_round = r;
+                    gromacs::run(&mut f, &cfg).map_err(|e| e.into_mana())?;
+                }
+                cfg.steps = rounds * 3 + 2;
+                cfg.ckpt_at_step = None;
+                gromacs::run(&mut f, &cfg).map_err(|e| e.into_mana())
+            })
+            .expect("overhead leg");
+        let wall = t.elapsed().as_secs_f64();
+        assert!(r.all_finished());
+        let _ = std::fs::remove_dir_all(&dir);
+        wall
+    };
+    // The comparison is instrumentation cost alone: suspend any armed
+    // live exporter (MANA2_METRICS_DIR) for both sides, else the on-side
+    // alone pays the export thread's disk writes.
+    let series_dir = std::env::var("MANA2_METRICS_DIR").ok();
+    std::env::remove_var("MANA2_METRICS_DIR");
+    let (mut on, mut off, mut ratios) = (Vec::new(), Vec::new(), Vec::new());
+    time_leg(false); // warmup, discarded
+    for _ in 0..reps {
+        let a = time_leg(false);
+        let b = time_leg(true);
+        on.push(a);
+        off.push(b);
+        ratios.push(a / b);
+    }
+    std::env::remove_var("MANA2_METRICS_OFF");
+    if let Some(d) = series_dir {
+        std::env::set_var("MANA2_METRICS_DIR", d);
+    }
+    // The machine's noise floor drifts (thermal/occupancy), so absolute
+    // times from different moments don't compare. Adjacent on/off pairs
+    // see the same drift; the median of their ratios is the estimator
+    // that survives it.
+    ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = ratios[ratios.len() / 2];
+    let overhead_pct = (median - 1.0) * 100.0;
+    // Median absolute deviation, scaled to a sigma estimate: on a busy
+    // box the per-pair jitter routinely exceeds the 1% budget itself, so
+    // the verdict must compare against the noise, not just the point
+    // estimate. Overhead is over budget only if it clears 1% by more
+    // than the noise.
+    let mut devs: Vec<f64> = ratios.iter().map(|r| (r - median).abs()).collect();
+    devs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let noise_pct = 1.4826 * devs[devs.len() / 2] * 100.0;
+    let best = |v: &[f64]| -> f64 { v.iter().copied().fold(f64::INFINITY, f64::min) };
+    let (on_s, off_s) = (best(&on), best(&off));
+    println!(
+        "metrics overhead: on {on_s:.4}s vs off {off_s:.4}s = {overhead_pct:+.2}% ± {noise_pct:.2}% (budget < 1%)"
+    );
+    if overhead_pct - noise_pct >= 1.0 {
+        eprintln!("WARNING: metrics-plane overhead {overhead_pct:.2}% exceeds the 1% budget");
+    } else if overhead_pct >= 1.0 {
+        println!(
+            "overhead point estimate above 1% but within measurement noise — treating as pass"
+        );
+    }
+
+    let json = format!(
+        "{{\"experiment\":\"metrics\",\"ranks\":{ranks},\"rounds\":{rounds},\
+         \"round_latency_ns\":{{\"p50\":{},\"p95\":{},\"p99\":{}}},\
+         \"restart_latency_ns\":{{\"p50\":{},\"p95\":{},\"p99\":{}}},\
+         \"bytes_per_round\":{bytes_per_round},\
+         \"metrics_on_s\":{on_s:.6},\"metrics_off_s\":{off_s:.6},\
+         \"overhead_pct\":{overhead_pct:.3},\"overhead_noise_pct\":{noise_pct:.3}}}\n",
+        q(&round_hist, 0.50),
+        q(&round_hist, 0.95),
+        q(&round_hist, 0.99),
+        q(&restart_hist, 0.50),
+        q(&restart_hist, 0.95),
+        q(&restart_hist, 0.99),
+    );
+    write_json_artifact("BENCH_round_latency", &json);
+
+    // Perf-regression gate against the checked-in baseline.
+    if let Ok(path) = std::env::var("MANA2_BENCH_BASELINE") {
+        let p95 = q(&round_hist, 0.95);
+        match std::fs::read_to_string(&path) {
+            Ok(text) => match baseline_p95(&text) {
+                Some(base) if base > 0 => {
+                    let ratio = p95 as f64 / base as f64;
+                    println!(
+                        "baseline gate: p95 {p95}ns vs baseline {base}ns = {:+.1}%",
+                        (ratio - 1.0) * 100.0
+                    );
+                    if ratio > 1.15 {
+                        eprintln!(
+                            "FAIL: p95 round latency regressed {:.1}% (> 15%) against {path}",
+                            (ratio - 1.0) * 100.0
+                        );
+                        std::process::exit(1);
+                    }
+                }
+                _ => {
+                    eprintln!("FAIL: baseline {path} is unreadable as a metrics artifact");
+                    std::process::exit(1);
+                }
+            },
+            Err(_) => {
+                // First run: commit this run as the baseline.
+                if let Some(parent) = std::path::Path::new(&path).parent() {
+                    let _ = std::fs::create_dir_all(parent);
+                }
+                match std::fs::write(&path, &json) {
+                    Ok(()) => println!("baseline gate: wrote first baseline to {path}"),
+                    Err(e) => eprintln!("baseline gate: cannot write {path}: {e}"),
+                }
+            }
+        }
+    }
+}
+
+/// Pull `round_latency_ns.p95` out of a `BENCH_round_latency.json` text.
+fn baseline_p95(text: &str) -> Option<u64> {
+    let v = obs::json::parse(text.trim()).ok()?;
+    v.get("round_latency_ns")?.get("p95")?.as_u64()
 }
 
 /// Rank counts for the scale sweep: `MANA2_SCALE_RANKS="64,256"`
@@ -636,6 +915,7 @@ fn main() {
         "trace" | "--trace" => trace(),
         "scale" => scale_exp(),
         "explore" => explore_exp(),
+        "metrics" => metrics_exp(),
         "all" => {
             fig2();
             println!();
@@ -649,7 +929,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown experiment '{other}'; use fig2|fig3|fig4|table1|table2|trace|scale|explore|all"
+                "unknown experiment '{other}'; use fig2|fig3|fig4|table1|table2|trace|scale|explore|metrics|all"
             );
             std::process::exit(2);
         }

@@ -92,6 +92,12 @@ pub struct ManaConfig {
     /// [`crate::runtime::RuntimeError`] dumps them as JSONL +
     /// Chrome-trace files. `None` (the default) records nothing.
     pub trace: Option<std::sync::Arc<obs::TraceSink>>,
+    /// Metrics registry for the always-on metrics plane. `None` (the
+    /// default) makes [`crate::runtime::ManaRuntime`] create a fresh
+    /// per-run registry, so every [`crate::runtime::RunReport`] carries a
+    /// final snapshot; pass a shared registry to aggregate several runs
+    /// (e.g. a checkpoint leg and its restart leg) into one series.
+    pub metrics: Option<std::sync::Arc<obs::metrics::MetricsRegistry>>,
 }
 
 impl Default for ManaConfig {
@@ -110,6 +116,7 @@ impl Default for ManaConfig {
             deadlock_timeout: None,
             fault: None,
             trace: None,
+            metrics: None,
         }
     }
 }

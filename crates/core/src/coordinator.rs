@@ -16,6 +16,7 @@
 
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use mpisim::{ParkerRef, UnparkerRef};
+use obs::metrics as met;
 use splitproc::store;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -131,6 +132,9 @@ pub struct CoordHandle {
     /// Flight recorder for this rank (records fault-plan firings on the
     /// control channel).
     rec: Option<obs::Recorder>,
+    /// Metrics-plane handle for this rank (counts control-channel fault
+    /// firings).
+    meter: Option<met::Meter>,
     /// The rank's engine parker, attached by the runtime once the rank's
     /// `Proc` exists. When set, every blocking point on the control
     /// channel (receive waits, injected stalls) parks through the engine
@@ -192,6 +196,9 @@ impl CoordHandle {
         if let Some(fp) = &self.fault {
             let k = self.sent_msgs.fetch_add(1, Ordering::Relaxed);
             if let Some(d) = fp.coord_delay(self.rank, k) {
+                if let Some(m) = &self.meter {
+                    m.add(met::FAULTS_FIRED, 1);
+                }
                 if let Some(r) = &self.rec {
                     r.event(
                         obs::NO_ROUND,
@@ -309,7 +316,7 @@ pub fn spawn_coordinator(
     CkptTrigger,
     std::thread::JoinHandle<CoordReport>,
 ) {
-    spawn_coordinator_ext(n, exit_after_ckpt, None, None, None, 0, None, None)
+    spawn_coordinator_ext(n, exit_after_ckpt, None, None, None, 0, None, None, None)
 }
 
 /// The coordinator's outbound port to one rank: a bounded channel plus the
@@ -344,6 +351,11 @@ impl RankPort {
 /// [`mpisim::World::unparkers`]); the coordinator unparks a rank after
 /// every message to it and unparks all ranks when it raises checkpoint
 /// intent, so engine-parked ranks notice control traffic promptly.
+///
+/// When `metrics` is set, the coordinator records round counters and
+/// quiesce/write/commit/fan-in latency histograms into its
+/// [`obs::COORD_ACTOR`] shard, and each handle counts control-channel
+/// fault firings under its rank.
 #[allow(clippy::too_many_arguments)]
 pub fn spawn_coordinator_ext(
     n: usize,
@@ -354,6 +366,7 @@ pub fn spawn_coordinator_ext(
     initial_round: u64,
     trace: Option<Arc<obs::TraceSink>>,
     wakers: Option<Vec<UnparkerRef>>,
+    metrics: Option<Arc<met::MetricsRegistry>>,
 ) -> (
     Vec<CoordHandle>,
     CkptTrigger,
@@ -382,6 +395,7 @@ pub fn spawn_coordinator_ext(
             fault: fault.clone(),
             sent_msgs: Arc::new(AtomicU64::new(0)),
             rec: trace.as_ref().map(|s| s.recorder(rank as i32)),
+            meter: metrics.as_ref().map(|m| m.meter(rank as i32)),
             parker: None,
         });
     }
@@ -389,6 +403,7 @@ pub fn spawn_coordinator_ext(
         tx: to_coord.clone(),
     };
     let coord_rec = trace.as_ref().map(|s| s.recorder(obs::COORD_ACTOR));
+    let coord_meter = metrics.as_ref().map(|m| m.meter(obs::COORD_ACTOR));
     let join = std::thread::Builder::new()
         .name("mana-coordinator".into())
         .spawn(move || {
@@ -402,6 +417,7 @@ pub fn spawn_coordinator_ext(
                 commit_check,
                 ckpt_store,
                 coord_rec,
+                coord_meter,
             )
         })
         .expect("spawn coordinator");
@@ -419,6 +435,7 @@ fn coordinator_loop(
     commit_check: Option<CommitCheck>,
     ckpt_store: Option<CoordStore>,
     rec: Option<obs::Recorder>,
+    meter: Option<met::Meter>,
 ) -> CoordReport {
     let mut report = CoordReport::default();
     let mut finished = vec![false; n];
@@ -518,6 +535,9 @@ fn coordinator_loop(
                 let mut images: Vec<Option<store::ManifestEntry>> = vec![None; n];
                 let mut failures: Vec<(usize, String)> = Vec::new();
                 let mut drain_reports: Vec<(u64, u64)> = Vec::new();
+                // Fan-in spread: first to last rank report this round.
+                let mut first_report: Option<Instant> = None;
+                let mut last_report: Option<Instant> = None;
                 while reported < n {
                     match from_ranks.recv_timeout(Duration::from_secs(120)) {
                         Ok(RankMsg::DrainReport { sent, recvd, .. }) => {
@@ -541,6 +561,9 @@ fn coordinator_loop(
                         }) => {
                             msgs += 1;
                             reported += 1;
+                            let now = Instant::now();
+                            first_report.get_or_insert(now);
+                            last_report = Some(now);
                             total_bytes += image_bytes;
                             images[rank] = Some(store::ManifestEntry {
                                 rank: rank as u64,
@@ -551,6 +574,9 @@ fn coordinator_loop(
                         Ok(RankMsg::CkptFailed { rank, reason }) => {
                             msgs += 1;
                             reported += 1;
+                            let now = Instant::now();
+                            first_report.get_or_insert(now);
+                            last_report = Some(now);
                             failures.push((rank, reason));
                         }
                         Ok(RankMsg::RequestCkpt) => {
@@ -566,10 +592,19 @@ fn coordinator_loop(
                 if let Some(r) = &rec {
                     r.end(round as i64, obs::Phase::ImageWrite);
                 }
+                if let Some(m) = &meter {
+                    if let (Some(a), Some(b)) = (first_report, last_report) {
+                        m.observe(
+                            met::COORD_FANIN_NS,
+                            b.saturating_duration_since(a).as_nanos() as u64,
+                        );
+                    }
+                }
 
                 // Commit point: every rank has drained and reported, none
                 // has resumed. The round commits only if *all* ranks wrote
                 // durably — then the manifest makes it restart material.
+                let t_commit = Instant::now();
                 if failures.is_empty() {
                     if let Some(r) = &rec {
                         r.begin(round as i64, obs::Phase::Commit);
@@ -617,6 +652,9 @@ fn coordinator_loop(
                     if let Some(r) = &rec {
                         r.end(round as i64, obs::Phase::AbortRound);
                     }
+                    if let Some(m) = &meter {
+                        m.add(met::ROUNDS_ABORTED, 1);
+                    }
                     report.aborted_rounds.push(AbortedRound { round, failures });
                     continue;
                 }
@@ -648,6 +686,13 @@ fn coordinator_loop(
                     port.send(fin);
                     msgs += 1;
                 }
+                if let Some(m) = &meter {
+                    m.add(met::ROUNDS_COMMITTED, 1);
+                    m.observe(met::ROUND_QUIESCE_NS, quiesce.as_nanos() as u64);
+                    m.observe(met::ROUND_WRITE_NS, write.as_nanos() as u64);
+                    m.observe(met::ROUND_COMMIT_NS, t_commit.elapsed().as_nanos() as u64);
+                    m.observe(met::ROUND_LATENCY_NS, t0.elapsed().as_nanos() as u64);
+                }
                 report.rounds.push(CkptRoundStats {
                     round,
                     quiesce,
@@ -662,7 +707,11 @@ fn coordinator_loop(
                 // restart-journal epoch are exempt — a restart in flight
                 // must never have its source collected out from under it.
                 if let Some(cs) = &ckpt_store {
-                    let _ = store::gc_generations(&cs.root, cs.retain);
+                    if let Ok(collected) = store::gc_generations(&cs.root, cs.retain) {
+                        if let Some(m) = &meter {
+                            m.add(met::STORE_GC_GENERATIONS, collected.len() as u64);
+                        }
+                    }
                 }
                 if exit_after_ckpt {
                     exited = true;
@@ -851,7 +900,7 @@ mod tests {
         let check: CommitCheck =
             Box::new(|round| Err(format!("synthetic violation in round {round}")));
         let (handles, trigger, join) =
-            spawn_coordinator_ext(n, false, None, Some(check), None, 0, None, None);
+            spawn_coordinator_ext(n, false, None, Some(check), None, 0, None, None, None);
         trigger.checkpoint();
         let threads: Vec<_> = handles
             .into_iter()
@@ -979,6 +1028,7 @@ mod tests {
                 retain: 2,
             }),
             0,
+            None,
             None,
             None,
         );

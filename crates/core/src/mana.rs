@@ -153,6 +153,8 @@ pub struct Mana<'p> {
     pub(crate) fault_triggered: bool,
     /// Flight-recorder handle for this rank (from `cfg.trace`).
     pub(crate) rec: Option<obs::Recorder>,
+    /// Metrics-plane handle for this rank (from `cfg.metrics`).
+    pub(crate) meter: Option<obs::metrics::Meter>,
 }
 
 impl<'p> Mana<'p> {
@@ -160,6 +162,7 @@ impl<'p> Mana<'p> {
     pub fn fresh(proc: &'p Proc, cfg: ManaConfig, coord: CoordHandle) -> Self {
         let n = proc.world_size();
         let rec = cfg.trace.as_ref().map(|s| s.recorder(proc.rank() as i32));
+        let meter = cfg.metrics.as_ref().map(|m| m.meter(proc.rank() as i32));
         Mana {
             lh: LowerHalf::new(proc, cfg.fs_mode),
             comms: CommManager::new(cfg.vtable, n),
@@ -178,7 +181,25 @@ impl<'p> Mana<'p> {
             stats: ManaStats::default(),
             fault_triggered: false,
             rec,
+            meter,
             cfg,
+        }
+    }
+
+    /// Bump a metrics-plane counter for this rank (no-op without a
+    /// registry; one branch on the hot path).
+    #[inline]
+    pub(crate) fn m_add(&self, id: obs::metrics::MetricId, delta: u64) {
+        if let Some(m) = &self.meter {
+            m.add(id, delta);
+        }
+    }
+
+    /// Record a metrics-plane latency observation for this rank.
+    #[inline]
+    pub(crate) fn m_observe(&self, id: obs::metrics::MetricId, ns: u64) {
+        if let Some(m) = &self.meter {
+            m.observe(id, ns);
         }
     }
 

@@ -28,6 +28,7 @@ use crate::mana::Mana;
 use crate::p2p_log::{DrainBuffer, DrainedMsg, P2pLog};
 use crate::requests::{Binding, RequestManager, RequestMeta, StoredCompletion, VReqKind};
 use mpisim::{fnv1a_usizes, Comm, Group, Proc, RReq, SrcSel, TagSel};
+use obs::metrics as met;
 use obs::{EventKind, FaultKind, Phase};
 use splitproc::store;
 use splitproc::{CkptImage, Decode, Encode, LowerHalf, Reader, UpperHalf};
@@ -96,6 +97,7 @@ impl<'p> Mana<'p> {
                 && fp.should_trigger(self.rank(), self.stats.wrapper_calls)
             {
                 self.fault_triggered = true;
+                self.m_add(met::FAULTS_FIRED, 1);
                 if let Some(r) = &self.rec {
                     r.event(
                         self.round as i64,
@@ -149,6 +151,7 @@ impl<'p> Mana<'p> {
                 .as_ref()
                 .and_then(|fp| fp.ready_stall(self.rank()))
             {
+                self.m_add(met::FAULTS_FIRED, 1);
                 if let Some(r) = &self.rec {
                     r.event(
                         intent_round,
@@ -241,9 +244,13 @@ impl<'p> Mana<'p> {
                 self.rank()
             );
         }
+        if write_fault.is_some() {
+            self.m_add(met::FAULTS_FIRED, 1);
+        }
         if let Some(r) = &self.rec {
             r.begin(round as i64, Phase::ImageWrite);
         }
+        let t_write = std::time::Instant::now();
         let wrote = store::write_image_traced(
             &self.cfg.ckpt_dir,
             &image,
@@ -251,6 +258,7 @@ impl<'p> Mana<'p> {
             write_fault.as_ref(),
             self.rec.as_ref(),
         );
+        self.m_observe(met::STORE_WRITE_NS, t_write.elapsed().as_nanos() as u64);
         if let Some(r) = &self.rec {
             r.end(round as i64, Phase::ImageWrite);
         }
@@ -258,6 +266,9 @@ impl<'p> Mana<'p> {
         match wrote {
             Ok(out) => {
                 self.stats.ckpts += 1;
+                self.m_add(met::STORE_BYTES_WRITTEN, out.bytes as u64);
+                self.m_add(met::STORE_WRITE_RETRIES, out.retries as u64);
+                self.m_add(met::STORE_FSYNCS, out.fsyncs as u64);
                 self.coord.send(RankMsg::CkptDone {
                     rank: self.rank(),
                     image_bytes: out.bytes as u64,
@@ -330,11 +341,14 @@ impl<'p> Mana<'p> {
                 return Ok(());
             }
             self.stats.drain_sweeps += 1;
+            self.m_add(met::DRAIN_SWEEPS, 1);
             sweep += 1;
             if let Some(r) = &self.rec {
                 r.begin(round, Phase::Drain { sweep });
             }
+            let t = std::time::Instant::now();
             let progress = self.drain_sweep(&deficits)?;
+            self.m_observe(met::DRAIN_SWEEP_NS, t.elapsed().as_nanos() as u64);
             if let Some(r) = &self.rec {
                 r.end(round, Phase::Drain { sweep });
             }
@@ -361,13 +375,16 @@ impl<'p> Mana<'p> {
                 CoordMsg::DrainVerdict { balanced: true } => return Ok(()),
                 CoordMsg::DrainVerdict { balanced: false } => {
                     self.stats.drain_sweeps += 1;
+                    self.m_add(met::DRAIN_SWEEPS, 1);
                     sweep += 1;
                     if let Some(r) = &self.rec {
                         r.begin(round, Phase::Drain { sweep });
                     }
                     // No per-pair information: sweep everything receivable.
                     let all = vec![u64::MAX; self.world_size()];
+                    let t = std::time::Instant::now();
                     let progress = self.drain_sweep(&all)?;
+                    self.m_observe(met::DRAIN_SWEEP_NS, t.elapsed().as_nanos() as u64);
                     if let Some(r) = &self.rec {
                         r.end(round, Phase::Drain { sweep });
                     }
@@ -425,6 +442,8 @@ impl<'p> Mana<'p> {
                         .count_drained(w, data.len(), self.rec.as_ref(), round);
                     self.stats.drained_msgs += 1;
                     self.stats.drained_bytes += data.len() as u64;
+                    self.m_add(met::DRAINED_MSGS, 1);
+                    self.m_add(met::DRAINED_BYTES, data.len() as u64);
                     self.drain_buf.push(DrainedMsg {
                         vcomm: vc,
                         src_world: w,
@@ -453,6 +472,8 @@ impl<'p> Mana<'p> {
                     .count_drained(src_world, c.data.len(), self.rec.as_ref(), round);
                 self.stats.drained_msgs += 1;
                 self.stats.drained_bytes += c.data.len() as u64;
+                self.m_add(met::DRAINED_MSGS, 1);
+                self.m_add(met::DRAINED_BYTES, c.data.len() as u64);
                 // Step one of two-step retirement: the user's address for
                 // this request is unknown here, so park the completion.
                 self.reqs.mark_null(
@@ -489,6 +510,8 @@ impl<'p> Mana<'p> {
                         .count_drained(src_world, c.data.len(), self.rec.as_ref(), round);
                     self.stats.drained_msgs += 1;
                     self.stats.drained_bytes += c.data.len() as u64;
+                    self.m_add(met::DRAINED_MSGS, 1);
+                    self.m_add(met::DRAINED_BYTES, c.data.len() as u64);
                     slot.real = None;
                     slot.data = Some(c.data);
                     progress = true;
@@ -573,6 +596,7 @@ impl<'p> Mana<'p> {
         let mut comms = CommManager::from_meta(&meta.comm, cfg.vtable);
         let mut stats = crate::mana::ManaStats::default();
         let rec = cfg.trace.as_ref().map(|s| s.recorder(proc.rank() as i32));
+        let meter = cfg.metrics.as_ref().map(|m| m.meter(proc.rank() as i32));
         if let Some(r) = &rec {
             r.begin(image.round as i64, Phase::RestoreComms);
         }
@@ -645,6 +669,7 @@ impl<'p> Mana<'p> {
             stats,
             fault_triggered: false,
             rec,
+            meter,
             cfg,
         };
         mana.restore_wins(&meta.wins)?;

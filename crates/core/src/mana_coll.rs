@@ -31,6 +31,7 @@ use crate::ids::{VComm, VReq};
 use crate::mana::Mana;
 use crate::requests::{Binding, VReqKind};
 use mpisim::{CollKind, Datatype, ReduceOp};
+use obs::metrics as met;
 use obs::{EventKind, Phase, NO_ROUND};
 
 impl Mana<'_> {
@@ -52,6 +53,7 @@ impl Mana<'_> {
     /// instead of blocking inside the lower half.
     pub(crate) fn tpc_barrier(&mut self, vc: VComm) -> Result<()> {
         self.stats.tpc_barriers += 1;
+        self.m_add(met::TPC_BARRIERS, 1);
         let seq = self.comms.next_emu_seq(vc);
         if let Some(r) = &self.rec {
             // Arrival marker first: cross-rank skew on the same
@@ -63,7 +65,9 @@ impl Mana<'_> {
         }
         let id = self.collops.next_id();
         self.collops.insert(CollOp::barrier(id, vc, seq));
+        let t = std::time::Instant::now();
         let res = self.drive_collop(id);
+        self.m_observe(met::TPC_BARRIER_WAIT_NS, t.elapsed().as_nanos() as u64);
         self.collops.remove(id);
         if let Some(r) = &self.rec {
             r.end(NO_ROUND, Phase::TpcBarrier);
@@ -123,6 +127,7 @@ impl Mana<'_> {
 
     fn emu_record(&mut self, kind: CollKind) {
         self.stats.emu_collectives += 1;
+        self.m_add(met::EMU_COLLECTIVES, 1);
         self.lh.call(|p| p.record_collective_public(kind));
     }
 
@@ -266,6 +271,7 @@ impl Mana<'_> {
     fn nb_collective(&mut self, op: CollOp) -> Result<VReq> {
         self.stats.wrapper_calls += 1;
         self.stats.emu_collectives += 1;
+        self.m_add(met::EMU_COLLECTIVES, 1);
         self.maybe_checkpoint(false)?;
         let id = op.id;
         self.collops.insert(op);

@@ -14,11 +14,13 @@ use crate::coordinator::{
 use crate::error::{ManaError, Result};
 use crate::mana::{Mana, ManaStats};
 use mpisim::{StatsSnapshot, World, WorldCfg};
+use obs::metrics as met;
 use splitproc::journal::{Journal, JournalStep};
 use splitproc::{store, CkptImage};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// How one rank's application run ended.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -83,6 +85,10 @@ pub struct RunReport<T> {
     /// journaled as restored — every rank for a full restart, exactly the
     /// failed set for a partial one. `None` for fresh runs.
     pub restored_ranks: Option<Vec<usize>>,
+    /// Final metrics snapshot of the run's registry (always present on a
+    /// successful run; merged across every rank, the coordinator, and the
+    /// process-level samplers).
+    pub metrics: Option<met::MetricsSnapshot>,
 }
 
 impl<T> RunReport<T> {
@@ -185,6 +191,13 @@ struct RestartGuard {
     /// world-level `CommsRebuilt` and `RestartCommitted` steps.
     remaining: AtomicUsize,
     trace: Option<Arc<obs::TraceSink>>,
+    metrics: Arc<met::MetricsRegistry>,
+    /// Partial (survivor-preserving) restart? Picks which restart
+    /// counter/histogram the committed epoch lands in.
+    partial: bool,
+    /// When the restart preamble began; `RestartCommitted` observes the
+    /// elapsed wall time as the restart-duration histogram sample.
+    started: Instant,
 }
 
 impl RestartGuard {
@@ -193,6 +206,8 @@ impl RestartGuard {
             return Ok(());
         };
         if self.boundary.fetch_add(1, Ordering::SeqCst) == k {
+            self.metrics.add(actor, met::FAULTS_FIRED, 1);
+            self.metrics.add(actor, met::RESTART_KILLS, 1);
             if let Some(s) = &self.trace {
                 s.record(
                     actor,
@@ -219,6 +234,28 @@ impl RestartGuard {
             .expect("restart journal lock poisoned")
             .append(self.epoch, step.clone())
             .map_err(|e| ManaError::Image(splitproc::ImageError::Io(e)))?;
+        if fresh {
+            self.metrics.add(actor, met::JOURNAL_APPENDS, 1);
+        }
+        match &step {
+            // A resumed restart re-restores the rank even when the record
+            // was already durable, so the counter tracks work done this
+            // run, not fresh journal records.
+            JournalStep::RankRestored { .. } => {
+                self.metrics.add(actor, met::RESTART_RANKS_RESTORED, 1);
+            }
+            JournalStep::RestartCommitted => {
+                let ns = self.started.elapsed().as_nanos() as u64;
+                if self.partial {
+                    self.metrics.add(actor, met::RESTARTS_PARTIAL, 1);
+                    self.metrics.observe(actor, met::RESTART_PARTIAL_NS, ns);
+                } else {
+                    self.metrics.add(actor, met::RESTARTS_FULL, 1);
+                    self.metrics.observe(actor, met::RESTART_FULL_NS, ns);
+                }
+            }
+            _ => {}
+        }
         if let Some(s) = &self.trace {
             let (st, rank) = obs_step(&step);
             s.record(
@@ -361,11 +398,25 @@ impl ManaRuntime {
         F: Fn(&mut Mana<'_>) -> Result<T> + Send + Sync,
         G: FnOnce(CkptTrigger) + Send + 'static,
     {
+        // The run's metrics registry: the always-on plane every layer
+        // below records into. A caller-supplied registry (cfg.metrics)
+        // aggregates several runs into one series; otherwise the run gets
+        // a fresh one and its final snapshot rides out in the RunReport.
+        let reg = self
+            .cfg
+            .metrics
+            .clone()
+            .unwrap_or_else(|| met::MetricsRegistry::standard(self.n));
+        // Escape hatch for overhead measurement only (`experiments
+        // metrics` compares on/off): the registry still exists so reports
+        // keep their shape, but no meter is handed out and no sampler or
+        // exporter runs — the hot paths record nothing.
+        let metrics_off = std::env::var("MANA2_METRICS_OFF").is_ok_and(|v| v != "0");
         // Restart: replay the journal and pick the generation *before*
         // spawning anything. Failing here is cheap; failing inside the
         // launched world is a mess.
         let prepared = match &restart {
-            Some(mode) => Some(self.prepare_restart(mode)?),
+            Some(mode) => Some(self.prepare_restart(mode, &reg)?),
             None => None,
         };
         let (selected, guard) = match prepared {
@@ -420,7 +471,76 @@ impl ManaRuntime {
             // Engine unparkers: the coordinator wakes ranks out of engine
             // parks on every control message and on intent raise.
             Some(world.unparkers()),
+            (!metrics_off).then(|| reg.clone()),
         );
+        // Process-level sampler: pulls engine counters (mpisim stays
+        // metrics-agnostic) and the trace rings' drop count into the
+        // registry. Runs on every exporter tick and once at run end, so
+        // the final snapshot is current even without an exporter.
+        let sample: Arc<dyn Fn(&met::MetricsRegistry) + Send + Sync> = if metrics_off {
+            Arc::new(|_: &met::MetricsRegistry| {})
+        } else {
+            let engine = world.engine_metrics();
+            let sink = self.cfg.trace.clone();
+            // ENGINE_UNPARKS must stay a monotone counter in the registry,
+            // so the sampler feeds it deltas of the engine's raw total.
+            let prev_unparks = Mutex::new(0u64);
+            Arc::new(move |reg: &met::MetricsRegistry| {
+                let cur = engine.unparks.load(Ordering::Relaxed);
+                let mut prev = prev_unparks.lock().expect("unpark sampler lock poisoned");
+                if cur > *prev {
+                    reg.add(met::PROCESS_ACTOR, met::ENGINE_UNPARKS, cur - *prev);
+                    *prev = cur;
+                }
+                drop(prev);
+                reg.gauge_set(
+                    met::PROCESS_ACTOR,
+                    met::ENGINE_READY_RANKS,
+                    engine.ready_depth.load(Ordering::Relaxed),
+                );
+                if let Some(s) = &sink {
+                    reg.gauge_set(met::PROCESS_ACTOR, met::TRACE_DROPPED_EVENTS, s.dropped());
+                }
+            })
+        };
+        // Live export is opt-in via MANA2_METRICS_DIR; the registry itself
+        // is always on.
+        let exporter = match std::env::var("MANA2_METRICS_DIR") {
+            Ok(dir) if !dir.is_empty() && !metrics_off => {
+                let interval = std::env::var("MANA2_METRICS_INTERVAL_MS")
+                    .ok()
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .unwrap_or(200)
+                    .max(1);
+                let meta = met::SeriesMeta {
+                    label: obs::unique_label(if restart.is_some() {
+                        "mana2_restart"
+                    } else {
+                        "mana2_run"
+                    }),
+                    ranks: self.n,
+                    seed: self.cfg.fault.as_ref().map(|f| f.seed()),
+                };
+                let collect: Vec<met::Collector> = vec![Box::new({
+                    let s = sample.clone();
+                    move |r: &met::MetricsRegistry| s(r)
+                })];
+                match met::MetricsExporter::spawn(
+                    reg.clone(),
+                    std::path::Path::new(&dir),
+                    meta,
+                    std::time::Duration::from_millis(interval),
+                    collect,
+                ) {
+                    Ok(ex) => Some(ex),
+                    Err(e) => {
+                        eprintln!("mana2: metrics exporter failed to start: {e}");
+                        None
+                    }
+                }
+            }
+            _ => None,
+        };
         let driver_join = driver.map(|d| {
             let t = trigger.clone();
             std::thread::spawn(move || d(t))
@@ -471,7 +591,14 @@ impl ManaRuntime {
             });
             (stop, handle)
         });
-        let cfg = &self.cfg;
+        // The effective config the rank closures see always carries the
+        // registry, so Mana::fresh/restore hand every rank a meter.
+        let eff_cfg = {
+            let mut c = self.cfg.clone();
+            c.metrics = (!metrics_off).then(|| reg.clone());
+            c
+        };
+        let cfg = &eff_cfg;
         let f = &f;
         let handles_ref = &handles;
         let selected_ref = &selected;
@@ -547,6 +674,21 @@ impl ManaRuntime {
             };
             Ok((outcome, mana.stats()))
         });
+        // One final sample + exporter drain + merged snapshot, shared by
+        // every exit path below (each path consumes the exporter once).
+        fn final_snapshot(
+            reg: &Arc<met::MetricsRegistry>,
+            sample: &Arc<dyn Fn(&met::MetricsRegistry) + Send + Sync>,
+            exporter: Option<met::MetricsExporter>,
+        ) -> met::MetricsSnapshot {
+            sample(reg);
+            if let Some(ex) = exporter {
+                if let Err(e) = ex.finish() {
+                    eprintln!("mana2: metrics exporter finish failed: {e}");
+                }
+            }
+            reg.snapshot()
+        }
         let world_stats = world.stats();
         // Drop our coordinator senders so the coordinator unblocks even if
         // ranks errored before saying goodbye.
@@ -561,14 +703,16 @@ impl ManaRuntime {
         });
         if let Some(report) = deadlock_report {
             let _ = coord_join.join();
-            self.dump_trace("deadlock");
+            let snap = final_snapshot(&reg, &sample, exporter);
+            self.dump_trace("deadlock", Some(&snap));
             return Err(RuntimeError::Deadlock(report));
         }
         let results = match launched {
             Ok(r) => r,
             Err(e) => {
                 let _ = coord_join.join();
-                self.dump_trace("world_fail");
+                let snap = final_snapshot(&reg, &sample, exporter);
+                self.dump_trace("world_fail", Some(&snap));
                 return Err(RuntimeError::World(e.to_string()));
             }
         };
@@ -581,13 +725,16 @@ impl ManaRuntime {
         };
         // An injected restart kill poisons the world, so peer ranks die of
         // secondary (fabric/coordinator) errors. Scan for the kill first
-        // and report it, not the collateral.
-        // No trace dump here: the kill only exists under an armed chaos
-        // plan, so it is the expected outcome, not a diagnosable failure.
+        // and report it, not the collateral. The kill only exists under an
+        // armed chaos plan, but the flight dump (with its metrics sidecar)
+        // is exactly what the chaos harness inspects afterwards, so it is
+        // dumped like any other failure.
         if let Some(step) = results.iter().find_map(|r| match r {
             Err(ManaError::RestartKilled { step }) => Some(*step),
             _ => None,
         }) {
+            let snap = final_snapshot(&reg, &sample, exporter);
+            self.dump_trace("restart_kill", Some(&snap));
             return Err(RuntimeError::RestartKilled { step });
         }
         let mut outcomes = Vec::with_capacity(self.n);
@@ -599,17 +746,28 @@ impl ManaRuntime {
                     rank_stats.push(s);
                 }
                 Err(e) => {
-                    self.dump_trace("rank_fail");
+                    let snap = final_snapshot(&reg, &sample, exporter);
+                    self.dump_trace("rank_fail", Some(&snap));
                     return Err(RuntimeError::Rank(rank, e));
                 }
             }
         }
+        // World-level restart roll-ups: comm restoration and call replay
+        // happen per rank, but the counters read best as run totals.
+        if restart.is_some() {
+            let comms: u64 = rank_stats.iter().map(|s| s.restored_comms).sum();
+            let replayed: u64 = rank_stats.iter().map(|s| s.replayed_calls).sum();
+            reg.add(met::PROCESS_ACTOR, met::RESTART_COMMS_RESTORED, comms);
+            reg.add(met::PROCESS_ACTOR, met::RESTART_REPLAYED_CALLS, replayed);
+        }
         if !coord.invariant_violations.is_empty() {
-            self.dump_trace("invariant");
+            let snap = final_snapshot(&reg, &sample, exporter);
+            self.dump_trace("invariant", Some(&snap));
             return Err(RuntimeError::Invariant(
                 coord.invariant_violations.join("; "),
             ));
         }
+        let metrics = Some(final_snapshot(&reg, &sample, exporter));
         Ok(RunReport {
             outcomes,
             world_stats,
@@ -617,6 +775,7 @@ impl ManaRuntime {
             coord,
             restored_round,
             restored_ranks,
+            metrics,
         })
     }
 
@@ -627,6 +786,7 @@ impl ManaRuntime {
     fn prepare_restart(
         &self,
         mode: &RestartMode,
+        reg: &Arc<met::MetricsRegistry>,
     ) -> std::result::Result<(store::Selected, Arc<RestartGuard>), RuntimeError> {
         let rec = self
             .cfg
@@ -641,6 +801,9 @@ impl ManaRuntime {
         }
         let journal = Journal::open(&self.cfg.ckpt_dir)
             .map_err(|e| RuntimeError::Store(store::StoreError::Io(e)))?;
+        if journal.truncated_tail() > 0 {
+            reg.add(obs::COORD_ACTOR, met::JOURNAL_TRUNCATIONS, 1);
+        }
         let failed_u64: Vec<u64> = match mode {
             RestartMode::Full => Vec::new(),
             RestartMode::Partial { failed } => failed.iter().map(|&r| r as u64).collect(),
@@ -701,7 +864,7 @@ impl ManaRuntime {
                 sel
             }
             Err(e) => {
-                self.dump_trace("store_fail");
+                self.dump_trace("store_fail", Some(&reg.snapshot()));
                 return Err(RuntimeError::Store(e));
             }
         };
@@ -712,6 +875,9 @@ impl ManaRuntime {
             boundary: AtomicU64::new(0),
             remaining: AtomicUsize::new(self.n),
             trace: self.cfg.trace.clone(),
+            metrics: reg.clone(),
+            partial: matches!(mode, RestartMode::Partial { .. }),
+            started: Instant::now(),
         });
         for step in [
             JournalStep::RestartIntent {
@@ -721,7 +887,11 @@ impl ManaRuntime {
             JournalStep::GenValidated { gen: sel.round },
         ] {
             if let Err(e) = guard.step(obs::COORD_ACTOR, step) {
-                return Err(self.map_restart_err(e));
+                let err = self.map_restart_err(e);
+                if matches!(err, RuntimeError::RestartKilled { .. }) {
+                    self.dump_trace("restart_kill", Some(&reg.snapshot()));
+                }
+                return Err(err);
             }
         }
         Ok((sel, guard))
@@ -759,14 +929,14 @@ impl ManaRuntime {
     /// reason to mask the original error. The paths — and the fault-plan
     /// seed, recorded in the dump header — are printed to stderr so a
     /// failure report always says where its trace went.
-    fn dump_trace(&self, what: &str) {
+    fn dump_trace(&self, what: &str, metrics: Option<&met::MetricsSnapshot>) {
         let Some(sink) = &self.cfg.trace else {
             return;
         };
         let dir = obs::default_trace_dir();
         let label = obs::unique_label(&format!("mana2_{what}"));
         let seed = self.cfg.fault.as_ref().map(|f| f.seed());
-        match obs::flight_record(sink, &dir, &label, seed) {
+        match obs::flight_record_ext(sink, &dir, &label, seed, metrics) {
             Ok(d) => eprintln!(
                 "mana2: flight recorder dumped {} events (seed {:?}): {} / {}",
                 d.events,

@@ -40,8 +40,34 @@
 //! allowed; every caller re-checks its predicate in a loop.
 
 use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Shared scheduler-activity counters, one set per engine instance.
+///
+/// `mpisim` depends on nothing, so it cannot feed the repo's metrics
+/// registry directly; instead each engine maintains these relaxed
+/// atomics and the MANA layer samples them into its own metrics plane
+/// (the same arms-length pattern as [`crate::TraceHook`]).
+#[derive(Debug, Default)]
+pub struct EngineMetrics {
+    /// Unpark calls delivered through the engine's [`Unparker`]s.
+    pub unparks: AtomicU64,
+    /// Current ready-queue depth (coop engine; always 0 under threads,
+    /// whose ready set is kernel-owned).
+    pub ready_depth: AtomicU64,
+    /// High-water mark of `ready_depth`.
+    pub ready_depth_max: AtomicU64,
+}
+
+impl EngineMetrics {
+    fn note_ready(&self, depth: usize) {
+        let d = depth as u64;
+        self.ready_depth.store(d, Ordering::Relaxed);
+        self.ready_depth_max.fetch_max(d, Ordering::Relaxed);
+    }
+}
 
 /// One rank's blocking primitive, supplied by the engine.
 ///
@@ -352,7 +378,7 @@ impl EngineKind {
     /// kernel owns its interleavings).
     pub(crate) fn build(&self, n: usize, policy: SchedulePolicy) -> Arc<dyn Engine> {
         match *self {
-            EngineKind::Thread => Arc::new(ThreadEngine),
+            EngineKind::Thread => Arc::new(ThreadEngine::new()),
             EngineKind::Coop(cfg) => Arc::new(CoopEngine::new(n, cfg, policy)),
         }
     }
@@ -373,13 +399,26 @@ pub(crate) trait Engine: Send + Sync {
     /// finished. `stack_size` is the thread-engine stack request; the
     /// coop engine sizes its own (small) stacks.
     fn run(&self, n: usize, stack_size: usize, body: &(dyn Fn(usize) + Sync));
+
+    /// The engine's shared activity counters.
+    fn metrics(&self) -> Arc<EngineMetrics>;
 }
 
 // ---- thread engine ---------------------------------------------------------
 
 /// The classic substrate: one kernel-scheduled OS thread per rank; each
 /// parker is an independent token+condvar pair.
-pub(crate) struct ThreadEngine;
+pub(crate) struct ThreadEngine {
+    metrics: Arc<EngineMetrics>,
+}
+
+impl ThreadEngine {
+    fn new() -> ThreadEngine {
+        ThreadEngine {
+            metrics: Arc::new(EngineMetrics::default()),
+        }
+    }
+}
 
 /// Token + condvar parker (the [`ThreadEngine`] primitive, also the
 /// default for a bare [`Network`](crate::Network) built without a world).
@@ -387,13 +426,15 @@ struct ThreadParker {
     /// The banked-wake token.
     token: Mutex<bool>,
     cv: Condvar,
+    metrics: Arc<EngineMetrics>,
 }
 
 impl ThreadParker {
-    fn new() -> Self {
+    fn new(metrics: Arc<EngineMetrics>) -> Self {
         ThreadParker {
             token: Mutex::new(false),
             cv: Condvar::new(),
+            metrics,
         }
     }
 }
@@ -410,6 +451,7 @@ impl Parker for ThreadParker {
 
 impl Unparker for ThreadParker {
     fn unpark(&self) {
+        self.metrics.unparks.fetch_add(1, Ordering::Relaxed);
         let mut token = self.token.lock();
         *token = true;
         drop(token);
@@ -420,7 +462,7 @@ impl Unparker for ThreadParker {
 /// Default parker pairs for a fabric constructed without an engine (unit
 /// tests building a bare [`Network`](crate::Network)).
 pub(crate) fn default_parkers(n: usize) -> Vec<(ParkerRef, UnparkerRef)> {
-    ThreadEngine.parkers(n)
+    ThreadEngine::new().parkers(n)
 }
 
 impl Engine for ThreadEngine {
@@ -431,7 +473,7 @@ impl Engine for ThreadEngine {
     fn parkers(&self, n: usize) -> Vec<(ParkerRef, UnparkerRef)> {
         (0..n)
             .map(|_| {
-                let p = Arc::new(ThreadParker::new());
+                let p = Arc::new(ThreadParker::new(self.metrics.clone()));
                 (p.clone() as ParkerRef, p as UnparkerRef)
             })
             .collect()
@@ -452,6 +494,10 @@ impl Engine for ThreadEngine {
                 h.join().expect("rank thread join failed");
             }
         });
+    }
+
+    fn metrics(&self) -> Arc<EngineMetrics> {
+        self.metrics.clone()
     }
 }
 
@@ -513,6 +559,7 @@ struct CoopShared {
     state: Mutex<CoopState>,
     /// Per-rank wake channels, all paired with `state`'s mutex.
     cvs: Vec<Condvar>,
+    metrics: Arc<EngineMetrics>,
 }
 
 impl CoopShared {
@@ -564,6 +611,9 @@ impl CoopShared {
             st.status[rank] = RankState::Running;
             self.cvs[rank].notify_all();
         }
+        // Every ready-queue mutation site calls grant() before dropping
+        // the lock, so sampling here keeps the depth gauge current.
+        self.metrics.note_ready(st.ready.len());
     }
 
     /// Start barrier + initial token acquisition. Grants are held until
@@ -635,6 +685,7 @@ impl CoopShared {
     }
 
     fn unpark(&self, rank: usize) {
+        self.metrics.unparks.fetch_add(1, Ordering::Relaxed);
         let mut st = self.state.lock();
         match st.status[rank] {
             RankState::Done => {}
@@ -707,6 +758,7 @@ impl CoopEngine {
                     decisions: 0,
                 }),
                 cvs: (0..n).map(|_| Condvar::new()).collect(),
+                metrics: Arc::new(EngineMetrics::default()),
             }),
         }
     }
@@ -757,6 +809,10 @@ impl Engine for CoopEngine {
                 h.join().expect("rank thread join failed");
             }
         });
+    }
+
+    fn metrics(&self) -> Arc<EngineMetrics> {
+        self.shared.metrics.clone()
     }
 }
 
@@ -839,7 +895,7 @@ mod tests {
 
     #[test]
     fn thread_parker_banks_unpark() {
-        let p = Arc::new(ThreadParker::new());
+        let p = Arc::new(ThreadParker::new(Arc::new(EngineMetrics::default())));
         let start = Instant::now();
         Unparker::unpark(&*p);
         Parker::park(&*p, Duration::from_secs(10));
@@ -855,7 +911,7 @@ mod tests {
 
     #[test]
     fn thread_parker_cross_thread_wake() {
-        let p = Arc::new(ThreadParker::new());
+        let p = Arc::new(ThreadParker::new(Arc::new(EngineMetrics::default())));
         let p2 = p.clone();
         let h = std::thread::spawn(move || {
             let t = Instant::now();

@@ -76,8 +76,8 @@ pub use comm::{Comm, CommRegistry};
 pub use costmodel::{spin_ns, MachineProfile};
 pub use datatype::{decode_slice, encode_slice, Datatype, Scalar};
 pub use engine::{
-    CoopCfg, EngineKind, Parker, ParkerRef, SchedDecision, ScheduleDivergence, SchedulePolicy,
-    ScheduleRecorder, ScheduleScript, Unparker, UnparkerRef,
+    CoopCfg, EngineKind, EngineMetrics, Parker, ParkerRef, SchedDecision, ScheduleDivergence,
+    SchedulePolicy, ScheduleRecorder, ScheduleScript, Unparker, UnparkerRef,
 };
 pub use envelope::{Envelope, MatchSpec, MsgClass, SrcSel, TagSel, INTERNAL_TAG_BIT, MAX_USER_TAG};
 pub use error::{MpiError, Result};

@@ -137,6 +137,12 @@ impl World {
         self.engine.name()
     }
 
+    /// The engine's shared activity counters (unparks, ready-queue
+    /// depth), for the MANA layer's metrics plane to sample.
+    pub fn engine_metrics(&self) -> Arc<crate::engine::EngineMetrics> {
+        self.engine.metrics()
+    }
+
     /// Rank `rank`'s parker — the blocking primitive its own thread of
     /// execution uses. External components (the MANA coordinator) hand
     /// this to the rank so *all* its waits route through the engine.

@@ -348,6 +348,30 @@ pub fn render_summary(meta: &DumpMeta, events: &[TraceEvent]) -> String {
             .unwrap_or_else(|| "-".to_string()),
         meta.dropped
     );
+    if meta.dropped > 0 {
+        let _ = writeln!(
+            out,
+            "WARNING: ring overflow — {} event(s) were overwritten before this dump; \
+             tables below are computed from a truncated trace",
+            meta.dropped
+        );
+        let by_ring: Vec<String> = meta
+            .dropped_by_ring
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| **d > 0)
+            .map(|(i, d)| {
+                if i == meta.ranks {
+                    format!("coordinator: {d}")
+                } else {
+                    format!("rank {i}: {d}")
+                }
+            })
+            .collect();
+        if !by_ring.is_empty() {
+            let _ = writeln!(out, "  overwritten per ring: {}", by_ring.join(", "));
+        }
+    }
     let (spans, unmatched) = collect_spans(events);
     out.push_str("\nphase durations (per round, across actors)\n");
     phase_table(&spans, &mut out);
@@ -447,6 +471,7 @@ mod tests {
             ranks,
             seed: None,
             dropped,
+            dropped_by_ring: Vec::new(),
         }
     }
 

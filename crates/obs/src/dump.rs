@@ -34,6 +34,9 @@ pub struct DumpMeta {
     pub seed: Option<u64>,
     /// Events overwritten (lost) across all rings before the dump.
     pub dropped: u64,
+    /// Events overwritten per ring (ranks `0..n`, then the coordinator).
+    /// Empty in dumps written before this field existed.
+    pub dropped_by_ring: Vec<u64>,
 }
 
 /// Serialize `events` (pre-merged, any order preserved) as a JSONL dump.
@@ -52,7 +55,18 @@ pub fn events_to_jsonl(meta: &DumpMeta, events: &[TraceEvent]) -> String {
         }
         None => out.push_str("null"),
     }
-    let _ = writeln!(out, ",\"dropped\":{}}}", meta.dropped);
+    let _ = write!(out, ",\"dropped\":{}", meta.dropped);
+    if !meta.dropped_by_ring.is_empty() {
+        out.push_str(",\"dropped_by_ring\":[");
+        for (i, d) in meta.dropped_by_ring.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{d}");
+        }
+        out.push(']');
+    }
+    out.push_str("}\n");
     for ev in events {
         out.push_str(&ev.to_json_line());
         out.push('\n');
@@ -84,6 +98,10 @@ pub fn parse_jsonl(text: &str) -> Result<(DumpMeta, Vec<TraceEvent>), String> {
         ranks: hv.get("ranks").and_then(Json::as_u64).unwrap_or(0) as usize,
         seed: hv.get("seed").and_then(Json::as_u64),
         dropped: hv.get("dropped").and_then(Json::as_u64).unwrap_or(0),
+        dropped_by_ring: match hv.get("dropped_by_ring") {
+            Some(Json::Arr(items)) => items.iter().filter_map(Json::as_u64).collect(),
+            _ => Vec::new(),
+        },
     };
     let mut events = Vec::new();
     for (lineno, line) in lines {
@@ -202,6 +220,9 @@ pub struct FlightDump {
     pub jsonl: PathBuf,
     /// The Chrome `trace_event` export.
     pub chrome: PathBuf,
+    /// The metrics-snapshot sidecar (`mana2-metrics/1`), when the run
+    /// had a metrics registry.
+    pub metrics: Option<PathBuf>,
     /// Number of events written.
     pub events: usize,
 }
@@ -214,6 +235,19 @@ pub fn flight_record(
     label: &str,
     seed: Option<u64>,
 ) -> io::Result<FlightDump> {
+    flight_record_ext(sink, dir, label, seed, None)
+}
+
+/// [`flight_record`] plus a metrics sidecar: when `metrics` is given,
+/// the final snapshot is written next to the dump as
+/// `<label>.metrics.json` (single-snapshot `mana2-metrics/1` series).
+pub fn flight_record_ext(
+    sink: &TraceSink,
+    dir: &Path,
+    label: &str,
+    seed: Option<u64>,
+    metrics: Option<&crate::metrics::MetricsSnapshot>,
+) -> io::Result<FlightDump> {
     std::fs::create_dir_all(dir)?;
     let events = sink.merged();
     let meta = DumpMeta {
@@ -221,14 +255,29 @@ pub fn flight_record(
         ranks: sink.n_ranks(),
         seed,
         dropped: sink.dropped(),
+        dropped_by_ring: sink.dropped_by_ring(),
     };
     let jsonl = dir.join(format!("{label}.jsonl"));
     let chrome = dir.join(format!("{label}.chrome.json"));
     std::fs::write(&jsonl, events_to_jsonl(&meta, &events))?;
     std::fs::write(&chrome, chrome_trace(&meta, &events))?;
+    let metrics_path = match metrics {
+        Some(snap) => {
+            let p = dir.join(format!("{label}.metrics.json"));
+            let smeta = crate::metrics::SeriesMeta {
+                label: label.to_string(),
+                ranks: sink.n_ranks(),
+                seed,
+            };
+            crate::metrics::write_snapshot_file(&p, &smeta, snap)?;
+            Some(p)
+        }
+        None => None,
+    };
     Ok(FlightDump {
         jsonl,
         chrome,
+        metrics: metrics_path,
         events: events.len(),
     })
 }
@@ -323,6 +372,7 @@ mod tests {
             ranks: 3,
             seed: Some(0xC0FF_EE00),
             dropped: 5,
+            dropped_by_ring: vec![2, 3, 0, 0],
         };
         let text = events_to_jsonl(&meta, &events);
         let (meta2, events2) = parse_jsonl(&text).unwrap();
@@ -337,6 +387,7 @@ mod tests {
             ranks: 1,
             seed: None,
             dropped: 0,
+            dropped_by_ring: Vec::new(),
         };
         let text = events_to_jsonl(&meta, &[]);
         let (meta2, events2) = parse_jsonl(&text).unwrap();
@@ -358,6 +409,7 @@ mod tests {
             ranks: 3,
             seed: None,
             dropped: 0,
+            dropped_by_ring: Vec::new(),
         };
         let doc = chrome_trace(&meta, &events);
         let v = json::parse(&doc).expect("chrome export must parse as JSON");

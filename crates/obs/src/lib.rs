@@ -42,23 +42,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod analyze_;
+pub mod analyze;
 mod clock;
 mod dump;
 mod event;
 pub mod json;
+pub mod metrics;
 mod ring;
 mod sink;
 
-/// Trace analysis: tables and schema validation over parsed dumps.
-pub mod analyze {
-    pub use crate::analyze_::{check, render_summary, CheckReport};
-}
-
 pub use clock::{Clock, TestClock, WallClock};
 pub use dump::{
-    chrome_trace, default_trace_dir, events_to_jsonl, flight_record, parse_jsonl, unique_label,
-    DumpMeta, FlightDump, SCHEMA,
+    chrome_trace, default_trace_dir, events_to_jsonl, flight_record, flight_record_ext,
+    parse_jsonl, unique_label, DumpMeta, FlightDump, SCHEMA,
 };
 pub use event::{
     EventKind, FaultKind, InjectedFault, Phase, RejectCode, RestartStep, TraceEvent, COORD_ACTOR,

@@ -133,6 +133,14 @@ impl TraceSink {
             .map(|idx| self.lock_ring(idx).dropped())
             .sum()
     }
+
+    /// Events overwritten per ring: indices `0..n` are ranks, the last
+    /// entry is the coordinator ring.
+    pub fn dropped_by_ring(&self) -> Vec<u64> {
+        (0..self.rings.len())
+            .map(|idx| self.lock_ring(idx).dropped())
+            .collect()
+    }
 }
 
 /// A per-actor recording handle: a sink reference plus the actor id.

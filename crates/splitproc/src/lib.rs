@@ -36,7 +36,7 @@ pub use image::{CkptImage, ImageError};
 pub use journal::{EpochState, Journal, JournalRecord, JournalStep};
 pub use lowerhalf::LowerHalf;
 pub use store::{
-    GenInfo, Manifest, ManifestEntry, RejectedGeneration, Rejection, Selected, StoreConfig,
-    StoreError, WriteFault, WriteOutcome,
+    AtomicWriteCost, GenInfo, Manifest, ManifestEntry, RejectedGeneration, Rejection, Selected,
+    StoreConfig, StoreError, WriteFault, WriteOutcome,
 };
 pub use upperhalf::UpperHalf;

@@ -230,6 +230,16 @@ pub fn write_atomic(path: &Path, bytes: &[u8], cfg: &StoreConfig) -> io::Result<
     write_atomic_faulted(path, bytes, cfg, None)
 }
 
+/// What one atomic write cost: retries needed and fsyncs issued (file
+/// `sync_all` + parent-directory fsync, across all attempts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AtomicWriteCost {
+    /// Transient-error retries the write needed.
+    pub retries: u32,
+    /// fsync calls issued (successful ones, including failed attempts').
+    pub fsyncs: u32,
+}
+
 /// [`write_atomic`] with an optional injected [`WriteFault::Error`]
 /// (`Torn`/`BitFlip` are post-commit faults and are ignored here; apply
 /// them to the final file, as [`write_image`] does).
@@ -239,7 +249,7 @@ pub fn write_atomic_faulted(
     cfg: &StoreConfig,
     fault: Option<&WriteFault>,
 ) -> io::Result<u32> {
-    write_atomic_traced(path, bytes, cfg, fault, None, obs::NO_ROUND)
+    write_atomic_traced(path, bytes, cfg, fault, None, obs::NO_ROUND).map(|c| c.retries)
 }
 
 /// [`write_atomic_faulted`] with flight-recorder instrumentation: each
@@ -252,7 +262,7 @@ pub fn write_atomic_traced(
     fault: Option<&WriteFault>,
     rec: Option<&obs::Recorder>,
     round: i64,
-) -> io::Result<u32> {
+) -> io::Result<AtomicWriteCost> {
     let dir = path
         .parent()
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no parent"))?;
@@ -263,6 +273,7 @@ pub fn write_atomic_traced(
     let tmp = dir.join(format!(".tmp-{file_name}"));
     let attempts = cfg.retry_attempts.max(1);
     let mut last_err: Option<io::Error> = None;
+    let mut fsyncs = 0u32;
     for attempt in 0..attempts {
         if attempt > 0 {
             std::thread::sleep(cfg.retry_backoff * 2u32.saturating_pow(attempt - 1));
@@ -284,11 +295,13 @@ pub fn write_atomic_traced(
             write_ns = t.elapsed().as_nanos() as u64;
             let t = Instant::now();
             f.sync_all()?;
+            fsyncs += 1;
             fsync_ns = t.elapsed().as_nanos() as u64;
             drop(f);
             let t = Instant::now();
             fs::rename(&tmp, path)?;
             let r = fsync_dir(dir);
+            fsyncs += 1;
             rename_ns = t.elapsed().as_nanos() as u64;
             r
         })();
@@ -313,7 +326,12 @@ pub fn write_atomic_traced(
             );
         }
         match res {
-            Ok(()) => return Ok(attempt),
+            Ok(()) => {
+                return Ok(AtomicWriteCost {
+                    retries: attempt,
+                    fsyncs,
+                })
+            }
             Err(e) => last_err = Some(e),
         }
     }
@@ -330,6 +348,10 @@ pub struct WriteOutcome {
     pub crc: u32,
     /// Transient-error retries the write needed.
     pub retries: u32,
+    /// fsync calls issued while landing the image (file + directory,
+    /// including the root-directory fsync and any post-commit fault
+    /// damage syncs).
+    pub fsyncs: u32,
 }
 
 /// Durably write `image` into its generation directory under `root`
@@ -360,16 +382,20 @@ pub fn write_image_traced(
     let dir = generation_dir(root, image.round);
     fs::create_dir_all(&dir)?;
     fsync_dir(root)?;
+    let mut fsyncs = 1u32;
     let bytes = image.to_bytes();
     let crc = crc32(&bytes);
     let path = CkptImage::path_for(&dir, image.rank);
-    let retries = write_atomic_traced(&path, &bytes, cfg, fault, rec, round)?;
+    let cost = write_atomic_traced(&path, &bytes, cfg, fault, rec, round)?;
+    let retries = cost.retries;
+    fsyncs += cost.fsyncs;
     match fault {
         Some(WriteFault::Torn { offset }) => {
             let cut = (*offset % bytes.len() as u64) as usize;
             let f = fs::OpenOptions::new().write(true).open(&path)?;
             f.set_len(cut as u64)?;
             f.sync_all()?;
+            fsyncs += 1;
             if let Some(r) = rec {
                 r.event(
                     round,
@@ -389,6 +415,7 @@ pub fn write_image_traced(
                 w.write_all(&data)?;
             }
             f.sync_all()?;
+            fsyncs += 1;
             if let Some(r) = rec {
                 r.event(
                     round,
@@ -414,6 +441,7 @@ pub fn write_image_traced(
         bytes: bytes.len(),
         crc,
         retries,
+        fsyncs,
     })
 }
 
