@@ -7,6 +7,8 @@
 //! experiments table1    # VASP robustness matrix (9 cases, C/R transparency)
 //! experiments table2    # CaPOH: native vs master branch vs feature/2pc
 //! experiments scale     # checkpoint-round latency, 64→4096 ranks, CoopEngine
+//! experiments drain     # quiesce head-to-head, alltoall vs toposort,
+//!                       # 64→4096 ranks, BENCH_drain_quiesce.json
 //! experiments explore   # schedule-space exploration coverage sweep
 //! experiments metrics   # metrics-plane bench: round/restart latency percentiles,
 //!                       # metrics-on/off overhead, BENCH_round_latency.json
@@ -903,6 +905,128 @@ fn scale_exp() {
     );
 }
 
+/// Per-rank in-flight message counts for the drain head-to-head.
+/// `MANA2_DRAIN_INFLIGHT="4,16,64"` overrides.
+fn drain_inflight() -> Vec<usize> {
+    if let Ok(s) = std::env::var("MANA2_DRAIN_INFLIGHT") {
+        let v: Vec<usize> = s.split(',').filter_map(|x| x.trim().parse().ok()).collect();
+        if !v.is_empty() {
+            return v;
+        }
+    }
+    vec![4, 64]
+}
+
+/// Head-to-head drain-protocol sweep: the identical checkpoint round
+/// quiesced by [`mana_core::AlltoallDrain`] vs
+/// [`mana_core::TopoSortDrain`] at each rank count, at low and high
+/// in-flight message counts. Each rank fires a burst of eager sends at
+/// its right neighbor and only posts the receives *after* the checkpoint
+/// window, so the drain must capture exactly `ranks × burst` unexpected
+/// messages — the in-flight axis is under direct control. The alltoall's
+/// count exchange is a real pairwise O(n²) fabric collective; the
+/// topo-sort protocol replaces it with two coordinator messages per
+/// rank, so its quiesce time should pull ahead as ranks grow. Emits
+/// `BENCH_drain_quiesce.json`.
+fn drain_exp() {
+    use mpisim::{SrcSel, TagSel};
+    println!("== Drain: quiesce time, alltoall vs toposort (CoopEngine) ==");
+    println!("(same workload per cell; MANA2_SCALE_RANKS / MANA2_DRAIN_INFLIGHT override)");
+    println!(
+        "{:>6} {:>6} {:>12} {:>12} {:>14} {:>14} {:>11}",
+        "ranks", "burst", "strategy", "quiesce", "in-flight msgs", "in-flight MB", "coord msgs"
+    );
+    let mut rows = Vec::new();
+    for ranks in scale_ranks() {
+        for burst in drain_inflight() {
+            for drain in [DrainMode::Alltoall, DrainMode::TopoSort] {
+                let mcfg = ManaConfig {
+                    drain,
+                    ckpt_dir: scratch_dir("drain"),
+                    ..ManaConfig::default()
+                };
+                let dir = mcfg.ckpt_dir.clone();
+                let wc = WorldCfg {
+                    engine: EngineKind::Coop(CoopCfg {
+                        workers: 0, // auto: one per available core
+                        sched_seed: 0xD4A1_0000,
+                    }),
+                    ..world_cfg(MachineProfile::zero())
+                };
+                let work = move |m: &mut mana_core::Mana<'_>| {
+                    let world = m.comm_world();
+                    let (me, n) = (m.rank(), m.world_size());
+                    let payload = vec![0u8; 256];
+                    for k in 0..burst {
+                        m.send(world, (me + 1) % n, k as i32, &payload)?;
+                    }
+                    if me == 0 {
+                        m.request_checkpoint()?;
+                    }
+                    // Every rank parks here with its whole burst still
+                    // unreceived: the quiesce must find and capture it.
+                    m.barrier(world)?;
+                    let left = (me + n - 1) % n;
+                    for k in 0..burst {
+                        m.recv(world, SrcSel::Rank(left), TagSel::Tag(k as i32))?;
+                    }
+                    Ok(me as u64)
+                };
+                let rt = ManaRuntime::new(ranks, mcfg).with_world_cfg(wc);
+                let pass = rt.run_fresh(work).expect("drain round");
+                assert!(
+                    pass.all_finished(),
+                    "all ranks must finish at {ranks} ranks ({} drain)",
+                    drain.name()
+                );
+                let round = pass
+                    .coord
+                    .rounds
+                    .first()
+                    .cloned()
+                    .expect("one committed round");
+                let _ = std::fs::remove_dir_all(&dir);
+                let drained_msgs: u64 = pass.rank_stats.iter().map(|s| s.drained_msgs).sum();
+                let drained_bytes: u64 = pass.rank_stats.iter().map(|s| s.drained_bytes).sum();
+                // The bulk of the burst: ranks that clear the barrier
+                // before the intent reaches them receive a slice of their
+                // burst normally, so the captured count is a little under
+                // ranks × burst (and the in-window barrier's emulation
+                // traffic can add a few). Zero would mean the window
+                // never saw the in-flight population at all.
+                assert!(
+                    drained_msgs > 0,
+                    "quiesce captured nothing at {ranks} ranks ({} drain)",
+                    drain.name()
+                );
+                println!(
+                    "{:>6} {:>6} {:>12} {:>12.2?} {:>14} {:>14.3} {:>11}",
+                    ranks,
+                    burst,
+                    drain.name(),
+                    round.quiesce,
+                    drained_msgs,
+                    drained_bytes as f64 / (1024.0 * 1024.0),
+                    round.coord_msgs
+                );
+                rows.push(format!(
+                    "{{\"ranks\":{ranks},\"burst\":{burst},\"strategy\":\"{}\",\"quiesce_s\":{:.6},\"drained_msgs\":{drained_msgs},\"drained_bytes\":{drained_bytes},\"coord_msgs\":{}}}",
+                    drain.name(),
+                    round.quiesce.as_secs_f64(),
+                    round.coord_msgs
+                ));
+            }
+        }
+    }
+    write_json_artifact(
+        "BENCH_drain_quiesce",
+        &format!(
+            "{{\"experiment\":\"drain\",\"engine\":\"coop\",\"rows\":[{}]}}\n",
+            rows.join(",")
+        ),
+    );
+}
+
 fn main() {
     let what = std::env::args().nth(1).unwrap_or_else(|| "all".into());
     let t = Instant::now();
@@ -914,6 +1038,7 @@ fn main() {
         "table2" => table2(),
         "trace" | "--trace" => trace(),
         "scale" => scale_exp(),
+        "drain" => drain_exp(),
         "explore" => explore_exp(),
         "metrics" => metrics_exp(),
         "all" => {
@@ -929,7 +1054,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown experiment '{other}'; use fig2|fig3|fig4|table1|table2|trace|scale|explore|metrics|all"
+                "unknown experiment '{other}'; use fig2|fig3|fig4|table1|table2|trace|scale|drain|explore|metrics|all"
             );
             std::process::exit(2);
         }

@@ -112,21 +112,17 @@ pub fn parse_workload(s: &str) -> Result<Workload, String> {
 
 /// Stable name of a drain mode for fixtures, env vars, and JSON.
 pub fn drain_name(d: DrainMode) -> &'static str {
-    match d {
-        DrainMode::Alltoall => "alltoall",
-        DrainMode::Coordinator => "coordinator",
-    }
+    d.name()
 }
 
 /// Parse a drain-mode name (inverse of [`drain_name`]).
 pub fn parse_drain(s: &str) -> Result<DrainMode, String> {
-    match s.trim().to_ascii_lowercase().as_str() {
-        "alltoall" => Ok(DrainMode::Alltoall),
-        "coordinator" => Ok(DrainMode::Coordinator),
-        other => Err(format!(
-            "unknown drain mode {other:?} (want alltoall|coordinator)"
-        )),
-    }
+    DrainMode::parse(s).ok_or_else(|| {
+        format!(
+            "unknown drain mode {:?} (want alltoall|coordinator|toposort)",
+            s.trim()
+        )
+    })
 }
 
 /// Extra failure oracle run over each completed schedule (after the
@@ -242,10 +238,10 @@ impl ExploreTarget {
         } else {
             Workload::Cg
         };
-        let drain = if h(0xD2A1) % 2 == 0 {
-            DrainMode::Alltoall
-        } else {
-            DrainMode::Coordinator
+        let drain = match h(0xD2A1) % 3 {
+            0 => DrainMode::Alltoall,
+            1 => DrainMode::Coordinator,
+            _ => DrainMode::TopoSort,
         };
         ExploreTarget::new(seed, ranks, 1, workload, drain)
     }
@@ -283,13 +279,11 @@ impl ExploreTarget {
         };
         let drain = match envp("CHAOS_EXPLORE_DRAIN") {
             Some(v) => parse_drain(&v)?,
-            None => {
-                if h(0xD2A1) % 2 == 0 {
-                    DrainMode::Alltoall
-                } else {
-                    DrainMode::Coordinator
-                }
-            }
+            None => match h(0xD2A1) % 3 {
+                0 => DrainMode::Alltoall,
+                1 => DrainMode::Coordinator,
+                _ => DrainMode::TopoSort,
+            },
         };
         ExploreTarget::new(seed, ranks, workers, workload, drain)
     }
@@ -550,6 +544,11 @@ pub fn interleaving_token(ev: &obs::TraceEvent) -> String {
         EventKind::NetMatch { src, bytes } => s.push_str(&format!(":{src}:{bytes}")),
         EventKind::NetHold { src, reorder } => s.push_str(&format!(":{src}:{reorder}")),
         EventKind::DrainCapture { src, bytes } => s.push_str(&format!(":{src}:{bytes}")),
+        EventKind::DrainSchedule {
+            order,
+            edges,
+            cyclic,
+        } => s.push_str(&format!(":{order}:{edges}:{cyclic}")),
         EventKind::FaultFired { fault } => s.push_str(&format!(":{}", fault.name())),
         EventKind::RestartSkip { gen, code } => s.push_str(&format!(":{gen}:{}", code.name())),
         EventKind::JournalAppend {

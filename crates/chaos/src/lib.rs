@@ -94,10 +94,10 @@ impl ChaosCase {
         } else {
             Workload::Cg
         };
-        let drain = if h(0xD2A1) % 2 == 0 {
-            DrainMode::Alltoall
-        } else {
-            DrainMode::Coordinator
+        let drain = match h(0xD2A1) % 3 {
+            0 => DrainMode::Alltoall,
+            1 => DrainMode::Coordinator,
+            _ => DrainMode::TopoSort,
         };
         ChaosCase::derive(seed, workload, drain)
     }
@@ -297,7 +297,11 @@ fn dump_case_trace(sink: &obs::TraceSink, seed: u64, label: &str) -> Option<Path
 ///   scheduling (wall timestamps and global sequence numbers shift too);
 /// - the drain window (sweep count — possibly zero — and which in-flight
 ///   messages get captured) and with it the exact image size, which
-///   embeds the captured bytes; both depend on delivery timing.
+///   embeds the captured bytes; both depend on delivery timing. The
+///   quiesce protocol's own count exchange (`drain_exchange` /
+///   `drain_plan` spans and `drain_schedule` events) is excluded for the
+///   same reason — and because each [`DrainMode`] emits a different
+///   shape, which would break cross-strategy token comparison.
 ///
 /// Everything else inside the checkpoint window — phase spans, store
 /// attempts and retries, fault firings, the committed outcome — must be
@@ -305,8 +309,13 @@ fn dump_case_trace(sink: &obs::TraceSink, seed: u64, label: &str) -> Option<Path
 pub fn determinism_token(ev: &obs::TraceEvent) -> Option<String> {
     use obs::EventKind;
     match &ev.kind {
-        EventKind::Begin(p) | EventKind::End(p) if p.name() == "drain" => None,
+        EventKind::Begin(p) | EventKind::End(p)
+            if matches!(p.name(), "drain" | "drain_exchange" | "drain_plan") =>
+        {
+            None
+        }
         EventKind::DrainCapture { .. } => None,
+        EventKind::DrainSchedule { .. } => None,
         EventKind::Begin(p) if p.name() == "emu_collective" || p.name() == "tpc_barrier" => None,
         EventKind::End(p) if p.name() == "emu_collective" || p.name() == "tpc_barrier" => None,
         EventKind::Begin(p) => Some(format!("begin:{}", p.name())),
@@ -567,6 +576,9 @@ pub struct StorageCase {
     pub restart: bool,
     /// Rank whose image write is damaged (derived).
     pub victim: usize,
+    /// Quiesce protocol the checkpoint windows run under (derived), so
+    /// the storage matrix crosses every strategy with every fault kind.
+    pub drain: DrainMode,
 }
 
 impl StorageCase {
@@ -581,6 +593,11 @@ impl StorageCase {
             kind,
             restart,
             victim: (h(0x71C7) % ranks as u64) as usize,
+            drain: match h(0xD2A1) % 3 {
+                0 => DrainMode::Alltoall,
+                1 => DrainMode::Coordinator,
+                _ => DrainMode::TopoSort,
+            },
         }
     }
 }
@@ -655,7 +672,7 @@ pub fn run_storage_case(case: &StorageCase) -> Result<StorageReport, CaseFailure
             seed: case.seed,
             ranks: case.ranks,
             workload: Workload::Gromacs,
-            drain: DrainMode::Alltoall,
+            drain: case.drain,
             restart: case.restart,
         },
         error: format!("storage[{:?}] {stage}: {e}", case.kind),
@@ -684,6 +701,7 @@ pub fn run_storage_case(case: &StorageCase) -> Result<StorageReport, CaseFailure
     ));
     let _ = std::fs::remove_dir_all(&dir);
     let base = ManaConfig {
+        drain: case.drain,
         ckpt_dir: dir.clone(),
         deadlock_timeout: Some(Duration::from_secs(30)),
         trace: Some(sink.clone()),
@@ -935,6 +953,9 @@ pub struct RestartKillCase {
     pub storage: Option<StorageFaultKind>,
     /// Execution engine for every leg.
     pub engine: EngineKind,
+    /// Quiesce protocol for every checkpoint window (derived), so crash
+    /// storms cross the restart journal with every strategy.
+    pub drain: DrainMode,
 }
 
 impl RestartKillCase {
@@ -996,6 +1017,11 @@ impl RestartKillCase {
             partial,
             storage,
             engine,
+            drain: match h(0xD2A1) % 3 {
+                0 => DrainMode::Alltoall,
+                1 => DrainMode::Coordinator,
+                _ => DrainMode::TopoSort,
+            },
         }
     }
 }
@@ -1124,7 +1150,7 @@ pub fn run_restart_kill_case(case: &RestartKillCase) -> Result<RestartKillReport
             seed: case.seed,
             ranks: case.ranks,
             workload: Workload::Gromacs,
-            drain: DrainMode::Alltoall,
+            drain: case.drain,
             restart: true,
         },
         error: format!("restart_kill{:?} {stage}: {e}", case.kills),
@@ -1184,6 +1210,7 @@ fn rk_case_inner(
     use splitproc::journal;
     let final_gcfg = storage_gromacs_cfg(None, 0);
     let base_of = |dir: &std::path::Path| ManaConfig {
+        drain: case.drain,
         ckpt_dir: dir.to_path_buf(),
         deadlock_timeout: Some(Duration::from_secs(30)),
         trace: Some(sink.clone()),
@@ -1368,6 +1395,7 @@ mod tests {
         assert!(cases.iter().any(|c| c.workload == Workload::Cg));
         assert!(cases.iter().any(|c| c.drain == DrainMode::Alltoall));
         assert!(cases.iter().any(|c| c.drain == DrainMode::Coordinator));
+        assert!(cases.iter().any(|c| c.drain == DrainMode::TopoSort));
         assert!(cases.iter().any(|c| c.restart));
         assert!(cases.iter().any(|c| !c.restart));
     }

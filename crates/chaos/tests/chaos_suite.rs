@@ -2,8 +2,8 @@
 //! (workload × drain-mode) matrix and demand transparency — identical
 //! results to the native run — under every plan.
 //!
-//! Each sweep uses a disjoint seed range, so the four matrix tests cover
-//! 36 distinct seeds. A failure shrinks itself to a minimal fault spec
+//! Each sweep uses a disjoint seed range, so the six matrix tests cover
+//! 54 distinct seeds. A failure shrinks itself to a minimal fault spec
 //! and prints a one-line repro:
 //!
 //! ```text
@@ -57,6 +57,16 @@ fn cg_alltoall_seeds() {
 #[test]
 fn cg_coordinator_seeds() {
     sweep(4_000, 9, Workload::Cg, DrainMode::Coordinator);
+}
+
+#[test]
+fn gromacs_toposort_seeds() {
+    sweep(7_000, 9, Workload::Gromacs, DrainMode::TopoSort);
+}
+
+#[test]
+fn cg_toposort_seeds() {
+    sweep(8_000, 9, Workload::Cg, DrainMode::TopoSort);
 }
 
 /// Engine × seed matrix: fully-derived chaos cases must pass under the
@@ -145,6 +155,43 @@ fn fresh_storage_sweep() {
         let restart = (i / 3) % 2 == 0;
         let case = StorageCase::derive(seed, kind, restart);
         if let Err(msg) = check_storage_case(&case) {
+            panic!("{msg}");
+        }
+    }
+}
+
+/// Nightly drain crossing: force a single quiesce strategy (`CHAOS_DRAIN`,
+/// default toposort so routine runs still touch the new protocol) across a
+/// window of fresh fault *and* storage seeds. The regular fresh sweeps
+/// derive the strategy from the seed, so each covers only ~1/3 of any one
+/// protocol per night; this test pins it, and CI runs it once per strategy.
+#[test]
+fn fresh_drain_sweep() {
+    let drain = std::env::var("CHAOS_DRAIN")
+        .ok()
+        .and_then(|v| DrainMode::parse(&v))
+        .unwrap_or(DrainMode::TopoSort);
+    let base = env_base_seed() ^ 0xD4A1_D4A1;
+    let count = env_sweep_count();
+    let kinds = [
+        StorageFaultKind::WriteError,
+        StorageFaultKind::TornWrite,
+        StorageFaultKind::BitFlip,
+    ];
+    for i in 0..count {
+        let seed = base.wrapping_add(i);
+        let workload = if i % 2 == 0 {
+            Workload::Gromacs
+        } else {
+            Workload::Cg
+        };
+        let case = ChaosCase::derive(seed, workload, drain);
+        if let Err(msg) = check_case(&case) {
+            panic!("{msg}");
+        }
+        let mut storage = StorageCase::derive(seed, kinds[(i % 3) as usize], i % 2 == 0);
+        storage.drain = drain;
+        if let Err(msg) = check_storage_case(&storage) {
             panic!("{msg}");
         }
     }

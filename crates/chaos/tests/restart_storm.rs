@@ -16,7 +16,7 @@
 //! nightly `restart-storm` job can run fresh seeds at higher volume.
 
 use chaos::{check_restart_kill_case, env_base_seed, env_sweep_count, RestartKillCase};
-use mana_core::{Mana, ManaConfig, ManaRuntime, RuntimeError};
+use mana_core::{DrainMode, Mana, ManaConfig, ManaRuntime, RuntimeError};
 use mpisim::{CoopCfg, EngineKind, StorageFaultKind};
 use splitproc::{journal, store, CkptImage};
 use std::time::Duration;
@@ -160,6 +160,7 @@ fn partial_restart_of_64_ranks_restores_only_failed() {
         partial: Some(vec![3, 17, 40, 41, 63]),
         storage: None,
         engine: EngineKind::Thread,
+        drain: DrainMode::Alltoall,
     };
     check(&case);
 }

@@ -30,6 +30,48 @@ pub enum DrainMode {
     /// Original MANA baseline: global sent/received totals round-tripped
     /// through the centralized coordinator until they balance.
     Coordinator,
+    /// Topological-sort quiesce (arXiv 2408.02218): each rank ships its
+    /// per-peer sent/received rows to the coordinator, which orders the
+    /// in-flight send→receive dependencies topologically and hands every
+    /// rank its exact expected-bytes column. No collective emulation and
+    /// no pre-collective barrier are needed.
+    TopoSort,
+}
+
+impl DrainMode {
+    /// Parse a `MANA2_DRAIN` spec. Accepts `alltoall`, `toposort`, and
+    /// `coordinator` (case-insensitive, surrounding whitespace ignored).
+    /// Anything else — including an empty string — is `None`.
+    pub fn parse(spec: &str) -> Option<DrainMode> {
+        match spec.trim().to_ascii_lowercase().as_str() {
+            "alltoall" => Some(DrainMode::Alltoall),
+            "coordinator" => Some(DrainMode::Coordinator),
+            "toposort" => Some(DrainMode::TopoSort),
+            _ => None,
+        }
+    }
+
+    /// Read the drain override from `MANA2_DRAIN`. Unset yields `None`;
+    /// a set-but-unrecognized value warns once on stderr and also yields
+    /// `None`, so the built-in default still applies (mirrors
+    /// `MANA2_ENGINE` handling).
+    pub fn from_env() -> Option<DrainMode> {
+        let v = std::env::var("MANA2_DRAIN").ok()?;
+        let parsed = DrainMode::parse(&v);
+        if parsed.is_none() {
+            eprintln!("mana2: unrecognized MANA2_DRAIN={v:?}; using alltoall drain");
+        }
+        parsed
+    }
+
+    /// Short stable name, used in metrics and artifacts.
+    pub fn name(self) -> &'static str {
+        match self {
+            DrainMode::Alltoall => "alltoall",
+            DrainMode::Coordinator => "coordinator",
+            DrainMode::TopoSort => "toposort",
+        }
+    }
 }
 
 /// Communicator-restoration strategy at restart (paper §III-C).
@@ -104,7 +146,7 @@ impl Default for ManaConfig {
     fn default() -> Self {
         ManaConfig {
             tpc: TpcMode::Hybrid,
-            drain: DrainMode::Alltoall,
+            drain: DrainMode::from_env().unwrap_or(DrainMode::Alltoall),
             vtable: VtBackend::FxHash,
             fs_mode: FsMode::Workaround,
             comm_restore: CommRestore::ActiveList,
@@ -124,9 +166,13 @@ impl Default for ManaConfig {
 impl ManaConfig {
     /// The configuration matching the paper's "master branch" (used in the
     /// C/R experiments): original 2PC, lambda wrappers, tree-map tables.
+    /// The drain is pinned to alltoall — original 2PC gates collectives on
+    /// that strategy's pre-collective barrier, so a `MANA2_DRAIN` override
+    /// would silently change the semantics this preset exists to model.
     pub fn master_branch() -> Self {
         ManaConfig {
             tpc: TpcMode::Original,
+            drain: DrainMode::Alltoall,
             vtable: VtBackend::BTree,
             callback_style: CallbackStyle::Lambda,
             fs_mode: FsMode::KernelCall,
@@ -155,8 +201,33 @@ mod tests {
     fn default_is_the_modern_config() {
         let c = ManaConfig::default();
         assert_eq!(c.tpc, TpcMode::Hybrid);
-        assert_eq!(c.drain, DrainMode::Alltoall);
+        // The drain default honors a MANA2_DRAIN override (the CI matrix
+        // builds on it), falling back to the paper's alltoall protocol.
+        let want = DrainMode::from_env().unwrap_or(DrainMode::Alltoall);
+        assert_eq!(c.drain, want);
         assert_eq!(c.comm_restore, CommRestore::ActiveList);
+    }
+
+    #[test]
+    fn drain_parse_accepts_known_modes() {
+        assert_eq!(DrainMode::parse("alltoall"), Some(DrainMode::Alltoall));
+        assert_eq!(DrainMode::parse("  TopoSort "), Some(DrainMode::TopoSort));
+        assert_eq!(
+            DrainMode::parse("coordinator"),
+            Some(DrainMode::Coordinator)
+        );
+    }
+
+    #[test]
+    fn drain_parse_rejects_unknown_value() {
+        assert_eq!(DrainMode::parse("topological"), None);
+        assert_eq!(DrainMode::parse("alltoall2"), None);
+    }
+
+    #[test]
+    fn drain_parse_rejects_empty_string() {
+        assert_eq!(DrainMode::parse(""), None);
+        assert_eq!(DrainMode::parse("   "), None);
     }
 
     #[test]

@@ -45,6 +45,19 @@ pub enum RankMsg {
         /// Total user bytes received (including drained).
         recvd: u64,
     },
+    /// Topological-sort drain (arXiv 2408.02218): this rank's full
+    /// per-peer sent/received rows. One exchange per round — the
+    /// coordinator orders the in-flight dependencies and answers with
+    /// each rank's exact expected-bytes column, so no collective
+    /// emulation (and no repeat reporting) is needed.
+    DrainRows {
+        /// Reporting rank.
+        rank: usize,
+        /// Bytes sent to each peer (world-rank indexed).
+        sent: Vec<u64>,
+        /// Bytes received from each peer (world-rank indexed).
+        recvd: Vec<u64>,
+    },
     /// Image durably written.
     CkptDone {
         /// Reporting rank.
@@ -73,7 +86,7 @@ pub enum RankMsg {
 }
 
 /// Coordinator → rank messages (per-rank channels).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CoordMsg {
     /// All ranks parked; run the drain and write images.
     Go {
@@ -84,6 +97,21 @@ pub enum CoordMsg {
     DrainVerdict {
         /// True when global sent == received.
         balanced: bool,
+    },
+    /// Topological-sort drain schedule, answering [`RankMsg::DrainRows`].
+    DrainSchedule {
+        /// Exact bytes each peer sent this rank (the rank drains until
+        /// its received counters meet this column).
+        expected: Vec<u64>,
+        /// This rank's position in the topological order of the
+        /// in-flight send→receive dependency graph.
+        order: u32,
+        /// Edges in the dependency graph (global, for observability).
+        edges: u64,
+        /// Whether a cycle forced the planner to break ties (mutual
+        /// in-flight traffic; the drain still terminates because the
+        /// expected columns are exact).
+        cyclic: bool,
     },
     /// Images written everywhere; continue executing.
     Resume,
@@ -296,6 +324,73 @@ pub struct CoordStore {
     pub root: PathBuf,
     /// Committed generations to keep (floor 1).
     pub retain: usize,
+}
+
+/// A topological plan over the in-flight send→receive dependency graph,
+/// computed by the coordinator from every rank's [`RankMsg::DrainRows`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopoPlan {
+    /// `order[r]` is rank `r`'s position in the topological order.
+    pub order: Vec<u32>,
+    /// Number of edges in the dependency graph.
+    pub edges: u64,
+    /// True when mutual in-flight traffic formed a cycle and the planner
+    /// broke it (smallest-rank-first). The drain still terminates: the
+    /// expected columns are exact regardless of order.
+    pub cyclic: bool,
+}
+
+/// Order ranks topologically by in-flight traffic (arXiv 2408.02218).
+///
+/// `sent[i][j]` / `recvd[j][i]` are the rows every rank shipped in its
+/// [`RankMsg::DrainRows`]; bytes in flight from `i` to `j` are
+/// `sent[i][j] − recvd[j][i]`, and each positive entry is an edge `i → j`
+/// ("`i`'s traffic must land before `j` is quiet"). Kahn's algorithm with
+/// deterministic smallest-rank-first selection; a cycle (mutual in-flight
+/// traffic) is broken by releasing the smallest remaining rank.
+pub fn topo_order(sent: &[Vec<u64>], recvd: &[Vec<u64>]) -> TopoPlan {
+    let n = sent.len();
+    let mut indeg = vec![0usize; n];
+    let mut out: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut edges = 0u64;
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let s = sent[i].get(j).copied().unwrap_or(0);
+            let r = recvd[j].get(i).copied().unwrap_or(0);
+            if s.saturating_sub(r) > 0 {
+                out[i].push(j);
+                indeg[j] += 1;
+                edges += 1;
+            }
+        }
+    }
+    let mut order = vec![0u32; n];
+    let mut placed = vec![false; n];
+    let mut cyclic = false;
+    for pos in 0..n {
+        let next = match (0..n).find(|&r| !placed[r] && indeg[r] == 0) {
+            Some(r) => r,
+            None => {
+                cyclic = true;
+                (0..n).find(|&r| !placed[r]).expect("unplaced rank exists")
+            }
+        };
+        placed[next] = true;
+        order[next] = pos as u32;
+        for &j in &out[next] {
+            if !placed[j] {
+                indeg[j] = indeg[j].saturating_sub(1);
+            }
+        }
+    }
+    TopoPlan {
+        order,
+        edges,
+        cyclic,
+    }
 }
 
 /// Global invariant checker run by the coordinator at the commit point of
@@ -535,6 +630,9 @@ fn coordinator_loop(
                 let mut images: Vec<Option<store::ManifestEntry>> = vec![None; n];
                 let mut failures: Vec<(usize, String)> = Vec::new();
                 let mut drain_reports: Vec<(u64, u64)> = Vec::new();
+                // Topo-sort drain: one (sent, recvd) row pair per rank.
+                let mut topo_rows: Vec<Option<(Vec<u64>, Vec<u64>)>> = vec![None; n];
+                let mut topo_count = 0usize;
                 // Fan-in spread: first to last rank report this round.
                 let mut first_report: Option<Instant> = None;
                 let mut last_report: Option<Instant> = None;
@@ -552,6 +650,52 @@ fn coordinator_loop(
                                     msgs += 1;
                                 }
                                 drain_reports.clear();
+                            }
+                        }
+                        Ok(RankMsg::DrainRows { rank, sent, recvd }) => {
+                            msgs += 1;
+                            if topo_rows[rank].replace((sent, recvd)).is_none() {
+                                topo_count += 1;
+                            }
+                            if topo_count == n {
+                                // Plan once all rows are in: order the
+                                // in-flight dependency graph and hand every
+                                // rank its exact expected column.
+                                if let Some(r) = &rec {
+                                    r.begin(round as i64, obs::Phase::DrainPlan);
+                                }
+                                let rows: Vec<(Vec<u64>, Vec<u64>)> = topo_rows
+                                    .iter_mut()
+                                    .map(|r| r.take().expect("all rows present"))
+                                    .collect();
+                                topo_count = 0;
+                                let sent: Vec<Vec<u64>> =
+                                    rows.iter().map(|r| r.0.clone()).collect();
+                                let recvd: Vec<Vec<u64>> =
+                                    rows.iter().map(|r| r.1.clone()).collect();
+                                let plan = topo_order(&sent, &recvd);
+                                if let Some(m) = &meter {
+                                    m.add(met::DRAIN_TOPO_PLANS, 1);
+                                    m.add(met::DRAIN_TOPO_EDGES, plan.edges);
+                                    if plan.cyclic {
+                                        m.add(met::DRAIN_TOPO_CYCLES, 1);
+                                    }
+                                }
+                                for (j, port) in ports.iter().enumerate() {
+                                    let expected: Vec<u64> = (0..n)
+                                        .map(|i| sent[i].get(j).copied().unwrap_or(0))
+                                        .collect();
+                                    port.send(CoordMsg::DrainSchedule {
+                                        expected,
+                                        order: plan.order[j],
+                                        edges: plan.edges,
+                                        cyclic: plan.cyclic,
+                                    });
+                                    msgs += 1;
+                                }
+                                if let Some(r) = &rec {
+                                    r.end(round as i64, obs::Phase::DrainPlan);
+                                }
                             }
                         }
                         Ok(RankMsg::CkptDone {
@@ -683,7 +827,7 @@ fn coordinator_loop(
                     CoordMsg::Resume
                 };
                 for port in &ports {
-                    port.send(fin);
+                    port.send(fin.clone());
                     msgs += 1;
                 }
                 if let Some(m) = &meter {
@@ -719,6 +863,7 @@ fn coordinator_loop(
             }
             RankMsg::Ready { .. }
             | RankMsg::DrainReport { .. }
+            | RankMsg::DrainRows { .. }
             | RankMsg::CkptDone { .. }
             | RankMsg::CkptFailed { .. } => {
                 debug_assert!(false, "stray message outside a round: {msg:?}");
@@ -892,6 +1037,111 @@ mod tests {
         // Legacy drain cost shows up in the message counter: 2 reports + 2
         // verdicts per round × 2 rounds on top of the base 3-per-rank.
         assert!(report.rounds[0].coord_msgs > 3 * n as u64);
+    }
+
+    #[test]
+    fn topo_order_respects_one_way_traffic() {
+        // 0 → 1 → 2 in flight: the order must place 0 before 1 before 2.
+        let sent = vec![vec![0, 10, 0], vec![0, 0, 5], vec![0, 0, 0]];
+        let recvd = vec![vec![0; 3]; 3];
+        let plan = topo_order(&sent, &recvd);
+        assert_eq!(plan.order, vec![0, 1, 2]);
+        assert_eq!(plan.edges, 2);
+        assert!(!plan.cyclic);
+    }
+
+    #[test]
+    fn topo_order_ignores_settled_traffic() {
+        // Everything sent was already received: no edges, identity order.
+        let sent = vec![vec![0, 8], vec![3, 0]];
+        let recvd = vec![vec![0, 3], vec![8, 0]];
+        let plan = topo_order(&sent, &recvd);
+        assert_eq!(plan.edges, 0);
+        assert!(!plan.cyclic);
+        assert_eq!(plan.order, vec![0, 1]);
+    }
+
+    #[test]
+    fn topo_order_breaks_cycles_deterministically() {
+        // Mutual in-flight traffic 0 ⇄ 1: a cycle, broken smallest-first.
+        let sent = vec![vec![0, 4], vec![4, 0]];
+        let recvd = vec![vec![0; 2]; 2];
+        let plan = topo_order(&sent, &recvd);
+        assert!(plan.cyclic);
+        assert_eq!(plan.edges, 2);
+        assert_eq!(plan.order, vec![0, 1]);
+    }
+
+    #[test]
+    fn toposort_rows_answered_with_exact_columns() {
+        let n = 2;
+        let (handles, trigger, join) = spawn_coordinator(n, false);
+        trigger.checkpoint();
+        let threads: Vec<_> = handles
+            .into_iter()
+            .map(|h| {
+                std::thread::spawn(move || {
+                    while !h.intent() {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    h.send(RankMsg::Ready {
+                        rank: h.rank(),
+                        in_collective: None,
+                    })
+                    .unwrap();
+                    assert!(matches!(h.recv().unwrap(), CoordMsg::Go { .. }));
+                    // Rank 0 has 10 bytes in flight to rank 1; nothing else.
+                    h.send(RankMsg::DrainRows {
+                        rank: h.rank(),
+                        sent: if h.rank() == 0 {
+                            vec![0, 10]
+                        } else {
+                            vec![0, 0]
+                        },
+                        recvd: vec![0, 0],
+                    })
+                    .unwrap();
+                    match h.recv().unwrap() {
+                        CoordMsg::DrainSchedule {
+                            expected,
+                            order,
+                            edges,
+                            cyclic,
+                        } => {
+                            // Each rank gets its own column of the sent
+                            // matrix, and the sender precedes the receiver.
+                            if h.rank() == 0 {
+                                assert_eq!(expected, vec![0, 0]);
+                                assert_eq!(order, 0);
+                            } else {
+                                assert_eq!(expected, vec![10, 0]);
+                                assert_eq!(order, 1);
+                            }
+                            assert_eq!(edges, 1);
+                            assert!(!cyclic);
+                        }
+                        other => panic!("expected DrainSchedule, got {other:?}"),
+                    }
+                    h.send(RankMsg::CkptDone {
+                        rank: h.rank(),
+                        image_bytes: 1,
+                        image_crc: 0,
+                    })
+                    .unwrap();
+                    assert_eq!(h.recv().unwrap(), CoordMsg::Resume);
+                    h.send(RankMsg::Finishing { rank: h.rank() }).unwrap();
+                    assert_eq!(h.recv().unwrap(), CoordMsg::FinishAck);
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let report = join.join().unwrap();
+        assert_eq!(report.rounds.len(), 1);
+        // Topo drain costs exactly 2 extra messages per rank on top of
+        // the base Ready/Go/Done/Resume four.
+        assert_eq!(report.rounds[0].coord_msgs, 6 * n as u64);
     }
 
     #[test]

@@ -54,6 +54,7 @@ pub mod collective_emu;
 pub mod comm_mgr;
 pub mod config;
 pub mod coordinator;
+pub mod drain_strategy;
 pub mod error;
 pub mod fortran;
 pub mod fxhash;
@@ -77,8 +78,11 @@ pub use collective_emu::{emu_tag, CollOp, CollOpTable, EmuIo, EmuKind, IRecvSlot
 pub use comm_mgr::{global_comm_id, CommManager, CommRecord};
 pub use config::{CommRestore, DrainMode, ManaConfig, TpcMode};
 pub use coordinator::{
-    spawn_coordinator, spawn_coordinator_ext, AbortedRound, CkptRoundStats, CkptTrigger,
-    CommitCheck, CoordHandle, CoordReport, CoordStore,
+    spawn_coordinator, spawn_coordinator_ext, topo_order, AbortedRound, CkptRoundStats,
+    CkptTrigger, CommitCheck, CoordHandle, CoordReport, CoordStore, TopoPlan,
+};
+pub use drain_strategy::{
+    strategy_for, AlltoallDrain, CoordinatorDrain, DrainStrategy, TopoSortDrain,
 };
 pub use error::{ManaError, Result};
 pub use fortran::{FortranConstants, NamedConstant};

@@ -20,7 +20,7 @@
 
 use crate::collective_emu::CollOpMeta;
 use crate::comm_mgr::{CommManager, CommMeta};
-use crate::config::{CommRestore, DrainMode, ManaConfig};
+use crate::config::{CommRestore, ManaConfig};
 use crate::coordinator::{CoordHandle, CoordMsg, RankMsg};
 use crate::error::{ManaError, Result};
 use crate::ids::{VComm, VCOMM_WORLD};
@@ -190,10 +190,18 @@ impl<'p> Mana<'p> {
         // also "which pass is this" after a restart).
         self.round = round + 1;
         let sweeps_before = self.stats.drain_sweeps;
-        match self.cfg.drain {
-            DrainMode::Alltoall => self.drain_alltoall()?,
-            DrainMode::Coordinator => self.drain_coordinator()?,
-        }
+        // The quiesce protocol is pluggable: resolve the configured
+        // strategy and time its whole quiesce (exchange + sweeps) into
+        // the per-strategy histogram, so the protocols are directly
+        // comparable from one metrics series.
+        let strat = crate::drain_strategy::strategy_for(self.cfg.drain);
+        let t_quiesce = std::time::Instant::now();
+        strat.quiesce(self)?;
+        self.m_observe(
+            crate::drain_strategy::quiesce_hist(self.cfg.drain),
+            t_quiesce.elapsed().as_nanos() as u64,
+        );
+        self.m_add(crate::drain_strategy::rounds_counter(self.cfg.drain), 1);
         self.stats
             .drain_sweeps_by_round
             .push((round, self.stats.drain_sweeps - sweeps_before));
@@ -328,83 +336,20 @@ impl<'p> Mana<'p> {
 
     // ---- drain -------------------------------------------------------------
 
-    /// MANA-2.0 drain: one alltoall of sent rows, then purely local work.
-    fn drain_alltoall(&mut self) -> Result<()> {
-        let round = self.round as i64 - 1;
-        let world_real = self.real_comm(VCOMM_WORLD)?;
-        let sent_row = self.p2p.sent_row().to_vec();
-        let expected = self.lh.call(|p| p.alltoall_u64(world_real, &sent_row))?;
-        let mut sweep = 0u32;
-        loop {
-            let deficits = self.p2p.deficits(&expected);
-            if deficits.iter().all(|&d| d == 0) {
-                return Ok(());
-            }
-            self.stats.drain_sweeps += 1;
-            self.m_add(met::DRAIN_SWEEPS, 1);
-            sweep += 1;
-            if let Some(r) = &self.rec {
-                r.begin(round, Phase::Drain { sweep });
-            }
-            let t = std::time::Instant::now();
-            let progress = self.drain_sweep(&deficits)?;
-            self.m_observe(met::DRAIN_SWEEP_NS, t.elapsed().as_nanos() as u64);
-            if let Some(r) = &self.rec {
-                r.end(round, Phase::Drain { sweep });
-            }
-            if !progress {
-                // Nothing receivable this instant: the bytes are in transit
-                // between another rank's send and our mailbox. Park briefly.
-                self.lh.sched_park(self.cfg.poll_interval)?;
-            }
-        }
-    }
-
-    /// Original MANA drain: totals through the coordinator, iterated.
-    fn drain_coordinator(&mut self) -> Result<()> {
-        let round = self.round as i64 - 1;
-        let mut sweep = 0u32;
-        loop {
-            let (sent, recvd) = self.p2p.totals();
-            self.coord.send(RankMsg::DrainReport {
-                rank: self.rank(),
-                sent,
-                recvd,
-            })?;
-            match self.coord.recv()? {
-                CoordMsg::DrainVerdict { balanced: true } => return Ok(()),
-                CoordMsg::DrainVerdict { balanced: false } => {
-                    self.stats.drain_sweeps += 1;
-                    self.m_add(met::DRAIN_SWEEPS, 1);
-                    sweep += 1;
-                    if let Some(r) = &self.rec {
-                        r.begin(round, Phase::Drain { sweep });
-                    }
-                    // No per-pair information: sweep everything receivable.
-                    let all = vec![u64::MAX; self.world_size()];
-                    let t = std::time::Instant::now();
-                    let progress = self.drain_sweep(&all)?;
-                    self.m_observe(met::DRAIN_SWEEP_NS, t.elapsed().as_nanos() as u64);
-                    if let Some(r) = &self.rec {
-                        r.end(round, Phase::Drain { sweep });
-                    }
-                    if !progress {
-                        self.lh.sched_park(self.cfg.poll_interval)?;
-                    }
-                }
-                other => {
-                    debug_assert!(false, "unexpected drain reply: {other:?}");
-                    return Err(ManaError::CoordinatorGone);
-                }
-            }
-        }
-    }
-
-    /// One drain sweep: for each peer still owing bytes, (a) iprobe+recv
-    /// unmatched messages on every active communicator, (b) test recorded
-    /// pending `irecv`s (the message may already be claimed — §III-B), on
-    /// both user requests and emulated-collective slots.
-    fn drain_sweep(&mut self, deficits: &[u64]) -> Result<bool> {
+    /// One drain sweep against the `expected` per-peer byte claims: for
+    /// each peer still owing bytes, (a) iprobe+recv unmatched messages on
+    /// every active communicator, (b) test recorded pending `irecv`s (the
+    /// message may already be claimed — §III-B), on both user requests
+    /// and emulated-collective slots. Shared by every
+    /// [`crate::drain_strategy::DrainStrategy`]; the coordinator strategy
+    /// passes `u64::MAX` claims to sweep everything receivable.
+    ///
+    /// Deficits are recomputed *live* from the [`P2pLog`] before every
+    /// probe — never trusted from a snapshot — so a message matched
+    /// mid-sweep (e.g. by a posted receive tested in stage (b) of an
+    /// earlier sweep) immediately retires the peer's claim and cannot be
+    /// drained twice.
+    pub(crate) fn drain_sweep(&mut self, expected: &[u64]) -> Result<bool> {
         let round = self.round as i64 - 1;
         let mut progress = false;
         // (a) Unmatched messages in the network.
@@ -424,10 +369,10 @@ impl<'p> Mana<'p> {
                 continue;
             }
             for (local, &w) in ranks.iter().enumerate() {
-                if w == self.rank() || deficits[w] == 0 {
+                if w == self.rank() {
                     continue;
                 }
-                loop {
+                while self.p2p.deficit_from(expected, w) != 0 {
                     let st = self
                         .lh
                         .call(|p| p.iprobe(real, SrcSel::Rank(local), TagSel::Any))?;

@@ -25,7 +25,6 @@
 //! restart resumes incomplete ones from their serialized state.
 
 use crate::collective_emu::CollOp;
-use crate::config::TpcMode;
 use crate::error::{ManaError, Result};
 use crate::ids::{VComm, VReq};
 use crate::mana::Mana;
@@ -35,16 +34,16 @@ use obs::metrics as met;
 use obs::{EventKind, Phase, NO_ROUND};
 
 impl Mana<'_> {
-    /// Collective prologue: accounting plus the protocol-mandated barrier.
+    /// Collective prologue: accounting plus the drain strategy's
+    /// pre-collective hook (where the alltoall-family protocols place
+    /// their `TpcMode::Original` barrier; the topo-sort strategy never
+    /// barriers — its quiesce doesn't touch the collective machinery).
     fn collective_prologue(&mut self, vc: VComm, kind: CollKind) -> Result<()> {
         self.stats.wrapper_calls += 1;
         self.stats.collectives += 1;
         self.maybe_checkpoint(false)?;
         self.emu_record(kind);
-        if self.cfg.tpc == TpcMode::Original {
-            self.tpc_barrier(vc)?;
-        }
-        Ok(())
+        crate::drain_strategy::strategy_for(self.cfg.drain).pre_collective(self, vc)
     }
 
     /// The interruptible 2PC phase-1 barrier (Original mode): an emulated

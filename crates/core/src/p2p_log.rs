@@ -107,6 +107,20 @@ impl P2pLog {
             .collect()
     }
 
+    /// Live per-peer deficit: bytes peer `peer` claims to have sent me
+    /// that I have not yet counted as received. Unlike a
+    /// [`P2pLog::deficits`] snapshot taken before a sweep, this reads the
+    /// *current* `recvd` counter — so a message matched mid-sweep (by a
+    /// posted receive, or an earlier probe in the same sweep) immediately
+    /// drops the peer's remaining claim and cannot be drained twice.
+    pub fn deficit_from(&self, expected: &[u64], peer: usize) -> u64 {
+        expected
+            .get(peer)
+            .copied()
+            .unwrap_or(0)
+            .saturating_sub(self.recvd[peer])
+    }
+
     /// Reset after a successful drain: the network is empty and both sides
     /// of every pair agree, so counters restart from zero (consistently on
     /// all ranks).
@@ -269,6 +283,28 @@ mod tests {
         assert_eq!(log.deficits(&[0, 20, 80]), vec![0, 20, 49]);
         log.reset();
         assert_eq!(log.totals(), (0, 0));
+    }
+
+    #[test]
+    fn live_deficits_reflect_mid_sweep_matches() {
+        // Regression: drain_sweep used to trust the deficit snapshot taken
+        // at sweep entry. A message matched *during* the sweep (stage (b)
+        // testing a posted receive, or a prior probe iteration) left the
+        // stale snapshot claiming bytes were still owed, so the sweep kept
+        // pulling — double-counting the peer's traffic. The live query
+        // must reflect every count_drained immediately.
+        let mut log = P2pLog::new(2);
+        let expected = vec![0, 31];
+        assert_eq!(log.deficit_from(&expected, 1), 31);
+        let stale = log.deficits(&expected);
+        // One 30-byte message (charged 31) is matched mid-sweep.
+        log.count_drained(1, 30, None, 0);
+        // The snapshot still claims 31 bytes owed…
+        assert_eq!(stale[1], 31);
+        // …but the live view knows the peer is settled.
+        assert_eq!(log.deficit_from(&expected, 1), 0);
+        // Out-of-range peers (sub-communicator padding) owe nothing.
+        assert_eq!(log.deficit_from(&expected[..1], 1), 0);
     }
 
     #[test]

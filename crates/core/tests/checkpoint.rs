@@ -357,9 +357,12 @@ fn original_tpc_deadlocks_hybrid_does_not() {
     assert_eq!(hybrid.values(), vec![0, 5]);
 
     // Original: the injected barrier deadlocks; the watchdog converts the
-    // hang into an error.
+    // hang into an error. The drain is pinned because the barrier under
+    // test is the alltoall strategy's pre-collective gate — the toposort
+    // drain (e.g. via a MANA2_DRAIN override) removes it by design.
     let mut oc = cfg("deadlock_original");
     oc.tpc = TpcMode::Original;
+    oc.drain = DrainMode::Alltoall;
     let res = ManaRuntime::new(2, oc)
         .with_world_cfg(deadline)
         .run_fresh(scenario);

@@ -2,7 +2,7 @@
 //! "the tools interface also represents an opportunity to provide a
 //! deadlock detector").
 
-use mana_core::{ManaConfig, ManaRuntime, RuntimeError, TpcMode};
+use mana_core::{DrainMode, ManaConfig, ManaRuntime, RuntimeError, TpcMode};
 use mpisim::{ReduceOp, SrcSel, TagSel};
 use std::time::Duration;
 
@@ -19,8 +19,12 @@ fn cfg(name: &str, tpc: TpcMode) -> ManaConfig {
 fn detector_names_blocked_ranks_in_iii_e_deadlock() {
     // The §III-E pattern under Original 2PC deadlocks; with the detector
     // enabled (and NO watchdog), the run fails with a structured report
-    // instead of hanging.
-    let res = ManaRuntime::new(2, cfg("iiie", TpcMode::Original)).run_fresh(|m| {
+    // instead of hanging. The drain is pinned: the deadlock comes from the
+    // alltoall strategy's pre-collective barrier, which the toposort drain
+    // (e.g. via a MANA2_DRAIN override) removes by design.
+    let mut config = cfg("iiie", TpcMode::Original);
+    config.drain = DrainMode::Alltoall;
+    let res = ManaRuntime::new(2, config).run_fresh(|m| {
         let w = m.comm_world();
         if m.rank() == 0 {
             let mut d = vec![1u64];

@@ -2,15 +2,19 @@
 //! `RuntimeError` must leave a JSONL + Chrome-trace dump behind, and the
 //! dump must be well-formed and contain the recorded events.
 
-use mana_core::{obs, ManaConfig, ManaRuntime, RuntimeError, TpcMode};
+use mana_core::{obs, DrainMode, ManaConfig, ManaRuntime, RuntimeError, TpcMode};
 use mpisim::{SrcSel, TagSel};
 use std::time::Duration;
 
 #[test]
 fn runtime_failure_dumps_flight_recorder() {
     let sink = obs::TraceSink::wall(2, 4096);
+    // Drain pinned to alltoall: the guaranteed deadlock below is the
+    // alltoall strategy's pre-collective barrier, which the toposort
+    // drain (e.g. via a MANA2_DRAIN override) removes by design.
     let cfg = ManaConfig {
         tpc: TpcMode::Original,
+        drain: DrainMode::Alltoall,
         deadlock_timeout: Some(Duration::from_millis(400)),
         trace: Some(sink.clone()),
         ckpt_dir: std::env::temp_dir().join(format!("mana2_tdf_{}", std::process::id())),

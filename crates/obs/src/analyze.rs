@@ -11,10 +11,12 @@ use std::fmt;
 use std::fmt::Write as _;
 
 /// Fixed row order for the phase table.
-const PHASE_ORDER: [&str; 10] = [
+const PHASE_ORDER: [&str; 12] = [
     "intent",
     "tpc_barrier",
     "emu_collective",
+    "drain_exchange",
+    "drain_plan",
     "drain",
     "image_write",
     "commit",

@@ -29,6 +29,12 @@ pub enum Phase {
         /// 0-based sweep index within the checkpoint round.
         sweep: u32,
     },
+    /// The drain strategy's count exchange: the alltoall of sent rows, or
+    /// the topo-sort rows→schedule round trip through the coordinator.
+    DrainExchange,
+    /// The coordinator computing a topological drain schedule from the
+    /// collected per-rank rows.
+    DrainPlan,
     /// Serializing and durably writing the checkpoint image.
     ImageWrite,
     /// Commit: manifest write on the coordinator, resume-wait on ranks.
@@ -51,6 +57,8 @@ impl Phase {
             Phase::TpcBarrier => "tpc_barrier",
             Phase::EmuCollective => "emu_collective",
             Phase::Drain { .. } => "drain",
+            Phase::DrainExchange => "drain_exchange",
+            Phase::DrainPlan => "drain_plan",
             Phase::ImageWrite => "image_write",
             Phase::Commit => "commit",
             Phase::AbortRound => "abort_round",
@@ -68,6 +76,8 @@ impl Phase {
             "drain" => Phase::Drain {
                 sweep: sweep.unwrap_or(0) as u32,
             },
+            "drain_exchange" => Phase::DrainExchange,
+            "drain_plan" => Phase::DrainPlan,
             "image_write" => Phase::ImageWrite,
             "commit" => Phase::Commit,
             "abort_round" => Phase::AbortRound,
@@ -314,6 +324,15 @@ pub enum EventKind {
         /// Payload bytes captured.
         bytes: u64,
     },
+    /// The rank received its topological drain schedule (topo-sort drain).
+    DrainSchedule {
+        /// This rank's position in the topological order.
+        order: u32,
+        /// Edges in the global in-flight dependency graph.
+        edges: u64,
+        /// Whether the planner had to break a cycle.
+        cyclic: bool,
+    },
     /// A non-storage fault-plan fault fired.
     FaultFired {
         /// Which fault fired.
@@ -355,6 +374,7 @@ impl EventKind {
             EventKind::NetMatch { .. } => "net_match",
             EventKind::NetHold { .. } => "net_hold",
             EventKind::DrainCapture { .. } => "drain_capture",
+            EventKind::DrainSchedule { .. } => "drain_schedule",
             EventKind::FaultFired { .. } => "fault_fired",
             EventKind::RestartSkip { .. } => "restart_skip",
             EventKind::JournalAppend { .. } => "journal_append",
@@ -434,6 +454,16 @@ impl TraceEvent {
             }
             EventKind::DrainCapture { src, bytes } => {
                 let _ = write!(s, ",\"src\":{src},\"bytes\":{bytes}");
+            }
+            EventKind::DrainSchedule {
+                order,
+                edges,
+                cyclic,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"order\":{order},\"edges\":{edges},\"cyclic\":{cyclic}"
+                );
             }
             EventKind::FaultFired { fault } => {
                 let _ = write!(s, ",\"fault\":\"{}\"", fault.name());
@@ -536,6 +566,11 @@ impl TraceEvent {
             "drain_capture" => EventKind::DrainCapture {
                 src: need_u64("src")? as u32,
                 bytes: need_u64("bytes")?,
+            },
+            "drain_schedule" => EventKind::DrainSchedule {
+                order: need_u64("order")? as u32,
+                edges: need_u64("edges")?,
+                cyclic: need_bool("cyclic")?,
             },
             "fault_fired" => {
                 let name = v

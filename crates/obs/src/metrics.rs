@@ -224,6 +224,33 @@ std_set! {
     /// Partial-restart duration.
     RESTART_PARTIAL_NS = "mana2_restart_partial_ns", Histogram,
         "Partial restart duration";
+    /// Quiesces completed under the alltoall drain strategy.
+    DRAIN_ROUNDS_ALLTOALL = "mana2_drain_rounds_alltoall_total", Counter,
+        "Per-rank quiesces completed by the alltoall drain strategy";
+    /// Quiesces completed under the coordinator-totals drain strategy.
+    DRAIN_ROUNDS_COORDINATOR = "mana2_drain_rounds_coordinator_total", Counter,
+        "Per-rank quiesces completed by the coordinator drain strategy";
+    /// Quiesces completed under the topological-sort drain strategy.
+    DRAIN_ROUNDS_TOPOSORT = "mana2_drain_rounds_toposort_total", Counter,
+        "Per-rank quiesces completed by the topo-sort drain strategy";
+    /// Topological drain schedules computed by the coordinator.
+    DRAIN_TOPO_PLANS = "mana2_drain_topo_plans_total", Counter,
+        "Topological drain schedules computed by the coordinator";
+    /// Edges in the in-flight dependency graphs the topo planner ordered.
+    DRAIN_TOPO_EDGES = "mana2_drain_topo_edges_total", Counter,
+        "In-flight dependency edges ordered by the topo-sort planner";
+    /// Dependency cycles the topo planner had to break.
+    DRAIN_TOPO_CYCLES = "mana2_drain_topo_cycles_total", Counter,
+        "In-flight dependency cycles broken by the topo-sort planner";
+    /// Per-rank quiesce wall time under the alltoall drain strategy.
+    DRAIN_ALLTOALL_QUIESCE_NS = "mana2_drain_alltoall_quiesce_ns", Histogram,
+        "Per-rank quiesce latency under the alltoall drain strategy";
+    /// Per-rank quiesce wall time under the coordinator drain strategy.
+    DRAIN_COORDINATOR_QUIESCE_NS = "mana2_drain_coordinator_quiesce_ns", Histogram,
+        "Per-rank quiesce latency under the coordinator drain strategy";
+    /// Per-rank quiesce wall time under the topo-sort drain strategy.
+    DRAIN_TOPOSORT_QUIESCE_NS = "mana2_drain_toposort_quiesce_ns", Histogram,
+        "Per-rank quiesce latency under the topo-sort drain strategy";
 }
 
 // ---- log-linear histogram --------------------------------------------------

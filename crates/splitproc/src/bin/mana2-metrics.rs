@@ -130,6 +130,42 @@ fn render_summary(path: &str, meta: &met::SeriesMeta, snaps: &[MetricsSnapshot])
             out!("{}", render_hist_row(name, h));
         }
     }
+    // Per-strategy drain quiesce: line up the protocols a run actually
+    // used, so a sweep crossing strategies is comparable at a glance.
+    let strategies = [
+        ("alltoall", "mana2_drain_alltoall_quiesce_ns"),
+        ("coordinator", "mana2_drain_coordinator_quiesce_ns"),
+        ("toposort", "mana2_drain_toposort_quiesce_ns"),
+    ];
+    let used: Vec<_> = strategies
+        .iter()
+        .filter_map(|(label, name)| {
+            last.entries.iter().find_map(|e| match &e.value {
+                MetricValue::Hist(h) if e.name == *name && h.count > 0 => Some((*label, h)),
+                _ => None,
+            })
+        })
+        .collect();
+    if !used.is_empty() {
+        out!("\n-- drain quiesce by strategy");
+        out!(
+            "  {:<12} {:>8} {:>10} {:>10} {:>10}",
+            "strategy",
+            "rounds",
+            "p50",
+            "p95",
+            "max"
+        );
+        for (label, h) in used {
+            out!(
+                "  {label:<12} {:>8} {:>10} {:>10} {:>10}",
+                h.count,
+                fmt_ns(h.quantile(0.50).unwrap_or(0)),
+                fmt_ns(h.quantile(0.95).unwrap_or(0)),
+                fmt_ns(h.max)
+            );
+        }
+    }
     out!("");
 }
 

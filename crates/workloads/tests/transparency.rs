@@ -2,7 +2,7 @@
 //! results natively, under MANA, and across checkpoint/restart cycles.
 //! This is the observable definition of "transparent checkpointing".
 
-use mana_core::{ManaConfig, ManaRuntime, RuntimeError, TpcMode};
+use mana_core::{DrainMode, ManaConfig, ManaRuntime, RuntimeError, TpcMode};
 use mpisim::{World, WorldCfg};
 use std::path::PathBuf;
 use std::time::Duration;
@@ -244,11 +244,14 @@ fn deadlock_scenario_under_both_tpc_modes() {
     .unwrap();
     assert_eq!(hybrid.values(), vec![7, 7, 7]);
 
-    // Original: deadlock → watchdog error.
+    // Original: deadlock → watchdog error. The drain is pinned because
+    // the deadlock is the alltoall strategy's pre-collective barrier,
+    // which the toposort drain (e.g. via MANA2_DRAIN) removes by design.
     let res = ManaRuntime::new(
         3,
         ManaConfig {
             tpc: TpcMode::Original,
+            drain: DrainMode::Alltoall,
             ckpt_dir: ckpt_dir("dl_o"),
             ..ManaConfig::default()
         },
