@@ -12,6 +12,9 @@
 //! experiments explore   # schedule-space exploration coverage sweep
 //! experiments metrics   # metrics-plane bench: round/restart latency percentiles,
 //!                       # metrics-on/off overhead, BENCH_round_latency.json
+//! experiments dedup     # flat vs chunked store: physical bytes/round,
+//!                       # dedup factor, restart parity + latency,
+//!                       # BENCH_store_dedup.json
 //! experiments all       # everything except `scale` (minutes at 4096 ranks)
 //! ```
 //!
@@ -22,7 +25,7 @@ use mana_bench::*;
 use mana_core::{obs, DrainMode, ManaConfig, ManaRuntime};
 use mpisim::{CoopCfg, EngineKind, MachineProfile, WorldCfg};
 use std::time::Instant;
-use workloads::{gromacs, vasp, ManaFace};
+use workloads::{gromacs, vasp, ManaFace, MpiFace};
 
 fn scale() -> f64 {
     std::env::var("MANA2_SCALE")
@@ -1027,6 +1030,217 @@ fn drain_exp() {
     );
 }
 
+/// Rank count for the dedup store bench. `MANA2_DEDUP_RANKS=64` overrides
+/// (the acceptance run is 256).
+fn dedup_ranks() -> usize {
+    std::env::var("MANA2_DEDUP_RANKS")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(256)
+}
+
+/// Per-rank deterministic "static" payload: a slab of state the workload
+/// carries but never mutates, the part of a real MD image (topology,
+/// force-field tables, neighbor lists) that a content-addressed store
+/// should never write twice.
+fn dedup_static_blob(rank: usize, len: usize) -> Vec<u8> {
+    let mut v = vec![0u8; len];
+    let mut x = (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    for b in v.iter_mut() {
+        x = x
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        *b = (x >> 56) as u8;
+    }
+    v
+}
+
+/// One mode's leg ledger for `dedup`.
+struct DedupRun {
+    /// Per-checkpoint-round physical bytes written to the store.
+    physical: Vec<u64>,
+    /// Per-round logical image bytes (layout-independent).
+    logical: Vec<u64>,
+    /// Wall time of each restart leg (validate + load + rebuild + run).
+    restart_walls: Vec<f64>,
+    /// Final-leg per-rank results, for cross-mode parity.
+    values: Vec<gromacs::GromacsResult>,
+}
+
+/// Run the slowly-mutating GROMACS checkpoint chain under one store
+/// layout: leg 0 checkpoints fresh and exits, each following leg restarts
+/// from the newest generation and checkpoints the next round, and a final
+/// leg restarts and runs to completion. Every leg gets a fresh metrics
+/// registry, so each leg's store counters are exactly that round's bytes.
+fn dedup_run_mode(mode: splitproc::StoreMode, rounds: u64, static_len: usize) -> DedupRun {
+    let ranks = dedup_ranks();
+    let dir = scratch_dir(&format!("dedup_{}", mode.name()));
+    let store = splitproc::StoreConfig {
+        mode,
+        // Finer chunking than the restart-path default: the mutating MD
+        // region is small, and ~4 KiB chunks keep the invalidated
+        // neighborhood proportional to it rather than to the chunk size.
+        chunk: splitproc::chunk::ChunkParams {
+            min_size: 1024,
+            avg_size: 4096,
+            max_size: 16384,
+        },
+        ..splitproc::StoreConfig::default()
+    };
+    let wc = WorldCfg {
+        engine: EngineKind::Coop(CoopCfg {
+            workers: 0,
+            sched_seed: 0xDED0_0DED,
+        }),
+        ..world_cfg(MachineProfile::zero())
+    };
+    let md_steps = 3 * rounds + 2;
+    let leg_cfg = |leg: u64| gromacs::GromacsConfig {
+        atoms_per_rank: 32,
+        steps: md_steps,
+        compute_per_step: 0,
+        energy_interval: 3,
+        halo: 8,
+        ckpt_at_step: (leg < rounds).then_some(3 * leg + 2),
+        ckpt_round: leg,
+    };
+    let mut out = DedupRun {
+        physical: Vec::new(),
+        logical: Vec::new(),
+        restart_walls: Vec::new(),
+        values: Vec::new(),
+    };
+    for leg in 0..=rounds {
+        let mcfg = ManaConfig {
+            ckpt_dir: dir.clone(),
+            store: store.clone(),
+            exit_after_ckpt: leg < rounds,
+            ..ManaConfig::default()
+        };
+        let gcfg = leg_cfg(leg);
+        let work = move |m: &mut mana_core::Mana<'_>| {
+            let mut f = ManaFace::new(m);
+            // Seed the static slab once; restarts find it in the restored
+            // upper half and must not touch it — that is the dedup axis.
+            if f.load("dedup_static").is_none() {
+                let rank = f.rank();
+                f.save("dedup_static", dedup_static_blob(rank, static_len));
+            }
+            gromacs::run(&mut f, &gcfg).map_err(|e| e.into_mana())
+        };
+        let rt = ManaRuntime::new(ranks, mcfg).with_world_cfg(wc.clone());
+        let t = Instant::now();
+        let report = if leg == 0 {
+            rt.run_fresh(work)
+        } else {
+            rt.run_restart(work)
+        }
+        .unwrap_or_else(|e| panic!("dedup {} leg {leg}: {e}", mode.name()));
+        let wall = t.elapsed().as_secs_f64();
+        if leg < rounds {
+            assert!(
+                report.all_checkpointed(),
+                "dedup {} leg {leg}: expected checkpoint-and-exit",
+                mode.name()
+            );
+            let snap = report.metrics.as_ref().expect("run carries metrics");
+            out.physical
+                .push(snap.value("mana2_store_physical_bytes_total").unwrap_or(0));
+            out.logical
+                .push(snap.value("mana2_store_bytes_written_total").unwrap_or(0));
+        } else {
+            assert!(
+                report.all_finished(),
+                "dedup {} final leg must finish",
+                mode.name()
+            );
+            out.values = report.values();
+        }
+        if leg > 0 {
+            out.restart_walls.push(wall);
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    out
+}
+
+/// `experiments dedup`: head-to-head of the flat store vs the
+/// content-addressed chunked store on a slowly-mutating workload. The
+/// interesting numbers: physical bytes per round after round 0 (the
+/// chunked store should rewrite only what changed), the dedup factor,
+/// and the restart-leg wall time (reassembly + per-chunk hashing must
+/// stay within 1.5x of the flat read path). Emits
+/// `BENCH_store_dedup.json` and hard-fails if dedup underdelivers
+/// (< 5x) or restarts diverge between layouts.
+fn dedup_exp() {
+    use splitproc::StoreMode;
+    let ranks = dedup_ranks();
+    let rounds = 4u64;
+    let static_len = 128 * 1024;
+    println!("== Dedup: flat vs chunked checkpoint store (CoopEngine) ==");
+    println!(
+        "({ranks} ranks x {rounds} rounds, {} KiB static + mutating MD state per rank; \
+MANA2_DEDUP_RANKS=... overrides)",
+        static_len / 1024
+    );
+    let flat = dedup_run_mode(StoreMode::Flat, rounds, static_len);
+    let chunked = dedup_run_mode(StoreMode::Chunked, rounds, static_len);
+
+    assert_eq!(
+        flat.values, chunked.values,
+        "restart parity violated: chunked restore diverged from flat"
+    );
+
+    println!(
+        "\n{:>6} {:>16} {:>16} {:>16} {:>8}",
+        "round", "logical B", "flat phys B", "chunked phys B", "dedup"
+    );
+    let mut rows = Vec::new();
+    let mut steady_factors = Vec::new();
+    for r in 0..rounds as usize {
+        let factor = flat.physical[r] as f64 / chunked.physical[r].max(1) as f64;
+        if r > 0 {
+            steady_factors.push(factor);
+        }
+        println!(
+            "{:>6} {:>16} {:>16} {:>16} {:>7.1}x",
+            r, flat.logical[r], flat.physical[r], chunked.physical[r], factor
+        );
+        rows.push(format!(
+            "{{\"round\":{r},\"logical_bytes\":{},\"flat_physical_bytes\":{},\"chunked_physical_bytes\":{},\"dedup_factor\":{factor:.3}}}",
+            flat.logical[r], flat.physical[r], chunked.physical[r]
+        ));
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    let steady = mean(&steady_factors);
+    let flat_restart = mean(&flat.restart_walls);
+    let chunked_restart = mean(&chunked.restart_walls);
+    let restart_ratio = chunked_restart / flat_restart.max(1e-9);
+    println!("\nsteady-state dedup: {steady:.1}x physical-byte reduction per round (target >= 5x)");
+    println!(
+        "restart leg: flat {flat_restart:.3}s  chunked {chunked_restart:.3}s  ratio {restart_ratio:.2}x (budget <= 1.5x)"
+    );
+    println!("restart parity: chunked results byte-identical to flat");
+    if restart_ratio > 1.5 {
+        eprintln!("WARNING: chunked restart ratio {restart_ratio:.2}x exceeds the 1.5x budget");
+    }
+    write_json_artifact(
+        "BENCH_store_dedup",
+        &format!(
+            "{{\"experiment\":\"dedup\",\"ranks\":{ranks},\"rounds\":{rounds},\
+\"static_bytes_per_rank\":{static_len},\"rows\":[{}],\
+\"steady_state_dedup_factor\":{steady:.3},\
+\"flat_restart_s\":{flat_restart:.6},\"chunked_restart_s\":{chunked_restart:.6},\
+\"restart_ratio\":{restart_ratio:.3},\"restart_parity\":true}}\n",
+            rows.join(",")
+        ),
+    );
+    assert!(
+        steady >= 5.0,
+        "dedup underdelivered: {steady:.2}x physical-byte reduction per steady-state round, need >= 5x"
+    );
+}
+
 fn main() {
     let what = std::env::args().nth(1).unwrap_or_else(|| "all".into());
     let t = Instant::now();
@@ -1041,6 +1255,7 @@ fn main() {
         "drain" => drain_exp(),
         "explore" => explore_exp(),
         "metrics" => metrics_exp(),
+        "dedup" => dedup_exp(),
         "all" => {
             fig2();
             println!();
@@ -1054,7 +1269,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown experiment '{other}'; use fig2|fig3|fig4|table1|table2|trace|scale|drain|explore|metrics|all"
+                "unknown experiment '{other}'; use fig2|fig3|fig4|table1|table2|trace|scale|drain|explore|metrics|dedup|all"
             );
             std::process::exit(2);
         }

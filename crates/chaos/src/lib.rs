@@ -579,6 +579,13 @@ pub struct StorageCase {
     /// Quiesce protocol the checkpoint windows run under (derived), so
     /// the storage matrix crosses every strategy with every fault kind.
     pub drain: DrainMode,
+    /// On-disk layout the checkpoint store writes (derived; pinnable via
+    /// `CHAOS_STORE=flat|chunked`). In chunked mode the same fault kinds
+    /// land on individual chunk files (or the recipe when every chunk
+    /// deduped), so the durability contract is exercised at chunk
+    /// granularity: a wrong-hash chunk must never be restored, and shared
+    /// chunks of older generations must survive the damage.
+    pub store: splitproc::StoreMode,
 }
 
 impl StorageCase {
@@ -587,6 +594,17 @@ impl StorageCase {
     pub fn derive(seed: u64, kind: StorageFaultKind, restart: bool) -> Self {
         let h = |salt: u64| splitmix64(seed ^ splitmix64(salt));
         let ranks = 2 + (h(0x57A6) % 3) as usize;
+        // CHAOS_STORE pins the layout for a whole sweep (the nightly runs
+        // a dedicated chunked leg); otherwise the seed picks it, so the
+        // default matrix interleaves both layouts.
+        let store = std::env::var("CHAOS_STORE")
+            .ok()
+            .and_then(|v| splitproc::StoreMode::parse(&v))
+            .unwrap_or(if h(0xC4B2) % 2 == 0 {
+                splitproc::StoreMode::Flat
+            } else {
+                splitproc::StoreMode::Chunked
+            });
         StorageCase {
             seed,
             ranks,
@@ -598,6 +616,7 @@ impl StorageCase {
                 1 => DrainMode::Coordinator,
                 _ => DrainMode::TopoSort,
             },
+            store,
         }
     }
 }
@@ -700,11 +719,23 @@ pub fn run_storage_case(case: &StorageCase) -> Result<StorageReport, CaseFailure
         std::process::id()
     ));
     let _ = std::fs::remove_dir_all(&dir);
+    // Tiny chunk bounds relative to the ~KB GROMACS images, so chunked
+    // cases split each payload into many chunks and the injected damage
+    // really lands on an individual chunk file.
     let base = ManaConfig {
         drain: case.drain,
         ckpt_dir: dir.clone(),
         deadlock_timeout: Some(Duration::from_secs(30)),
         trace: Some(sink.clone()),
+        store: splitproc::StoreConfig {
+            mode: case.store,
+            chunk: splitproc::ChunkParams {
+                min_size: 64,
+                avg_size: 256,
+                max_size: 1024,
+            },
+            ..Default::default()
+        },
         ..ManaConfig::default()
     };
     let result = storage_case_inner(case, &expected, &dir, &base, fail);

@@ -18,7 +18,7 @@
 use chaos::{check_restart_kill_case, env_base_seed, env_sweep_count, RestartKillCase};
 use mana_core::{DrainMode, Mana, ManaConfig, ManaRuntime, RuntimeError};
 use mpisim::{CoopCfg, EngineKind, StorageFaultKind};
-use splitproc::{journal, store, CkptImage};
+use splitproc::{journal, store};
 use std::time::Duration;
 use workloads::{gromacs, ManaFace};
 
@@ -229,7 +229,8 @@ fn survivor_manifest_damage_blocks_full_but_not_partial_restart() {
     manifest.entries[survivor].crc ^= 0xDEAD_BEEF;
     std::fs::write(gdir.join(store::MANIFEST_FILE), manifest.to_bytes()).expect("rewrite");
     // The survivor's image must still parse — the damage is manifest-only.
-    CkptImage::read_from_dir(&gdir, survivor).expect("survivor image intact");
+    // (Layout-aware load: flat image or chunk-pool reassembly.)
+    store::load_image(&gdir, survivor).expect("survivor image intact");
     // Full restart: the damaged entry vetoes the only generation.
     match run(&base, None, None) {
         Err(RuntimeError::Store(e)) => {

@@ -111,6 +111,12 @@ pub struct ManaConfig {
     /// How many committed checkpoint generations to keep (floor 1). Older
     /// generations are garbage-collected after each committed round.
     pub retain_generations: usize,
+    /// Checkpoint-store policy: retry/backoff plus the on-disk layout
+    /// (`MANA2_STORE=flat|chunked` steers the default; flat when unset).
+    /// Chunked mode splits payloads into a content-addressed `chunks/`
+    /// pool so only bytes that changed since earlier generations are
+    /// physically written.
+    pub store: splitproc::StoreConfig,
     /// Ceiling on a single park in MANA's test loops. Wakeups are
     /// event-driven — message deposits and coordinator traffic unpark the
     /// rank through the engine's parker — so this only bounds the latency
@@ -154,6 +160,7 @@ impl Default for ManaConfig {
             exit_after_ckpt: false,
             ckpt_dir: std::env::temp_dir().join("mana2_ckpt"),
             retain_generations: 2,
+            store: splitproc::StoreConfig::from_env(),
             poll_interval: Duration::from_millis(5),
             deadlock_timeout: None,
             fault: None,

@@ -62,11 +62,16 @@ pub enum RankMsg {
     CkptDone {
         /// Reporting rank.
         rank: usize,
-        /// Bytes of the written image.
+        /// Bytes of the written rank file — the flat image, or the recipe
+        /// in chunked mode. Recorded in the generation manifest, so
+        /// restart's whole-file size/CRC check matches what is on disk.
         image_bytes: u64,
-        /// CRC32 of the written image file — recorded in the generation
-        /// manifest so restart can detect torn or corrupt images.
+        /// CRC32 of the written rank file (same manifest-facing rule).
         image_crc: u32,
+        /// Logical image payload bytes, layout-independent — what the
+        /// round report sums, so "image bytes per round" means the same
+        /// thing under flat and chunked stores.
+        logical_bytes: u64,
     },
     /// Image write failed (even after bounded retries). The round cannot
     /// commit; the coordinator aborts the generation.
@@ -324,6 +329,10 @@ pub struct CoordStore {
     pub root: PathBuf,
     /// Committed generations to keep (floor 1).
     pub retain: usize,
+    /// Store policy (retry/backoff + flat-vs-chunked layout) — the same
+    /// config the ranks write images with, so manifest writes share their
+    /// retry semantics and GC knows whether a chunk pool may exist.
+    pub store: splitproc::StoreConfig,
 }
 
 /// A topological plan over the in-flight send→receive dependency graph,
@@ -702,13 +711,14 @@ fn coordinator_loop(
                             rank,
                             image_bytes,
                             image_crc,
+                            logical_bytes,
                         }) => {
                             msgs += 1;
                             reported += 1;
                             let now = Instant::now();
                             first_report.get_or_insert(now);
                             last_report = Some(now);
-                            total_bytes += image_bytes;
+                            total_bytes += logical_bytes;
                             images[rank] = Some(store::ManifestEntry {
                                 rank: rank as u64,
                                 bytes: image_bytes,
@@ -759,11 +769,7 @@ fn coordinator_loop(
                             world_size: n as u64,
                             entries: images.iter().flatten().copied().collect(),
                         };
-                        if let Err(e) = store::commit_generation(
-                            &cs.root,
-                            &manifest,
-                            &store::StoreConfig::default(),
-                        ) {
+                        if let Err(e) = store::commit_generation(&cs.root, &manifest, &cs.store) {
                             // Manifest didn't land: the generation is not
                             // committed. Treat like a rank failure.
                             failures.push((usize::MAX, format!("manifest write failed: {e}")));
@@ -856,6 +862,19 @@ fn coordinator_loop(
                             m.add(met::STORE_GC_GENERATIONS, collected.len() as u64);
                         }
                     }
+                    // With generations swept, chunks referenced only by the
+                    // removed rounds are garbage. The sweep runs strictly
+                    // after gc_generations (journal-pinned generations
+                    // survive it, so their chunks stay referenced) and
+                    // never concurrently with image writes — the ranks are
+                    // parked in phase 4 until the verdict fan-out above.
+                    if cs.store.mode == splitproc::StoreMode::Chunked {
+                        if let Ok(swept) = store::gc_chunks(&cs.root) {
+                            if let Some(m) = &meter {
+                                m.add(met::STORE_GC_CHUNKS, swept.removed);
+                            }
+                        }
+                    }
                 }
                 if exit_after_ckpt {
                     exited = true;
@@ -920,6 +939,7 @@ mod tests {
                         rank: h.rank(),
                         image_bytes: 100,
                         image_crc: 0,
+                        logical_bytes: 100,
                     })
                     .unwrap();
                     assert_eq!(h.recv().unwrap(), CoordMsg::Resume);
@@ -963,6 +983,7 @@ mod tests {
                         rank: h.rank(),
                         image_bytes: 10,
                         image_crc: 0,
+                        logical_bytes: 10,
                     })
                     .unwrap();
                     assert_eq!(h.recv().unwrap(), CoordMsg::Exit);
@@ -1021,6 +1042,7 @@ mod tests {
                         rank: h.rank(),
                         image_bytes: 1,
                         image_crc: 0,
+                        logical_bytes: 1,
                     })
                     .unwrap();
                     assert_eq!(h.recv().unwrap(), CoordMsg::Resume);
@@ -1126,6 +1148,7 @@ mod tests {
                         rank: h.rank(),
                         image_bytes: 1,
                         image_crc: 0,
+                        logical_bytes: 1,
                     })
                     .unwrap();
                     assert_eq!(h.recv().unwrap(), CoordMsg::Resume);
@@ -1169,6 +1192,7 @@ mod tests {
                         rank: h.rank(),
                         image_bytes: 1,
                         image_crc: 0,
+                        logical_bytes: 1,
                     })
                     .unwrap();
                     assert_eq!(h.recv().unwrap(), CoordMsg::Resume);
@@ -1217,6 +1241,7 @@ mod tests {
                             rank: h.rank(),
                             image_bytes: 10,
                             image_crc: 0,
+                            logical_bytes: 10,
                         })
                         .unwrap();
                     }
@@ -1276,6 +1301,7 @@ mod tests {
             Some(CoordStore {
                 root: root.clone(),
                 retain: 2,
+                store: store::StoreConfig::default(),
             }),
             0,
             None,
@@ -1301,6 +1327,7 @@ mod tests {
                         rank: h.rank(),
                         image_bytes: bytes,
                         image_crc: crc,
+                        logical_bytes: bytes,
                     })
                     .unwrap();
                     assert_eq!(h.recv().unwrap(), CoordMsg::Resume);

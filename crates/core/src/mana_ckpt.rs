@@ -262,7 +262,7 @@ impl<'p> Mana<'p> {
         let wrote = store::write_image_traced(
             &self.cfg.ckpt_dir,
             &image,
-            &store::StoreConfig::default(),
+            &self.cfg.store,
             write_fault.as_ref(),
             self.rec.as_ref(),
         );
@@ -274,13 +274,22 @@ impl<'p> Mana<'p> {
         match wrote {
             Ok(out) => {
                 self.stats.ckpts += 1;
-                self.m_add(met::STORE_BYTES_WRITTEN, out.bytes as u64);
+                // Logical vs physical: logical_bytes is layout-independent
+                // (flat and chunked runs report identical image sizes);
+                // physical_bytes is what actually hit the disk, so the gap
+                // between the two counters is the dedup win.
+                self.m_add(met::STORE_BYTES_WRITTEN, out.logical_bytes as u64);
+                self.m_add(met::STORE_PHYSICAL_BYTES, out.physical_bytes as u64);
                 self.m_add(met::STORE_WRITE_RETRIES, out.retries as u64);
                 self.m_add(met::STORE_FSYNCS, out.fsyncs as u64);
+                self.m_add(met::STORE_CHUNKS_WRITTEN, out.chunks_written as u64);
+                self.m_add(met::STORE_CHUNKS_DEDUP, out.chunks_deduped as u64);
+                self.m_add(met::STORE_FSYNC_BATCHES, out.fsync_batches as u64);
                 self.coord.send(RankMsg::CkptDone {
                     rank: self.rank(),
                     image_bytes: out.bytes as u64,
                     image_crc: out.crc,
+                    logical_bytes: out.logical_bytes as u64,
                 })?;
                 // The rank's half of the 2PC vote is in: everything from
                 // here to the coordinator's verdict is commit latency.

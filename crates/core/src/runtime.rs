@@ -16,7 +16,7 @@ use crate::mana::{Mana, ManaStats};
 use mpisim::{StatsSnapshot, World, WorldCfg};
 use obs::metrics as met;
 use splitproc::journal::{Journal, JournalStep};
-use splitproc::{store, CkptImage};
+use splitproc::store;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -462,6 +462,7 @@ impl ManaRuntime {
             Some(CoordStore {
                 root: self.cfg.ckpt_dir.clone(),
                 retain: self.cfg.retain_generations,
+                store: self.cfg.store.clone(),
             }),
             // Round numbers keep advancing across restarts so a new round
             // never reuses (and on abort, never deletes) the generation
@@ -612,7 +613,18 @@ impl ManaRuntime {
             coord.attach_parker(proc.parker());
             let mut mana = if let Some(sel) = selected_ref {
                 let rank = proc.rank();
-                let image = CkptImage::read_from_dir(&sel.dir, rank)?;
+                // Layout-aware load: reads the flat `.mana` file when
+                // present, else reassembles the rank's `.cref` recipe from
+                // the chunk pool with per-chunk hash verification.
+                let image = store::load_image(&sel.dir, rank).map_err(|e| {
+                    let io = match e {
+                        store::StoreError::Io(io) => io,
+                        other => {
+                            std::io::Error::new(std::io::ErrorKind::InvalidData, other.to_string())
+                        }
+                    };
+                    ManaError::Image(splitproc::ImageError::Io(io))
+                })?;
                 let mana = Mana::restore(proc, cfg.clone(), coord, &image)?;
                 if let Some(g) = guard_ref {
                     // Journal this rank's restore (only ranks in the

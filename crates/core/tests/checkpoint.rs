@@ -79,8 +79,11 @@ fn resume_checkpoint_mid_run() {
     let sel = splitproc::store::select_generation(&dir, Some(n)).expect("committed generation");
     assert_eq!(sel.round, 0);
     for r in 0..n {
+        // Layout-aware: loads the flat `.mana` file or reassembles the
+        // `.cref` recipe from the chunk pool, whichever the configured
+        // `MANA2_STORE` mode wrote.
         assert!(
-            splitproc::CkptImage::read_from_dir(&sel.dir, r).is_ok(),
+            splitproc::store::load_image(&sel.dir, r).is_ok(),
             "image for rank {r}"
         );
     }
@@ -854,8 +857,17 @@ fn restart_falls_back_past_corrupt_newest_generation() {
     assert_eq!(pass1b.restored_round, Some(0));
     assert_eq!(pass1b.coord.rounds[0].round, 1);
 
-    // Silent post-exit corruption of rank 0's image in gen_1.
-    let victim = splitproc::CkptImage::path_for(&splitproc::store::generation_dir(&dir, 1), 0);
+    // Silent post-exit corruption of rank 0's image in gen_1. In flat
+    // mode the `.mana` image itself is hit; in chunked mode the `.cref`
+    // recipe is (its trailing CRC catches the flip) — either way the
+    // damage is confined to gen_1, so gen_0 must still restore.
+    let gen1 = splitproc::store::generation_dir(&dir, 1);
+    let flat = splitproc::CkptImage::path_for(&gen1, 0);
+    let victim = if flat.is_file() {
+        flat
+    } else {
+        splitproc::store::recipe_path_for(&gen1, 0)
+    };
     let mut bytes = std::fs::read(&victim).unwrap();
     let mid = bytes.len() / 2;
     bytes[mid] ^= 0x40;

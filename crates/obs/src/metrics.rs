@@ -251,6 +251,23 @@ std_set! {
     /// Per-rank quiesce wall time under the topo-sort drain strategy.
     DRAIN_TOPOSORT_QUIESCE_NS = "mana2_drain_toposort_quiesce_ns", Histogram,
         "Per-rank quiesce latency under the topo-sort drain strategy";
+    /// Bytes that physically landed on disk (whole images in flat mode;
+    /// new chunks + recipes in chunked mode). The dedup win is the gap
+    /// between this and `mana2_store_bytes_written_total`.
+    STORE_PHYSICAL_BYTES = "mana2_store_physical_bytes_total", Counter,
+        "Bytes physically written to the checkpoint store";
+    /// Chunks newly written to the content-addressed pool.
+    STORE_CHUNKS_WRITTEN = "mana2_store_chunks_written_total", Counter,
+        "Chunks newly written to the content-addressed pool";
+    /// Chunk references satisfied by a chunk already in the pool.
+    STORE_CHUNKS_DEDUP = "mana2_store_chunks_dedup_total", Counter,
+        "Chunk references deduplicated against the existing pool";
+    /// Batched directory-fsync rounds issued for the chunk pool.
+    STORE_FSYNC_BATCHES = "mana2_store_fsync_batches_total", Counter,
+        "Batched chunk-pool directory fsync rounds";
+    /// Chunks deleted by the refcounted pool sweep.
+    STORE_GC_CHUNKS = "mana2_store_gc_chunks_total", Counter,
+        "Unreferenced chunks collected from the pool";
 }
 
 // ---- log-linear histogram --------------------------------------------------

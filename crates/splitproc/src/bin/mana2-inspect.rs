@@ -12,14 +12,25 @@
 //!                                     CRC-check every frame and report
 //!                                     what open() would truncate (dry
 //!                                     run); exit 0 iff the tail is clean
+//! mana2-inspect <ckpt_dir> chunks     chunk-pool stats: chunk count,
+//!                                     physical vs logical bytes, dedup
+//!                                     ratio, orphans, per-generation
+//!                                     reference counts
+//! mana2-inspect <ckpt_dir> chunks --verify
+//!                                     additionally hash-check every pool
+//!                                     chunk and confirm every chunk any
+//!                                     surviving generation (including
+//!                                     journal-pinned ones) references is
+//!                                     present and intact; exit 0 iff so
 //! ```
 //!
 //! Prints, per image: header fields, CRC status, upper-half segment names
 //! and sizes, and metadata-section size — the operational tool an admin
 //! reaches for when a restart misbehaves.
 
-use splitproc::{journal, store};
-use splitproc::{CkptImage, Decode, UpperHalf};
+use splitproc::{chunk, journal, store};
+use splitproc::{Decode, UpperHalf};
+use std::collections::BTreeMap;
 use std::io::Write;
 use std::path::Path;
 
@@ -31,7 +42,10 @@ macro_rules! out {
 }
 
 fn inspect(dir: &Path, rank: usize) -> Result<(), String> {
-    let img = CkptImage::read_from_dir(dir, rank).map_err(|e| e.to_string())?;
+    // Layout-aware: flat `.mana` images are read directly, `.cref`
+    // recipes are reassembled from the chunk pool with per-chunk hash
+    // verification.
+    let img = store::load_image(dir, rank).map_err(|e| e.to_string())?;
     out!(
         "rank {:>5}: world {:>5}  round {:>3}  upper {:>9} B  meta {:>9} B  total {:>9} B",
         img.rank,
@@ -134,6 +148,171 @@ fn verify(root: &Path, gens: &[store::GenInfo]) -> i32 {
     }
 }
 
+/// `chunks [--verify]`: chunk-pool statistics and, with `--verify`, a
+/// full integrity pass — every pool chunk is re-hashed against its
+/// content-addressed name and every chunk referenced by any surviving
+/// generation's recipes (journal-pinned generations included; GC never
+/// removes those, so their references must resolve too) must be present
+/// with the right length and hash. Exit 0 iff no damage was found.
+fn chunks_cmd(root: &Path, do_verify: bool) -> i32 {
+    let pool = store::chunks_dir(root);
+    if !pool.is_dir() {
+        out!("no chunk pool at {} (flat store)", pool.display());
+        return 0;
+    }
+    // Pool inventory: id -> on-disk length.
+    let mut on_disk: BTreeMap<chunk::ChunkId, u64> = BTreeMap::new();
+    let mut tmp_litter = 0usize;
+    let mut foreign = 0usize;
+    let shards = match std::fs::read_dir(&pool) {
+        Ok(it) => it,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", pool.display());
+            return 1;
+        }
+    };
+    for shard in shards.flatten() {
+        let sp = shard.path();
+        if !sp.is_dir() {
+            continue;
+        }
+        for ent in std::fs::read_dir(&sp).into_iter().flatten().flatten() {
+            let name = ent.file_name();
+            let name = name.to_string_lossy();
+            if name.starts_with(".tmp-") {
+                tmp_litter += 1;
+                continue;
+            }
+            match name
+                .strip_suffix(".chunk")
+                .and_then(chunk::ChunkId::from_hex)
+            {
+                Some(id) => {
+                    let len = ent.metadata().map(|m| m.len()).unwrap_or(0);
+                    on_disk.insert(id, len);
+                }
+                None => foreign += 1,
+            }
+        }
+    }
+    // References: every recipe of every surviving generation.
+    let gens = store::list_generations(root).unwrap_or_default();
+    let pinned = journal::pinned_generations(root);
+    let mut refcount: BTreeMap<chunk::ChunkId, u64> = BTreeMap::new();
+    let mut ref_len: BTreeMap<chunk::ChunkId, u64> = BTreeMap::new();
+    let mut logical: u64 = 0;
+    let mut bad_recipes = 0usize;
+    for g in &gens {
+        let mut gen_refs = 0u64;
+        let mut gen_logical = 0u64;
+        for ent in std::fs::read_dir(&g.dir).into_iter().flatten().flatten() {
+            let path = ent.path();
+            if path.extension().is_none_or(|x| x != "cref") {
+                continue;
+            }
+            let recipe = std::fs::read(&path)
+                .map_err(|e| e.to_string())
+                .and_then(|b| chunk::Recipe::from_bytes(&b).map_err(|e| e.to_string()));
+            let recipe = match recipe {
+                Ok(r) => r,
+                Err(e) => {
+                    out!("  gen {:>5}  BAD RECIPE {}: {e}", g.round, path.display());
+                    bad_recipes += 1;
+                    continue;
+                }
+            };
+            for r in recipe.upper_chunks.iter().chain(&recipe.meta_chunks) {
+                *refcount.entry(r.id).or_default() += 1;
+                ref_len.insert(r.id, r.len);
+                gen_refs += 1;
+                gen_logical += r.len;
+            }
+        }
+        if gen_refs > 0 {
+            out!(
+                "  gen {:>5}  {:>8} chunk ref(s)  {:>12} B logical{}",
+                g.round,
+                gen_refs,
+                gen_logical,
+                if pinned.contains(&g.round) {
+                    "  [journal-pinned]"
+                } else {
+                    ""
+                }
+            );
+        }
+        logical += gen_logical;
+    }
+    let physical: u64 = on_disk.values().sum();
+    let orphans = on_disk
+        .keys()
+        .filter(|id| !refcount.contains_key(*id))
+        .count();
+    let missing: Vec<_> = refcount
+        .keys()
+        .filter(|id| !on_disk.contains_key(*id))
+        .collect();
+    out!(
+        "chunk pool {}: {} chunk(s), {} B physical",
+        pool.display(),
+        on_disk.len(),
+        physical
+    );
+    out!(
+        "  referenced: {} unique chunk(s), {} B logical across {} generation(s)",
+        refcount.len(),
+        logical,
+        gens.len()
+    );
+    if physical > 0 {
+        out!(
+            "  dedup ratio: {:.2}x (logical/physical)",
+            logical as f64 / physical as f64
+        );
+    }
+    out!("  orphans: {orphans}  tmp litter: {tmp_litter}  foreign files: {foreign}");
+    let mut damage = bad_recipes + missing.len();
+    for id in &missing {
+        out!("  MISSING chunk {id} (referenced but not in pool)");
+    }
+    if do_verify {
+        // Re-hash every pool chunk against its name, and check referenced
+        // lengths agree with what is on disk.
+        let mut corrupt = 0usize;
+        for (id, len) in &on_disk {
+            let path = store::chunk_path(root, *id);
+            match std::fs::read(&path) {
+                Ok(data) => {
+                    if chunk::chunk_id(&data) != *id {
+                        out!("  CORRUPT chunk {id}: content hash mismatch");
+                        corrupt += 1;
+                    } else if ref_len.get(id).is_some_and(|want| want != len) {
+                        out!(
+                            "  TORN chunk {id}: {} B on disk, {} B referenced",
+                            len,
+                            ref_len[id]
+                        );
+                        corrupt += 1;
+                    }
+                }
+                Err(e) => {
+                    out!("  UNREADABLE chunk {id}: {e}");
+                    corrupt += 1;
+                }
+            }
+        }
+        damage += corrupt;
+        out!(
+            "verify: {} chunk(s) hashed, {} damaged, {} missing, {} bad recipe(s)",
+            on_disk.len(),
+            corrupt,
+            missing.len(),
+            bad_recipes
+        );
+    }
+    i32::from(damage > 0)
+}
+
 /// `journal`: list restart-journal epochs and steps (read-only — the
 /// torn-tail truncation that `Journal::open` performs is only *reported*
 /// here, never applied). With `do_verify`, also exit non-zero when the
@@ -234,13 +413,19 @@ fn describe_step(rec: &journal::JournalRecord) -> String {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let Some(dir) = args.get(1) else {
-        eprintln!("usage: mana2-inspect <ckpt_dir> [rank | --verify | journal [--verify]]");
+        eprintln!(
+            "usage: mana2-inspect <ckpt_dir> [rank | --verify | journal [--verify] | chunks [--verify]]"
+        );
         std::process::exit(2);
     };
     let root = Path::new(dir);
     if args.get(2).is_some_and(|a| a == "journal") {
         let do_verify = args.iter().any(|a| a == "--verify");
         std::process::exit(journal_cmd(root, do_verify));
+    }
+    if args.get(2).is_some_and(|a| a == "chunks") {
+        let do_verify = args.iter().any(|a| a == "--verify");
+        std::process::exit(chunks_cmd(root, do_verify));
     }
     let gens = store::list_generations(root).unwrap_or_else(|e| {
         eprintln!("cannot read {}: {e}", root.display());

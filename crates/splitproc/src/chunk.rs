@@ -1,0 +1,705 @@
+//! Content-defined chunking and content addressing for the checkpoint store.
+//!
+//! A rank image's `upper`/`meta` payloads are split at rolling-hash
+//! boundaries (gear hash), each chunk is keyed by its SHA-256 digest, and
+//! chunks live in a pool shared by every generation under the store root:
+//!
+//! ```text
+//! <root>/chunks/<first-two-hex>/<64-hex>.chunk
+//! ```
+//!
+//! A chunk whose key already exists on disk is never rewritten, so a
+//! slowly-mutating workload pays only for the bytes that actually changed
+//! since the previous committed generation. Generations written in chunked
+//! mode store a *recipe* file per rank (`ckpt_rank_%05d.cref`) that lists
+//! the chunk keys needed to reassemble the image; see [`Recipe`].
+//!
+//! Everything here is dependency-free by design: the hash is a hand-rolled
+//! SHA-256 (same spirit as the nibble-table CRC32 in `codec`), and the gear
+//! table is derived at compile time from splitmix64 so boundaries are
+//! deterministic across builds and platforms.
+
+use std::fmt;
+
+use crate::codec::{crc32, CodecError, Decode, Reader};
+
+/// Errors decoding a recipe file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecipeError {
+    /// The file does not start with [`RECIPE_MAGIC`].
+    BadMagic,
+    /// Unsupported recipe version.
+    BadVersion(u32),
+    /// Whole-file CRC mismatch (corrupt or torn recipe).
+    BadChecksum,
+    /// Header or chunk list inconsistent with file size.
+    Truncated,
+}
+
+impl fmt::Display for RecipeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecipeError::BadMagic => write!(f, "not a MANA-2.0 chunk recipe"),
+            RecipeError::BadVersion(v) => write!(f, "unsupported recipe version {v}"),
+            RecipeError::BadChecksum => write!(f, "recipe CRC mismatch"),
+            RecipeError::Truncated => write!(f, "recipe truncated"),
+        }
+    }
+}
+
+impl std::error::Error for RecipeError {}
+
+impl From<CodecError> for RecipeError {
+    fn from(_: CodecError) -> Self {
+        RecipeError::Truncated
+    }
+}
+
+/// 256-bit content hash of a chunk. Displayed as 64 lowercase hex chars.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ChunkId(
+    /// Raw SHA-256 digest bytes.
+    pub [u8; 32],
+);
+
+impl ChunkId {
+    /// Hex form used for pool filenames.
+    pub fn to_hex(self) -> String {
+        let mut s = String::with_capacity(64);
+        for b in self.0 {
+            s.push(char::from_digit((b >> 4) as u32, 16).unwrap());
+            s.push(char::from_digit((b & 0xf) as u32, 16).unwrap());
+        }
+        s
+    }
+
+    /// Parse the 64-hex-char form back into an id (inspect tooling).
+    pub fn from_hex(s: &str) -> Option<ChunkId> {
+        if s.len() != 64 {
+            return None;
+        }
+        let mut out = [0u8; 32];
+        let bytes = s.as_bytes();
+        for (i, slot) in out.iter_mut().enumerate() {
+            let hi = (bytes[2 * i] as char).to_digit(16)?;
+            let lo = (bytes[2 * i + 1] as char).to_digit(16)?;
+            *slot = ((hi << 4) | lo) as u8;
+        }
+        Some(ChunkId(out))
+    }
+}
+
+impl fmt::Display for ChunkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+impl fmt::Debug for ChunkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ChunkId({})", self.to_hex())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SHA-256 (FIPS 180-4), hand-rolled: the container image carries no hashing
+// crates and the store must not grow dependencies.
+// ---------------------------------------------------------------------------
+
+const SHA256_K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+/// Streaming SHA-256 state.
+pub struct Sha256 {
+    h: [u32; 8],
+    buf: [u8; 64],
+    buf_len: usize,
+    total: u64,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha256 {
+    /// Fresh hash state.
+    pub fn new() -> Sha256 {
+        Sha256 {
+            h: [
+                0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
+                0x5be0cd19,
+            ],
+            buf: [0u8; 64],
+            buf_len: 0,
+            total: 0,
+        }
+    }
+
+    /// Absorb more input.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.total = self.total.wrapping_add(data.len() as u64);
+        if self.buf_len > 0 {
+            let take = (64 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+        while data.len() >= 64 {
+            let (block, rest) = data.split_at(64);
+            let mut b = [0u8; 64];
+            b.copy_from_slice(block);
+            self.compress(&b);
+            data = rest;
+        }
+        if !data.is_empty() {
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buf_len = data.len();
+        }
+    }
+
+    /// Pad, finalize, and return the digest.
+    pub fn finish(mut self) -> [u8; 32] {
+        let bit_len = self.total.wrapping_mul(8);
+        self.update(&[0x80]);
+        while self.buf_len != 56 {
+            self.update(&[0]);
+        }
+        self.update(&bit_len.to_be_bytes());
+        debug_assert_eq!(self.buf_len, 0);
+        let mut out = [0u8; 32];
+        for (i, w) in self.h.iter().enumerate() {
+            out[4 * i..4 * i + 4].copy_from_slice(&w.to_be_bytes());
+        }
+        out
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 64];
+        for (i, slot) in w.iter_mut().take(16).enumerate() {
+            *slot = u32::from_be_bytes([
+                block[4 * i],
+                block[4 * i + 1],
+                block[4 * i + 2],
+                block[4 * i + 3],
+            ]);
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.h;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(SHA256_K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        self.h[0] = self.h[0].wrapping_add(a);
+        self.h[1] = self.h[1].wrapping_add(b);
+        self.h[2] = self.h[2].wrapping_add(c);
+        self.h[3] = self.h[3].wrapping_add(d);
+        self.h[4] = self.h[4].wrapping_add(e);
+        self.h[5] = self.h[5].wrapping_add(f);
+        self.h[6] = self.h[6].wrapping_add(g);
+        self.h[7] = self.h[7].wrapping_add(h);
+    }
+}
+
+/// One-shot content hash of a chunk.
+pub fn chunk_id(data: &[u8]) -> ChunkId {
+    let mut h = Sha256::new();
+    h.update(data);
+    ChunkId(h.finish())
+}
+
+// ---------------------------------------------------------------------------
+// Gear-hash content-defined chunking.
+// ---------------------------------------------------------------------------
+
+/// Min/avg/max chunk sizes for the content-defined chunker. The average is
+/// a target, not a guarantee: boundaries fire when the rolling hash masks to
+/// zero, clamped to [min, max].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkParams {
+    /// No boundary fires before this many bytes (floor 64).
+    pub min_size: usize,
+    /// Target average chunk size (sets the boundary mask).
+    pub avg_size: usize,
+    /// A chunk is force-cut at this many bytes.
+    pub max_size: usize,
+}
+
+impl Default for ChunkParams {
+    fn default() -> Self {
+        ChunkParams {
+            min_size: 4 * 1024,
+            avg_size: 16 * 1024,
+            max_size: 64 * 1024,
+        }
+    }
+}
+
+impl ChunkParams {
+    /// Clamp to a sane ordering so a hostile config cannot wedge the
+    /// chunker (min ≥ 64 B, min ≤ avg ≤ max).
+    pub fn normalized(self) -> ChunkParams {
+        let min = self.min_size.max(64);
+        let avg = self.avg_size.max(min);
+        let max = self.max_size.max(avg);
+        ChunkParams {
+            min_size: min,
+            avg_size: avg,
+            max_size: max,
+        }
+    }
+
+    /// Boundary mask: the largest `2^k - 1` not exceeding avg_size - 1, so
+    /// the expected gap between boundary hits is ~avg_size bytes.
+    fn mask(&self) -> u64 {
+        let bits = usize::BITS - 1 - self.avg_size.next_power_of_two().leading_zeros();
+        (1u64 << bits) - 1
+    }
+}
+
+/// Gear table: 256 pseudo-random u64s fixed at compile time (splitmix64 of
+/// the byte value) so chunk boundaries never depend on build or platform.
+static GEAR: [u64; 256] = build_gear();
+
+const fn build_gear() -> [u64; 256] {
+    let mut t = [0u64; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        t[i] = splitmix64(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64 + 1));
+        i += 1;
+    }
+    t
+}
+
+const fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Split `data` at gear-hash boundaries. Returns the byte ranges of each
+/// chunk, in order, covering `data` exactly; empty input yields no chunks.
+///
+/// Deterministic: the same bytes always produce the same boundary set, and
+/// because the rolling hash only looks at a 64-byte window, an edit
+/// invalidates at most the chunks overlapping the edit plus a bounded
+/// resynchronization tail.
+pub fn split(data: &[u8], params: ChunkParams) -> Vec<std::ops::Range<usize>> {
+    let p = params.normalized();
+    let mask = p.mask();
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    while start < data.len() {
+        let remaining = data.len() - start;
+        if remaining <= p.min_size {
+            out.push(start..data.len());
+            break;
+        }
+        let window_end = (start + p.max_size).min(data.len());
+        let mut hash = 0u64;
+        let mut cut = window_end;
+        // Skip the hash warm-up inside the min-size prefix: no boundary can
+        // fire before min_size anyway, but the gear state must be rolled so
+        // boundaries are a pure function of content, not of chunk phase...
+        // except gear's shift-out property gives exactly that for free (the
+        // hash only depends on the last 64 bytes), so start rolling 64 bytes
+        // before the first legal cut point.
+        let roll_from = (start + p.min_size).saturating_sub(64).max(start);
+        for (i, &b) in data[roll_from..window_end].iter().enumerate() {
+            hash = (hash << 1).wrapping_add(GEAR[b as usize]);
+            let pos = roll_from + i + 1; // exclusive end of the candidate chunk
+            if pos - start >= p.min_size && (hash & mask) == 0 {
+                cut = pos;
+                break;
+            }
+        }
+        out.push(start..cut);
+        start = cut;
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Recipe: the chunked-mode replacement for a flat image file.
+// ---------------------------------------------------------------------------
+
+/// Magic prefixing every recipe file ("MANA2 Chunk ReF").
+pub const RECIPE_MAGIC: &[u8; 8] = b"MANA2CRF";
+/// Recipe format version.
+pub const RECIPE_VERSION: u32 = 1;
+
+/// Reference to one chunk of a payload: its content id plus its length
+/// (the length is redundant with the pool file but lets validation detect
+/// truncation without hashing and lets tooling compute logical sizes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkRef {
+    /// Content address of the chunk.
+    pub id: ChunkId,
+    /// Chunk length in bytes.
+    pub len: u64,
+}
+
+/// Per-rank recipe stored as `ckpt_rank_%05d.cref` inside a chunked
+/// generation directory. Mirrors the flat image header (rank/world/round +
+/// payload CRCs) so the restart path can cross-check the reassembled image
+/// against the manifest without decoding chunks twice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Recipe {
+    /// World rank this recipe belongs to.
+    pub rank: u64,
+    /// World size at checkpoint time.
+    pub world_size: u64,
+    /// Checkpoint round.
+    pub round: u64,
+    /// Reassembled upper-payload length in bytes.
+    pub upper_len: u64,
+    /// Reassembled meta-payload length in bytes.
+    pub meta_len: u64,
+    /// CRC32 of the reassembled upper payload.
+    pub upper_crc: u32,
+    /// CRC32 of the reassembled meta payload.
+    pub meta_crc: u32,
+    /// Chunks of the upper payload, in order.
+    pub upper_chunks: Vec<ChunkRef>,
+    /// Chunks of the meta payload, in order.
+    pub meta_chunks: Vec<ChunkRef>,
+}
+
+impl Recipe {
+    /// Serialize (self-checksummed).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(
+            8 + 4
+                + 8 * 5
+                + 4 * 2
+                + 8 * 2
+                + 40 * (self.upper_chunks.len() + self.meta_chunks.len())
+                + 4,
+        );
+        out.extend_from_slice(RECIPE_MAGIC);
+        out.extend_from_slice(&RECIPE_VERSION.to_le_bytes());
+        out.extend_from_slice(&self.rank.to_le_bytes());
+        out.extend_from_slice(&self.world_size.to_le_bytes());
+        out.extend_from_slice(&self.round.to_le_bytes());
+        out.extend_from_slice(&self.upper_len.to_le_bytes());
+        out.extend_from_slice(&self.meta_len.to_le_bytes());
+        out.extend_from_slice(&self.upper_crc.to_le_bytes());
+        out.extend_from_slice(&self.meta_crc.to_le_bytes());
+        for list in [&self.upper_chunks, &self.meta_chunks] {
+            out.extend_from_slice(&(list.len() as u64).to_le_bytes());
+            for c in list.iter() {
+                out.extend_from_slice(&c.id.0);
+                out.extend_from_slice(&c.len.to_le_bytes());
+            }
+        }
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Parse and verify a serialized recipe.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Recipe, RecipeError> {
+        if bytes.len() < 4 {
+            return Err(RecipeError::Truncated);
+        }
+        let (body, tail) = bytes.split_at(bytes.len() - 4);
+        let stored = u32::from_le_bytes(tail.try_into().unwrap());
+        if crc32(body) != stored {
+            return Err(RecipeError::BadChecksum);
+        }
+        let mut r = Reader::new(body);
+        let magic = r.take(8)?;
+        if magic != RECIPE_MAGIC {
+            return Err(RecipeError::BadMagic);
+        }
+        let version = u32::decode(&mut r)?;
+        if version != RECIPE_VERSION {
+            return Err(RecipeError::BadVersion(version));
+        }
+        let rank = u64::decode(&mut r)?;
+        let world_size = u64::decode(&mut r)?;
+        let round = u64::decode(&mut r)?;
+        let upper_len = u64::decode(&mut r)?;
+        let meta_len = u64::decode(&mut r)?;
+        let upper_crc = u32::decode(&mut r)?;
+        let meta_crc = u32::decode(&mut r)?;
+        let mut lists = [Vec::new(), Vec::new()];
+        for list in lists.iter_mut() {
+            let n = u64::decode(&mut r)?;
+            // A recipe cannot reference more chunks than bytes remain.
+            if n > body.len() as u64 {
+                return Err(RecipeError::Truncated);
+            }
+            let mut v = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                let raw = r.take(32)?;
+                let mut id = [0u8; 32];
+                id.copy_from_slice(raw);
+                let len = u64::decode(&mut r)?;
+                v.push(ChunkRef {
+                    id: ChunkId(id),
+                    len,
+                });
+            }
+            *list = v;
+        }
+        r.finish()?;
+        let [upper_chunks, meta_chunks] = lists;
+        Ok(Recipe {
+            rank,
+            world_size,
+            round,
+            upper_len,
+            meta_len,
+            upper_crc,
+            meta_crc,
+            upper_chunks,
+            meta_chunks,
+        })
+    }
+}
+
+/// Split a payload and return (refs, per-chunk byte slices) without copying.
+pub fn chunk_payload(data: &[u8], params: ChunkParams) -> Vec<(ChunkRef, &[u8])> {
+    split(data, params)
+        .into_iter()
+        .map(|range| {
+            let slice = &data[range];
+            (
+                ChunkRef {
+                    id: chunk_id(slice),
+                    len: slice.len() as u64,
+                },
+                slice,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // FIPS 180-4 / NIST vectors.
+    #[test]
+    fn sha256_known_vectors() {
+        let hex = |d: &[u8]| chunk_id(d).to_hex();
+        assert_eq!(
+            hex(b""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        assert_eq!(
+            hex(b"abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        assert_eq!(
+            hex(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+        // One million 'a': exercises multi-block streaming + padding.
+        let million = vec![b'a'; 1_000_000];
+        assert_eq!(
+            hex(&million),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn sha256_streaming_matches_oneshot() {
+        let data: Vec<u8> = (0..100_000u32).map(|i| (i * 31 + 7) as u8).collect();
+        let oneshot = chunk_id(&data);
+        let mut h = Sha256::new();
+        for piece in data.chunks(97) {
+            h.update(piece);
+        }
+        assert_eq!(ChunkId(h.finish()), oneshot);
+    }
+
+    #[test]
+    fn chunk_id_hex_round_trips() {
+        let id = chunk_id(b"round trip");
+        assert_eq!(ChunkId::from_hex(&id.to_hex()), Some(id));
+        assert_eq!(ChunkId::from_hex("zz"), None);
+        assert_eq!(ChunkId::from_hex(&"g".repeat(64)), None);
+    }
+
+    fn pseudo_bytes(len: usize, seed: u64) -> Vec<u8> {
+        let mut state = seed;
+        (0..len)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 33) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn split_covers_input_exactly() {
+        let params = ChunkParams {
+            min_size: 256,
+            avg_size: 1024,
+            max_size: 4096,
+        };
+        for len in [0usize, 1, 255, 256, 1024, 50_000] {
+            let data = pseudo_bytes(len, 42);
+            let ranges = split(&data, params);
+            let mut pos = 0;
+            for r in &ranges {
+                assert_eq!(r.start, pos);
+                assert!(r.end > r.start);
+                pos = r.end;
+            }
+            assert_eq!(pos, len);
+            if len > 0 {
+                for r in &ranges[..ranges.len() - 1] {
+                    assert!(r.end - r.start >= params.min_size || r.end == len);
+                    assert!(r.end - r.start <= params.max_size);
+                }
+            } else {
+                assert!(ranges.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let data = pseudo_bytes(100_000, 7);
+        let params = ChunkParams {
+            min_size: 512,
+            avg_size: 2048,
+            max_size: 8192,
+        };
+        assert_eq!(split(&data, params), split(&data, params));
+    }
+
+    #[test]
+    fn chunker_actually_finds_content_boundaries() {
+        // Random-ish data with a ~2 KiB average must produce more than
+        // len/max chunks, i.e. boundaries come from content, not the clamp.
+        let data = pseudo_bytes(200_000, 99);
+        let params = ChunkParams {
+            min_size: 512,
+            avg_size: 2048,
+            max_size: 8192,
+        };
+        let ranges = split(&data, params);
+        let forced_min = data.len() / params.max_size;
+        assert!(
+            ranges.len() > forced_min + 5,
+            "only {} chunks for {} bytes — mask never fired",
+            ranges.len(),
+            data.len()
+        );
+    }
+
+    #[test]
+    fn single_edit_preserves_most_chunk_ids() {
+        let params = ChunkParams {
+            min_size: 512,
+            avg_size: 2048,
+            max_size: 8192,
+        };
+        let a = pseudo_bytes(150_000, 3);
+        let mut b = a.clone();
+        b[70_000] ^= 0xff;
+        let ids = |d: &[u8]| -> std::collections::HashSet<ChunkId> {
+            chunk_payload(d, params)
+                .into_iter()
+                .map(|(r, _)| r.id)
+                .collect()
+        };
+        let ia = ids(&a);
+        let ib = ids(&b);
+        let changed = ia.symmetric_difference(&ib).count();
+        // The edit may split/merge a few chunks around the edit point but
+        // must leave the rest of the stream untouched.
+        assert!(changed <= 6, "edit invalidated {changed} chunk ids");
+        assert!(ia.intersection(&ib).count() > ia.len() / 2);
+    }
+
+    #[test]
+    fn recipe_round_trips() {
+        let data = pseudo_bytes(40_000, 11);
+        let chunks = chunk_payload(&data, ChunkParams::default());
+        let recipe = Recipe {
+            rank: 3,
+            world_size: 8,
+            round: 2,
+            upper_len: data.len() as u64,
+            meta_len: 0,
+            upper_crc: crc32(&data),
+            meta_crc: crc32(&[]),
+            upper_chunks: chunks.iter().map(|(r, _)| *r).collect(),
+            meta_chunks: Vec::new(),
+        };
+        let bytes = recipe.to_bytes();
+        assert_eq!(Recipe::from_bytes(&bytes).unwrap(), recipe);
+    }
+
+    #[test]
+    fn recipe_rejects_corruption() {
+        let recipe = Recipe {
+            rank: 0,
+            world_size: 1,
+            round: 0,
+            upper_len: 5,
+            meta_len: 0,
+            upper_crc: crc32(b"hello"),
+            meta_crc: crc32(&[]),
+            upper_chunks: vec![ChunkRef {
+                id: chunk_id(b"hello"),
+                len: 5,
+            }],
+            meta_chunks: Vec::new(),
+        };
+        let mut bytes = recipe.to_bytes();
+        bytes[20] ^= 0x40;
+        assert!(matches!(
+            Recipe::from_bytes(&bytes),
+            Err(RecipeError::BadChecksum)
+        ));
+        let short = &recipe.to_bytes()[..10];
+        assert!(Recipe::from_bytes(short).is_err());
+    }
+}

@@ -160,16 +160,18 @@ impl CkptImage {
 
     /// Write this image to its conventional file under `dir` (created if
     /// needed) via the atomic tmp+rename+dir-fsync path, so a crash
-    /// mid-write never clobbers an existing image. Returns the bytes
-    /// written.
-    pub fn write_to_dir(&self, dir: &Path) -> Result<usize, ImageError> {
+    /// mid-write never clobbers an existing image. The caller's store
+    /// config governs the retry/backoff policy — this always writes the
+    /// flat layout regardless of `cfg.mode` (bare-image layouts have no
+    /// chunk pool to address into). Returns the bytes written.
+    pub fn write_to_dir(
+        &self,
+        dir: &Path,
+        cfg: &crate::store::StoreConfig,
+    ) -> Result<usize, ImageError> {
         fs::create_dir_all(dir)?;
         let bytes = self.to_bytes();
-        crate::store::write_atomic(
-            &Self::path_for(dir, self.rank),
-            &bytes,
-            &crate::store::StoreConfig::default(),
-        )?;
+        crate::store::write_atomic(&Self::path_for(dir, self.rank), &bytes, cfg)?;
         Ok(bytes.len())
     }
 
@@ -256,7 +258,9 @@ mod tests {
     fn file_roundtrip() {
         let dir = std::env::temp_dir().join(format!("mana2_img_test_{}", std::process::id()));
         let img = sample();
-        let written = img.write_to_dir(&dir).unwrap();
+        let written = img
+            .write_to_dir(&dir, &crate::store::StoreConfig::default())
+            .unwrap();
         assert!(written > 0);
         let back = CkptImage::read_from_dir(&dir, 3).unwrap();
         assert_eq!(back, img);

@@ -22,6 +22,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chunk;
 pub mod codec;
 mod fsreg;
 mod image;
@@ -30,13 +31,14 @@ mod lowerhalf;
 pub mod store;
 mod upperhalf;
 
+pub use chunk::{ChunkId, ChunkParams, ChunkRef, Recipe, RecipeError};
 pub use codec::{crc32, CodecError, Decode, Encode, Reader};
 pub use fsreg::{ContextSwitcher, FsMode};
 pub use image::{CkptImage, ImageError};
 pub use journal::{EpochState, Journal, JournalRecord, JournalStep};
 pub use lowerhalf::LowerHalf;
 pub use store::{
-    AtomicWriteCost, GenInfo, Manifest, ManifestEntry, RejectedGeneration, Rejection, Selected,
-    StoreConfig, StoreError, WriteFault, WriteOutcome,
+    AtomicWriteCost, ChunkGcOutcome, GenInfo, Manifest, ManifestEntry, RejectedGeneration,
+    Rejection, Selected, StoreConfig, StoreError, StoreMode, WriteFault, WriteOutcome,
 };
 pub use upperhalf::UpperHalf;

@@ -34,16 +34,23 @@
 //! storage tier: `retain` committed generations are kept, older ones are
 //! garbage-collected ([`gc_generations`]).
 
+use crate::chunk::{self, ChunkId, ChunkParams, ChunkRef, Recipe};
 use crate::codec::crc32;
 use crate::image::{CkptImage, ImageError};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::fs;
 use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Manifest file name inside a generation directory.
 pub const MANIFEST_FILE: &str = "MANIFEST";
+
+/// Name of the shared chunk pool directory under a store root.
+pub const CHUNKS_DIR: &str = "chunks";
 
 const MANIFEST_MAGIC: &[u8; 8] = b"MANA2MAN";
 const MANIFEST_VERSION: u32 = 1;
@@ -155,13 +162,67 @@ impl From<ImageError> for StoreError {
 
 // ---- configuration ---------------------------------------------------------
 
-/// Retry policy for image and manifest writes.
+/// On-disk layout for rank images within a generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StoreMode {
+    /// One flat `.mana` image file per rank per generation — the
+    /// compatibility default; every generation is self-contained.
+    #[default]
+    Flat,
+    /// Content-addressed chunked layout: payloads are split at
+    /// content-defined boundaries into a shared `chunks/` pool keyed by
+    /// SHA-256, and each rank stores a `.cref` recipe instead of a flat
+    /// image. A chunk already in the pool is never rewritten, so a
+    /// slowly-mutating workload pays only for changed bytes per round.
+    Chunked,
+}
+
+impl StoreMode {
+    /// Parse a `MANA2_STORE` value.
+    pub fn parse(spec: &str) -> Option<StoreMode> {
+        match spec.trim().to_ascii_lowercase().as_str() {
+            "flat" => Some(StoreMode::Flat),
+            "chunked" => Some(StoreMode::Chunked),
+            _ => None,
+        }
+    }
+
+    /// Read the layout override from `MANA2_STORE`. Unset yields `None`;
+    /// a set-but-unrecognized value warns once on stderr and also yields
+    /// `None`, so the flat default still applies (mirrors `MANA2_DRAIN`
+    /// handling).
+    pub fn from_env() -> Option<StoreMode> {
+        let v = std::env::var("MANA2_STORE").ok()?;
+        let parsed = StoreMode::parse(&v);
+        if parsed.is_none() {
+            eprintln!("mana2: unrecognized MANA2_STORE={v:?}; using flat store layout");
+        }
+        parsed
+    }
+
+    /// Short stable name, used in metrics and artifacts.
+    pub fn name(self) -> &'static str {
+        match self {
+            StoreMode::Flat => "flat",
+            StoreMode::Chunked => "chunked",
+        }
+    }
+}
+
+/// Retry policy and layout for image and manifest writes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StoreConfig {
     /// Total write attempts before giving up (≥ 1).
     pub retry_attempts: u32,
     /// Backoff before the first retry; doubles per retry.
     pub retry_backoff: Duration,
+    /// On-disk layout (flat images vs content-addressed chunks).
+    pub mode: StoreMode,
+    /// Content-defined chunking sizes (chunked mode only).
+    pub chunk: ChunkParams,
+    /// Parallel chunk-writer threads per image write (chunked mode only,
+    /// floor 1).
+    pub chunk_writers: usize,
 }
 
 impl Default for StoreConfig {
@@ -169,6 +230,20 @@ impl Default for StoreConfig {
         StoreConfig {
             retry_attempts: 4,
             retry_backoff: Duration::from_millis(1),
+            mode: StoreMode::Flat,
+            chunk: ChunkParams::default(),
+            chunk_writers: 4,
+        }
+    }
+}
+
+impl StoreConfig {
+    /// Default config with the layout taken from `MANA2_STORE` (flat when
+    /// unset or unrecognized).
+    pub fn from_env() -> StoreConfig {
+        StoreConfig {
+            mode: StoreMode::from_env().unwrap_or_default(),
+            ..StoreConfig::default()
         }
     }
 }
@@ -209,6 +284,25 @@ pub fn generation_dir(root: &Path, round: u64) -> PathBuf {
 /// Parse a `gen_<round>` directory name.
 pub fn parse_generation_name(name: &str) -> Option<u64> {
     name.strip_prefix("gen_")?.parse().ok()
+}
+
+/// The shared chunk pool directory under a store root.
+pub fn chunks_dir(root: &Path) -> PathBuf {
+    root.join(CHUNKS_DIR)
+}
+
+/// Pool path of one chunk: `chunks/<first-two-hex>/<64-hex>.chunk`. The
+/// two-hex shard keeps any one directory from accumulating the whole pool.
+pub fn chunk_path(root: &Path, id: ChunkId) -> PathBuf {
+    let hex = id.to_hex();
+    chunks_dir(root)
+        .join(&hex[..2])
+        .join(format!("{hex}.chunk"))
+}
+
+/// Recipe file (`.cref`) for a rank inside a chunked generation directory.
+pub fn recipe_path_for(dir: &Path, rank: usize) -> PathBuf {
+    dir.join(format!("ckpt_rank_{rank:05}.cref"))
 }
 
 /// Best-effort directory fsync: required for rename durability on POSIX;
@@ -342,9 +436,11 @@ pub fn write_atomic_traced(
 /// Outcome of a durable image write.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WriteOutcome {
-    /// Bytes the writer intended to land on disk (header + payloads).
+    /// Bytes of the rank's file in the generation directory — the flat
+    /// image in flat mode, the recipe in chunked mode. This is what the
+    /// manifest entry records.
     pub bytes: usize,
-    /// CRC32 of the intended file contents (what the manifest records).
+    /// CRC32 of that file's intended contents (what the manifest records).
     pub crc: u32,
     /// Transient-error retries the write needed.
     pub retries: u32,
@@ -352,6 +448,21 @@ pub struct WriteOutcome {
     /// including the root-directory fsync and any post-commit fault
     /// damage syncs).
     pub fsyncs: u32,
+    /// Logical image size (header + payloads) regardless of layout — the
+    /// per-rank number that aggregates into Fig. 3's checkpoint-size line.
+    pub logical_bytes: usize,
+    /// Bytes that physically landed on disk this write: the whole image
+    /// in flat mode; new chunks + recipe in chunked mode. Dedup is the
+    /// gap between this and `logical_bytes`.
+    pub physical_bytes: usize,
+    /// Chunks newly written to the pool (0 in flat mode).
+    pub chunks_written: u32,
+    /// Chunk references satisfied by a chunk already on disk (0 in flat
+    /// mode).
+    pub chunks_deduped: u32,
+    /// Batched directory-fsync rounds for the chunk pool (0 or 1 per
+    /// image write; 0 in flat mode).
+    pub fsync_batches: u32,
 }
 
 /// Durably write `image` into its generation directory under `root`
@@ -370,8 +481,79 @@ pub fn write_image(
 
 /// [`write_image`] with flight-recorder instrumentation: per-attempt
 /// stage timings, injected-fault events, and a final `StoreWrite` record
-/// land in `rec`'s ring, attributed to the image's round.
+/// land in `rec`'s ring, attributed to the image's round. Dispatches on
+/// [`StoreConfig::mode`]: flat writes one self-contained image file,
+/// chunked splits payloads into the content-addressed pool and writes a
+/// recipe.
 pub fn write_image_traced(
+    root: &Path,
+    image: &CkptImage,
+    cfg: &StoreConfig,
+    fault: Option<&WriteFault>,
+    rec: Option<&obs::Recorder>,
+) -> Result<WriteOutcome, StoreError> {
+    match cfg.mode {
+        StoreMode::Flat => write_image_flat(root, image, cfg, fault, rec),
+        StoreMode::Chunked => write_image_chunked(root, image, cfg, fault, rec),
+    }
+}
+
+/// Post-commit torn-write damage: truncate `path` at `offset % len` after
+/// the writer already believes the write succeeded. Returns fsyncs issued.
+fn apply_torn(
+    path: &Path,
+    offset: u64,
+    rec: Option<&obs::Recorder>,
+    round: i64,
+) -> io::Result<u32> {
+    let len = fs::metadata(path)?.len().max(1);
+    let cut = offset % len;
+    let f = fs::OpenOptions::new().write(true).open(path)?;
+    f.set_len(cut)?;
+    f.sync_all()?;
+    if let Some(r) = rec {
+        r.event(
+            round,
+            obs::EventKind::StoreFault {
+                fault: obs::InjectedFault::Torn,
+            },
+        );
+    }
+    Ok(1)
+}
+
+/// Post-commit silent media corruption: flip one bit of byte
+/// `offset % len` in `path`. Returns fsyncs issued.
+fn apply_bit_flip(
+    path: &Path,
+    offset: u64,
+    rec: Option<&obs::Recorder>,
+    round: i64,
+) -> io::Result<u32> {
+    let mut data = fs::read(path)?;
+    if data.is_empty() {
+        data.push(0);
+    }
+    let byte = (offset % data.len() as u64) as usize;
+    data[byte] ^= 1 << (offset % 8);
+    let f = fs::File::create(path)?;
+    {
+        let mut w = &f;
+        w.write_all(&data)?;
+    }
+    f.sync_all()?;
+    if let Some(r) = rec {
+        r.event(
+            round,
+            obs::EventKind::StoreFault {
+                fault: obs::InjectedFault::BitFlip,
+            },
+        );
+    }
+    Ok(1)
+}
+
+fn write_image_flat(
     root: &Path,
     image: &CkptImage,
     cfg: &StoreConfig,
@@ -390,40 +572,9 @@ pub fn write_image_traced(
     let retries = cost.retries;
     fsyncs += cost.fsyncs;
     match fault {
-        Some(WriteFault::Torn { offset }) => {
-            let cut = (*offset % bytes.len() as u64) as usize;
-            let f = fs::OpenOptions::new().write(true).open(&path)?;
-            f.set_len(cut as u64)?;
-            f.sync_all()?;
-            fsyncs += 1;
-            if let Some(r) = rec {
-                r.event(
-                    round,
-                    obs::EventKind::StoreFault {
-                        fault: obs::InjectedFault::Torn,
-                    },
-                );
-            }
-        }
+        Some(WriteFault::Torn { offset }) => fsyncs += apply_torn(&path, *offset, rec, round)?,
         Some(WriteFault::BitFlip { offset }) => {
-            let mut data = fs::read(&path)?;
-            let byte = (*offset % data.len() as u64) as usize;
-            data[byte] ^= 1 << (offset % 8);
-            let f = fs::File::create(&path)?;
-            {
-                let mut w = &f;
-                w.write_all(&data)?;
-            }
-            f.sync_all()?;
-            fsyncs += 1;
-            if let Some(r) = rec {
-                r.event(
-                    round,
-                    obs::EventKind::StoreFault {
-                        fault: obs::InjectedFault::BitFlip,
-                    },
-                );
-            }
+            fsyncs += apply_bit_flip(&path, *offset, rec, round)?
         }
         _ => {}
     }
@@ -442,7 +593,186 @@ pub fn write_image_traced(
         crc,
         retries,
         fsyncs,
+        logical_bytes: bytes.len(),
+        physical_bytes: bytes.len(),
+        chunks_written: 0,
+        chunks_deduped: 0,
+        fsync_batches: 0,
     })
+}
+
+/// Write one chunk into the pool: tmp file (named uniquely per writing
+/// rank so concurrent rank threads landing the same content never collide
+/// on the tmp name), `write_all` + `sync_all`, atomic rename to the
+/// content-addressed final name. The *directory* fsync is deliberately
+/// omitted — the caller batches one dir-fsync per touched shard after all
+/// chunks of the image have landed.
+fn write_chunk_file(root: &Path, id: ChunkId, data: &[u8], tmp_tag: usize) -> io::Result<()> {
+    let path = chunk_path(root, id);
+    let dir = path.parent().expect("chunk path has a shard parent");
+    let tmp = dir.join(format!(".tmp-{tmp_tag}-{}", id.to_hex()));
+    let mut f = fs::File::create(&tmp)?;
+    f.write_all(data)?;
+    f.sync_all()?;
+    drop(f);
+    match fs::rename(&tmp, &path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+/// Chunked-mode image write: split payloads at content-defined boundaries,
+/// write only chunks not already in the pool (parallel bounded writers,
+/// batched dir-fsyncs), then durably write the per-rank recipe. The recipe
+/// write is the per-rank commit point, so injected `WriteFault::Error`s
+/// hit it (retries and dead-disk semantics match flat mode); post-commit
+/// `Torn`/`BitFlip` damage lands on a chunk this round actually wrote —
+/// damaging a chunk shared with an older committed generation would
+/// corrupt history no fresh write touches, which the fault model does not
+/// allow — or on the recipe when the round deduped everything.
+fn write_image_chunked(
+    root: &Path,
+    image: &CkptImage,
+    cfg: &StoreConfig,
+    fault: Option<&WriteFault>,
+    rec: Option<&obs::Recorder>,
+) -> Result<WriteOutcome, StoreError> {
+    let round = image.round as i64;
+    let dir = generation_dir(root, image.round);
+    fs::create_dir_all(&dir)?;
+    fsync_dir(root)?;
+    let mut fsyncs = 1u32;
+    let params = cfg.chunk.normalized();
+    let upper_chunks = chunk::chunk_payload(&image.upper, params);
+    let meta_chunks = chunk::chunk_payload(&image.meta, params);
+
+    // Dedup: a chunk already in the pool (from any generation, or from
+    // another rank of this very round) is never rewritten.
+    let mut fresh: BTreeMap<ChunkId, &[u8]> = BTreeMap::new();
+    let mut deduped = 0u32;
+    for (cref, data) in upper_chunks.iter().chain(meta_chunks.iter()) {
+        if fresh.contains_key(&cref.id) || chunk_path(root, cref.id).is_file() {
+            deduped += 1;
+        } else {
+            fresh.insert(cref.id, data);
+        }
+    }
+    let fresh: Vec<(ChunkId, &[u8])> = fresh.into_iter().collect();
+    let chunks_written = fresh.len() as u32;
+    let mut physical = 0usize;
+    let mut fsync_batches = 0u32;
+    let mut new_paths: Vec<PathBuf> = Vec::with_capacity(fresh.len());
+    if !fresh.is_empty() {
+        let mut shards: BTreeSet<PathBuf> = BTreeSet::new();
+        for (id, data) in &fresh {
+            let p = chunk_path(root, *id);
+            shards.insert(p.parent().expect("sharded").to_path_buf());
+            new_paths.push(p);
+            physical += data.len();
+        }
+        for s in &shards {
+            fs::create_dir_all(s)?;
+        }
+        // Bounded worker pipeline: `chunk_writers` threads drain the fresh
+        // chunk list concurrently; each chunk costs one file fsync, no
+        // per-chunk dir fsync.
+        let workers = cfg.chunk_writers.max(1).min(fresh.len());
+        let next = AtomicUsize::new(0);
+        let failure: Mutex<Option<io::Error>> = Mutex::new(None);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= fresh.len() || failure.lock().unwrap().is_some() {
+                        break;
+                    }
+                    let (id, data) = fresh[i];
+                    if let Err(e) = write_chunk_file(root, id, data, image.rank) {
+                        failure.lock().unwrap().get_or_insert(e);
+                        break;
+                    }
+                });
+            }
+        });
+        if let Some(e) = failure.into_inner().unwrap() {
+            return Err(e.into());
+        }
+        fsyncs += chunks_written;
+        // One batched dir-fsync round: each touched shard once, plus the
+        // pool root once (covers freshly created shard dirs).
+        for s in &shards {
+            fsync_dir(s)?;
+            fsyncs += 1;
+        }
+        fsync_dir(&chunks_dir(root))?;
+        fsyncs += 1;
+        fsync_batches = 1;
+    }
+
+    let recipe = Recipe {
+        rank: image.rank as u64,
+        world_size: image.world_size as u64,
+        round: image.round,
+        upper_len: image.upper.len() as u64,
+        meta_len: image.meta.len() as u64,
+        upper_crc: crc32(&image.upper),
+        meta_crc: crc32(&image.meta),
+        upper_chunks: upper_chunks.iter().map(|(c, _)| *c).collect(),
+        meta_chunks: meta_chunks.iter().map(|(c, _)| *c).collect(),
+    };
+    let rbytes = recipe.to_bytes();
+    let crc = crc32(&rbytes);
+    let rpath = recipe_path_for(&dir, image.rank);
+    let cost = write_atomic_traced(&rpath, &rbytes, cfg, fault, rec, round)?;
+    let retries = cost.retries;
+    fsyncs += cost.fsyncs;
+    physical += rbytes.len();
+    match fault {
+        Some(WriteFault::Torn { offset }) => {
+            let target = pick_damage_target(&new_paths, &rpath, *offset);
+            fsyncs += apply_torn(target, *offset, rec, round)?;
+        }
+        Some(WriteFault::BitFlip { offset }) => {
+            let target = pick_damage_target(&new_paths, &rpath, *offset);
+            fsyncs += apply_bit_flip(target, *offset, rec, round)?;
+        }
+        _ => {}
+    }
+    if let Some(r) = rec {
+        r.event(
+            round,
+            obs::EventKind::StoreWrite {
+                bytes: image.size_bytes() as u64,
+                retries,
+                crc,
+            },
+        );
+    }
+    Ok(WriteOutcome {
+        bytes: rbytes.len(),
+        crc,
+        retries,
+        fsyncs,
+        logical_bytes: image.size_bytes(),
+        physical_bytes: physical,
+        chunks_written,
+        chunks_deduped: deduped,
+        fsync_batches,
+    })
+}
+
+/// Seeded choice of the file post-commit damage lands on: one of the
+/// chunks this write actually put in the pool, or the recipe itself when
+/// everything deduped.
+fn pick_damage_target<'a>(new_paths: &'a [PathBuf], recipe: &'a Path, offset: u64) -> &'a Path {
+    if new_paths.is_empty() {
+        recipe
+    } else {
+        &new_paths[(offset % new_paths.len() as u64) as usize]
+    }
 }
 
 // ---- manifest --------------------------------------------------------------
@@ -741,14 +1071,26 @@ pub fn validate_generation_ranks(
                 continue;
             }
         }
-        let path = CkptImage::path_for(dir, entry.rank as usize);
-        let bytes = match fs::read(&path) {
-            Ok(b) => b,
-            Err(e) => {
-                return Err(Rejection::new(
-                    C::MissingImage,
-                    format!("rank {} image unreadable: {e}", entry.rank),
-                ))
+        let flat_path = CkptImage::path_for(dir, entry.rank as usize);
+        let (bytes, chunked) = if flat_path.is_file() {
+            match fs::read(&flat_path) {
+                Ok(b) => (b, false),
+                Err(e) => {
+                    return Err(Rejection::new(
+                        C::MissingImage,
+                        format!("rank {} image unreadable: {e}", entry.rank),
+                    ))
+                }
+            }
+        } else {
+            match fs::read(recipe_path_for(dir, entry.rank as usize)) {
+                Ok(b) => (b, true),
+                Err(e) => {
+                    return Err(Rejection::new(
+                        C::MissingImage,
+                        format!("rank {} image unreadable: {e}", entry.rank),
+                    ))
+                }
             }
         };
         if bytes.len() as u64 != entry.bytes {
@@ -771,41 +1113,263 @@ pub fn validate_generation_ranks(
                 ),
             ));
         }
-        let img = match CkptImage::from_bytes(&bytes) {
-            Ok(i) => i,
-            Err(e) => {
-                return Err(Rejection::new(
-                    C::BadImage,
-                    format!("rank {} image invalid: {e}", entry.rank),
-                ))
-            }
+        let (rank, world_size, round) = if chunked {
+            let recipe = match Recipe::from_bytes(&bytes) {
+                Ok(r) => r,
+                Err(e) => {
+                    return Err(Rejection::new(
+                        C::BadImage,
+                        format!("rank {} recipe invalid: {e}", entry.rank),
+                    ))
+                }
+            };
+            // Every referenced chunk must be present, length-exact, and
+            // hash-clean, and the reassembled payloads must match the
+            // recipe's CRCs — a damaged chunk rejects the generation just
+            // like a damaged flat image would.
+            let root = dir.parent().unwrap_or(dir);
+            assemble_payloads(root, &recipe).map_err(|rej| {
+                Rejection::new(rej.code, format!("rank {}: {}", entry.rank, rej.reason))
+            })?;
+            (recipe.rank, recipe.world_size, recipe.round)
+        } else {
+            let img = match CkptImage::from_bytes(&bytes) {
+                Ok(i) => i,
+                Err(e) => {
+                    return Err(Rejection::new(
+                        C::BadImage,
+                        format!("rank {} image invalid: {e}", entry.rank),
+                    ))
+                }
+            };
+            (img.rank as u64, img.world_size as u64, img.round)
         };
-        if img.rank as u64 != entry.rank {
+        if rank != entry.rank {
             return Err(Rejection::new(
                 C::BadImage,
-                format!("rank {} image claims rank {}", entry.rank, img.rank),
+                format!("rank {} image claims rank {}", entry.rank, rank),
             ));
         }
-        if img.world_size as u64 != manifest.world_size {
+        if world_size != manifest.world_size {
             return Err(Rejection::new(
                 C::BadImage,
                 format!(
                     "rank {} image world size {} != manifest world size {}",
-                    entry.rank, img.world_size, manifest.world_size
+                    entry.rank, world_size, manifest.world_size
                 ),
             ));
         }
-        if img.round != manifest.round {
+        if round != manifest.round {
             return Err(Rejection::new(
                 C::BadImage,
                 format!(
                     "rank {} image round {} != manifest round {}",
-                    entry.rank, img.round, manifest.round
+                    entry.rank, round, manifest.round
                 ),
             ));
         }
     }
     Ok(manifest)
+}
+
+// ---- chunked reassembly ----------------------------------------------------
+
+/// Read and verify every chunk of one payload list from the pool,
+/// concatenating into the payload. Each chunk is checked for presence,
+/// exact length, and SHA-256 identity against its content address — a
+/// wrong-hash chunk is *never* returned, it rejects the payload.
+fn assemble_one(
+    root: &Path,
+    refs: &[ChunkRef],
+    expected_len: u64,
+    expected_crc: u32,
+    section: &str,
+) -> Result<Vec<u8>, Rejection> {
+    use obs::RejectCode as C;
+    let mut out = Vec::with_capacity(expected_len.min(1 << 30) as usize);
+    for cref in refs {
+        let path = chunk_path(root, cref.id);
+        let data = match fs::read(&path) {
+            Ok(d) => d,
+            Err(e) => {
+                return Err(Rejection::new(
+                    C::MissingImage,
+                    format!("{section} chunk {} unreadable: {e}", cref.id),
+                ))
+            }
+        };
+        if data.len() as u64 != cref.len {
+            return Err(Rejection::new(
+                C::TornImage,
+                format!(
+                    "{section} chunk {} is {} bytes, recipe says {} (torn chunk)",
+                    cref.id,
+                    data.len(),
+                    cref.len
+                ),
+            ));
+        }
+        if chunk::chunk_id(&data) != cref.id {
+            return Err(Rejection::new(
+                C::CorruptImage,
+                format!("{section} chunk {} content hash mismatch", cref.id),
+            ));
+        }
+        out.extend_from_slice(&data);
+    }
+    if out.len() as u64 != expected_len {
+        return Err(Rejection::new(
+            C::TornImage,
+            format!(
+                "{section} payload is {} bytes, recipe says {expected_len}",
+                out.len()
+            ),
+        ));
+    }
+    if crc32(&out) != expected_crc {
+        return Err(Rejection::new(
+            C::CorruptImage,
+            format!("{section} payload CRC mismatch after reassembly"),
+        ));
+    }
+    Ok(out)
+}
+
+/// Reassemble both payloads of a recipe from the pool under `root`,
+/// verifying every chunk and both payload CRCs.
+fn assemble_payloads(root: &Path, recipe: &Recipe) -> Result<(Vec<u8>, Vec<u8>), Rejection> {
+    let upper = assemble_one(
+        root,
+        &recipe.upper_chunks,
+        recipe.upper_len,
+        recipe.upper_crc,
+        "upper",
+    )?;
+    let meta = assemble_one(
+        root,
+        &recipe.meta_chunks,
+        recipe.meta_len,
+        recipe.meta_crc,
+        "meta",
+    )?;
+    Ok((upper, meta))
+}
+
+/// Load one rank's image from a generation directory, whatever its layout:
+/// a flat `.mana` file is read directly; otherwise the `.cref` recipe is
+/// reassembled from the chunk pool with per-chunk hash verification. This
+/// is the restart path's loader.
+pub fn load_image(dir: &Path, rank: usize) -> Result<CkptImage, StoreError> {
+    let flat = CkptImage::path_for(dir, rank);
+    if flat.is_file() {
+        return Ok(CkptImage::read_from_dir(dir, rank)?);
+    }
+    let rpath = recipe_path_for(dir, rank);
+    let bytes = fs::read(&rpath)?;
+    let recipe = Recipe::from_bytes(&bytes)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    let root = dir.parent().unwrap_or(dir);
+    let (upper, meta) = assemble_payloads(root, &recipe)
+        .map_err(|rej| io::Error::new(io::ErrorKind::InvalidData, rej.reason))?;
+    Ok(CkptImage {
+        rank: recipe.rank as usize,
+        world_size: recipe.world_size as usize,
+        round: recipe.round,
+        upper,
+        meta,
+    })
+}
+
+// ---- chunk GC --------------------------------------------------------------
+
+/// What a chunk-pool sweep removed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChunkGcOutcome {
+    /// Unreferenced chunks deleted.
+    pub removed: u64,
+    /// Bytes those chunks occupied.
+    pub removed_bytes: u64,
+}
+
+/// Mark-and-sweep GC of the shared chunk pool: a chunk survives iff some
+/// recipe in *any* surviving generation directory references it. Run this
+/// strictly after [`gc_generations`] — that pass already refuses to remove
+/// generations pinned by an open `RESTART_JOURNAL` epoch, so a pinned
+/// generation's recipes keep its chunks referenced here, and the retained
+/// generations' recipes keep theirs. Tmp litter from crashed chunk writes
+/// (`.tmp-*`) is swept too. A store with no pool is a no-op.
+///
+/// Must not run concurrently with image writes: a chunk landed for a
+/// recipe that has not been written yet has no reference. The coordinator
+/// runs GC synchronously between rounds, which satisfies this.
+pub fn gc_chunks(root: &Path) -> io::Result<ChunkGcOutcome> {
+    let pool = chunks_dir(root);
+    if !pool.is_dir() {
+        return Ok(ChunkGcOutcome::default());
+    }
+    let mut referenced: BTreeSet<ChunkId> = BTreeSet::new();
+    for gen in list_generations(root)? {
+        let rd = match fs::read_dir(&gen.dir) {
+            Ok(rd) => rd,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
+            Err(e) => return Err(e),
+        };
+        for entry in rd {
+            let entry = entry?;
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("cref") {
+                continue;
+            }
+            // An unreadable/corrupt recipe contributes no references: its
+            // generation can never restore anyway, so its exclusive chunks
+            // are garbage.
+            let Ok(bytes) = fs::read(&path) else { continue };
+            let Ok(recipe) = Recipe::from_bytes(&bytes) else {
+                continue;
+            };
+            for cref in recipe.upper_chunks.iter().chain(recipe.meta_chunks.iter()) {
+                referenced.insert(cref.id);
+            }
+        }
+    }
+    let mut outcome = ChunkGcOutcome::default();
+    let mut touched: BTreeSet<PathBuf> = BTreeSet::new();
+    for shard in fs::read_dir(&pool)? {
+        let shard = shard?.path();
+        if !shard.is_dir() {
+            continue;
+        }
+        for entry in fs::read_dir(&shard)? {
+            let entry = entry?;
+            let path = entry.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            let id = name.strip_suffix(".chunk").and_then(ChunkId::from_hex);
+            let dead = match id {
+                Some(id) => !referenced.contains(&id),
+                // Tmp litter from a crashed writer is always dead; any
+                // other unrecognized file is left alone.
+                None => name.starts_with(".tmp-"),
+            };
+            if dead {
+                let len = entry.metadata().map(|m| m.len()).unwrap_or(0);
+                fs::remove_file(&path)?;
+                if id.is_some() {
+                    outcome.removed += 1;
+                    outcome.removed_bytes += len;
+                }
+                touched.insert(shard.clone());
+            }
+        }
+    }
+    for shard in &touched {
+        fsync_dir(shard)?;
+    }
+    if !touched.is_empty() {
+        fsync_dir(&pool)?;
+    }
+    Ok(outcome)
 }
 
 /// The generation chosen for restart.
@@ -1285,7 +1849,9 @@ mod tests {
         let root = tdir("legacy");
         fs::create_dir_all(&root).unwrap();
         for rank in 0..2usize {
-            image(rank, 2, 7).write_to_dir(&root).unwrap();
+            image(rank, 2, 7)
+                .write_to_dir(&root, &StoreConfig::default())
+                .unwrap();
         }
         let sel = select_generation(&root, Some(2)).unwrap();
         assert_eq!(sel.round, 7);
@@ -1300,5 +1866,315 @@ mod tests {
         let err = select_generation(&root, Some(2)).unwrap_err();
         assert!(matches!(err, StoreError::NoUsableGeneration { .. }));
         assert!(err.to_string().contains("no generations found"));
+    }
+
+    // ---- chunked layout ----------------------------------------------------
+
+    fn chunked_cfg() -> StoreConfig {
+        StoreConfig {
+            mode: StoreMode::Chunked,
+            chunk: ChunkParams {
+                min_size: 64,
+                avg_size: 256,
+                max_size: 1024,
+            },
+            ..StoreConfig::default()
+        }
+    }
+
+    /// A big image whose payload barely mutates between rounds: `round`
+    /// perturbs a handful of bytes in an otherwise fixed pseudo-random
+    /// buffer, modeling a slowly-mutating workload.
+    fn slow_image(rank: usize, world: usize, round: u64) -> CkptImage {
+        let mut state = 0x5eed_0000u64 + rank as u64;
+        let mut upper: Vec<u8> = (0..20_000)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 33) as u8
+            })
+            .collect();
+        let len = upper.len();
+        for i in 0..(round as usize + 1) {
+            upper[i * 997 % len] ^= round as u8;
+        }
+        CkptImage {
+            rank,
+            world_size: world,
+            round,
+            upper,
+            meta: vec![0xA5; 200],
+        }
+    }
+
+    fn commit_round_with(
+        root: &Path,
+        world: usize,
+        round: u64,
+        cfg: &StoreConfig,
+        faults: &[(usize, WriteFault)],
+    ) -> Vec<WriteOutcome> {
+        let mut entries = Vec::new();
+        let mut outs = Vec::new();
+        for rank in 0..world {
+            let fault = faults.iter().find(|(r, _)| *r == rank).map(|(_, f)| f);
+            let out = write_image(root, &slow_image(rank, world, round), cfg, fault).unwrap();
+            entries.push(ManifestEntry {
+                rank: rank as u64,
+                bytes: out.bytes as u64,
+                crc: out.crc,
+            });
+            outs.push(out);
+        }
+        commit_generation(
+            root,
+            &Manifest {
+                round,
+                world_size: world as u64,
+                entries,
+            },
+            cfg,
+        )
+        .unwrap();
+        outs
+    }
+
+    #[test]
+    fn chunked_commit_select_and_load_round_trips() {
+        let root = tdir("chunked_happy");
+        let cfg = chunked_cfg();
+        commit_round_with(&root, 2, 0, &cfg, &[]);
+        let sel = select_generation(&root, Some(2)).unwrap();
+        assert_eq!(sel.round, 0);
+        assert!(sel.rejected.is_empty());
+        // No flat image files exist; recipes + pool only.
+        assert!(!CkptImage::path_for(&sel.dir, 0).exists());
+        assert!(recipe_path_for(&sel.dir, 0).is_file());
+        assert!(chunks_dir(&root).is_dir());
+        // load_image reassembles byte-identically.
+        for rank in 0..2 {
+            assert_eq!(load_image(&sel.dir, rank).unwrap(), slow_image(rank, 2, 0));
+        }
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn chunked_second_round_dedups_nearly_everything() {
+        let root = tdir("chunked_dedup");
+        let cfg = chunked_cfg();
+        let r0 = commit_round_with(&root, 2, 0, &cfg, &[]);
+        let r1 = commit_round_with(&root, 2, 1, &cfg, &[]);
+        for (a, b) in r0.iter().zip(r1.iter()) {
+            assert!(a.chunks_written > 0, "round 0 must write real chunks");
+            assert!(
+                b.chunks_written < a.chunks_written / 2,
+                "round 1 rewrote {} of {} chunks — dedup not working",
+                b.chunks_written,
+                a.chunks_written
+            );
+            assert!(b.chunks_deduped > 0);
+            assert!(
+                b.physical_bytes < a.physical_bytes / 2,
+                "round 1 physical {} vs round 0 {}",
+                b.physical_bytes,
+                a.physical_bytes
+            );
+            assert_eq!(b.logical_bytes, slow_image(0, 2, 1).size_bytes());
+        }
+        // Both rounds restore byte-identically.
+        let sel = select_generation(&root, Some(2)).unwrap();
+        assert_eq!(sel.round, 1);
+        assert_eq!(load_image(&sel.dir, 1).unwrap(), slow_image(1, 2, 1));
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn chunked_bit_flip_on_chunk_rejected_and_falls_back() {
+        let root = tdir("chunked_flip");
+        let cfg = chunked_cfg();
+        commit_round_with(&root, 2, 0, &cfg, &[]);
+        commit_round_with(
+            &root,
+            2,
+            1,
+            &cfg,
+            &[(1, WriteFault::BitFlip { offset: 977 })],
+        );
+        let sel = select_generation(&root, Some(2)).unwrap();
+        assert_eq!(sel.round, 0, "damaged chunk must reject gen 1");
+        assert_eq!(sel.rejected.len(), 1);
+        assert!(
+            sel.rejected[0].reason.contains("hash mismatch")
+                || sel.rejected[0].reason.contains("CRC"),
+            "{}",
+            sel.rejected[0].reason
+        );
+        // The fallback generation still loads cleanly even though it
+        // shares pool chunks with the damaged round (damage only ever
+        // lands on chunks the damaged round itself wrote).
+        assert_eq!(load_image(&sel.dir, 1).unwrap(), slow_image(1, 2, 0));
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn chunked_torn_chunk_rejected_and_falls_back() {
+        let root = tdir("chunked_torn");
+        let cfg = chunked_cfg();
+        commit_round_with(&root, 2, 0, &cfg, &[]);
+        commit_round_with(&root, 2, 1, &cfg, &[(0, WriteFault::Torn { offset: 13 })]);
+        let sel = select_generation(&root, Some(2)).unwrap();
+        assert_eq!(sel.round, 0);
+        assert!(
+            sel.rejected[0].reason.contains("torn") || sel.rejected[0].reason.contains("bytes"),
+            "{}",
+            sel.rejected[0].reason
+        );
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn chunked_write_error_retries_and_dead_disk_fails() {
+        let root = tdir("chunked_err");
+        let cfg = chunked_cfg();
+        let out = write_image(
+            &root,
+            &slow_image(0, 1, 0),
+            &cfg,
+            Some(&WriteFault::Error { attempts: 2 }),
+        )
+        .unwrap();
+        assert_eq!(out.retries, 2);
+        assert_eq!(
+            load_image(&generation_dir(&root, 0), 0).unwrap(),
+            slow_image(0, 1, 0)
+        );
+        let err = write_image(
+            &root,
+            &slow_image(0, 1, 1),
+            &cfg,
+            Some(&WriteFault::Error { attempts: u32::MAX }),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("injected"));
+        // The failed round landed no recipe.
+        assert!(!recipe_path_for(&generation_dir(&root, 1), 0).exists());
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn chunk_gc_sweeps_only_unreferenced_chunks() {
+        let root = tdir("chunk_gc");
+        let cfg = chunked_cfg();
+        for round in 0..4u64 {
+            commit_round_with(&root, 2, round, &cfg, &[]);
+        }
+        // Nothing is unreferenced while all generations are retained.
+        let out = gc_chunks(&root).unwrap();
+        assert_eq!(out.removed, 0);
+        // Drop old generations, then sweep: chunks referenced only by the
+        // removed generations go; everything the survivors need stays.
+        gc_generations(&root, 2).unwrap();
+        gc_chunks(&root).unwrap();
+        for round in [2u64, 3] {
+            let dir = generation_dir(&root, round);
+            assert!(validate_generation(&dir, round, Some(2)).is_ok());
+            assert_eq!(load_image(&dir, 0).unwrap(), slow_image(0, 2, round));
+        }
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn chunk_gc_respects_journal_pinned_generations() {
+        use crate::journal::{Journal, JournalStep};
+        let root = tdir("chunk_gc_pin");
+        let cfg = chunked_cfg();
+        for round in 0..4u64 {
+            commit_round_with(&root, 2, round, &cfg, &[]);
+        }
+        // A restart of gen 0 is in flight; its pin must keep both the
+        // generation AND every chunk its recipes reference alive through
+        // gc_generations + gc_chunks with retain=1.
+        let mut j = Journal::open(&root).unwrap();
+        j.append(
+            0,
+            JournalStep::RestartIntent {
+                gen: 0,
+                failed: vec![],
+            },
+        )
+        .unwrap();
+        j.append(0, JournalStep::GenValidated { gen: 0 }).unwrap();
+        drop(j);
+        gc_generations(&root, 1).unwrap();
+        gc_chunks(&root).unwrap();
+        let dir = generation_dir(&root, 0);
+        assert!(dir.exists(), "pinned generation must survive");
+        assert!(
+            validate_generation(&dir, 0, Some(2)).is_ok(),
+            "pinned generation's chunks must all survive the chunk sweep"
+        );
+        assert_eq!(load_image(&dir, 1).unwrap(), slow_image(1, 2, 0));
+        // Commit the epoch: the pin releases, and the next GC pass may
+        // collect the generation and its now-unreferenced chunks.
+        let mut j = Journal::open(&root).unwrap();
+        j.append(0, JournalStep::RestartCommitted).unwrap();
+        drop(j);
+        gc_generations(&root, 1).unwrap();
+        let swept = gc_chunks(&root).unwrap();
+        assert!(swept.removed > 0, "unpinned old chunks must be collectable");
+        assert!(validate_generation(&generation_dir(&root, 3), 3, Some(2)).is_ok());
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn chunk_gc_sweeps_tmp_litter_and_missing_pool_is_noop() {
+        let root = tdir("chunk_gc_tmp");
+        // No pool at all: no-op.
+        fs::create_dir_all(&root).unwrap();
+        assert_eq!(gc_chunks(&root).unwrap(), ChunkGcOutcome::default());
+        let cfg = chunked_cfg();
+        commit_round_with(&root, 1, 0, &cfg, &[]);
+        // Simulate a crashed chunk writer's tmp litter.
+        let shard = chunks_dir(&root).join("ab");
+        fs::create_dir_all(&shard).unwrap();
+        let litter = shard.join(".tmp-0-deadbeef");
+        fs::write(&litter, b"junk").unwrap();
+        gc_chunks(&root).unwrap();
+        assert!(!litter.exists(), "tmp litter must be swept");
+        assert!(validate_generation(&generation_dir(&root, 0), 0, Some(1)).is_ok());
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn flat_and_chunked_restores_are_byte_identical() {
+        let flat_root = tdir("xmode_flat");
+        let chunk_root = tdir("xmode_chunked");
+        let flat_cfg = StoreConfig::default();
+        let chunk_cfg = chunked_cfg();
+        for round in 0..2u64 {
+            commit_round_with(&flat_root, 2, round, &flat_cfg, &[]);
+            commit_round_with(&chunk_root, 2, round, &chunk_cfg, &[]);
+        }
+        let fsel = select_generation(&flat_root, Some(2)).unwrap();
+        let csel = select_generation(&chunk_root, Some(2)).unwrap();
+        assert_eq!(fsel.round, csel.round);
+        for rank in 0..2 {
+            assert_eq!(
+                load_image(&fsel.dir, rank).unwrap(),
+                load_image(&csel.dir, rank).unwrap()
+            );
+        }
+        fs::remove_dir_all(&flat_root).ok();
+        fs::remove_dir_all(&chunk_root).ok();
+    }
+
+    #[test]
+    fn store_mode_parses_and_env_default_is_flat() {
+        assert_eq!(StoreMode::parse("flat"), Some(StoreMode::Flat));
+        assert_eq!(StoreMode::parse("CHUNKED"), Some(StoreMode::Chunked));
+        assert_eq!(StoreMode::parse("bogus"), None);
+        assert_eq!(StoreMode::default(), StoreMode::Flat);
+        assert_eq!(StoreMode::Chunked.name(), "chunked");
     }
 }
